@@ -1,0 +1,157 @@
+// Command scaguard-bench regenerates the paper's evaluation artefacts as
+// text: Table IV, Table V, Table VI (E1-E4) and the Fig. 5 threshold
+// sweep.
+//
+// Usage:
+//
+//	scaguard-bench -table 4
+//	scaguard-bench -table 5
+//	scaguard-bench -table 6 -per-class 40
+//	scaguard-bench -fig 5
+//	scaguard-bench -all -per-class 40 -seed 7
+//
+// The paper's full scale is -per-class 400; the default is scaled down
+// so a complete -all run finishes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate table 4, 5 or 6")
+	fig := flag.Int("fig", 0, "regenerate figure 5")
+	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
+	sensitivity := flag.Bool("sensitivity", false, "run the cache-hierarchy sensitivity sweep")
+	noise := flag.Bool("noise", false, "run the noisy-co-tenant robustness experiment")
+	timecost := flag.Bool("timecost", false, "run the Section V time-cost breakdown")
+	all := flag.Bool("all", false, "regenerate everything")
+	perClass := flag.Int("per-class", 40, "samples per class (paper: 400)")
+	seed := flag.Int64("seed", 1, "corpus generation seed")
+	folds := flag.Int("folds", 10, "cross-validation folds for the learners")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.PerClass = *perClass
+	cfg.Seed = *seed
+	cfg.Folds = *folds
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "scaguard-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s regenerated in %.2fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	any := false
+	if *all || *table == 4 {
+		any = true
+		run("Table IV", func() error {
+			rows, err := experiments.TableIV(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("TABLE IV: RESULTS OF ATTACK-RELEVANT BB IDENTIFICATION")
+			fmt.Print(experiments.FormatTableIV(rows))
+			return nil
+		})
+	}
+	if *all || *table == 5 {
+		any = true
+		run("Table V", func() error {
+			rows, err := experiments.TableV(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("TABLE V: SIMILARITY COMPARISON OF 5 TYPICAL SCENARIOS")
+			fmt.Print(experiments.FormatTableV(rows))
+			return nil
+		})
+	}
+	if *all || *table == 6 {
+		any = true
+		run("Table VI", func() error {
+			results, err := experiments.TableVI(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("TABLE VI: CLASSIFICATION RESULTS (5 APPROACHES, TASKS E1-E4)")
+			fmt.Print(experiments.FormatTableVI(results))
+			return nil
+		})
+	}
+	if *all || *fig == 5 {
+		any = true
+		run("Fig 5", func() error {
+			points, err := experiments.Fig5(cfg, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println("FIG 5: CLASSIFICATION RESULTS BY VARYING THE THRESHOLD")
+			fmt.Print(experiments.FormatFig5(points))
+			if lo, hi, ok := experiments.PlateauRange(points, 0.9); ok {
+				fmt.Printf("plateau with P/R/F1 >= 90%%: %.0f%%-%.0f%%\n", lo*100, hi*100)
+			}
+			return nil
+		})
+	}
+	if *all || *ablation {
+		any = true
+		run("Ablation", func() error {
+			rows, err := experiments.Ablation(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("ABLATION: E1 CLASSIFICATION UNDER VARIANT SIMILARITY CONFIGURATIONS")
+			fmt.Print(experiments.FormatAblation(rows))
+			return nil
+		})
+	}
+	if *all || *sensitivity {
+		any = true
+		run("Sensitivity", func() error {
+			rows, err := experiments.Sensitivity(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("SENSITIVITY: SCAGUARD E1 QUALITY ACROSS CACHE HIERARCHIES")
+			fmt.Print(experiments.FormatSensitivity(rows))
+			return nil
+		})
+	}
+	if *all || *noise {
+		any = true
+		run("Noise robustness", func() error {
+			rows, err := experiments.NoiseRobustness(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("NOISE: SCAGUARD E1 QUALITY WITH A CACHE-THRASHING CO-TENANT")
+			fmt.Print(experiments.FormatNoise(rows))
+			return nil
+		})
+	}
+	if *all || *timecost {
+		any = true
+		run("Time cost", func() error {
+			tc, err := experiments.MeasureTimeCost(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("SECTION V: TIME-COST BREAKDOWN")
+			fmt.Print(tc.Format())
+			return nil
+		})
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,103 @@
+// Command scaguard-corpus reports the composition of the evaluation
+// corpora (Tables II and III): per-class counts, source PoCs/templates
+// and size statistics of the generated programs.
+//
+// Usage:
+//
+//	scaguard-corpus -per-class 40 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/attacks"
+	"repro/internal/cfg"
+	"repro/internal/dataset"
+)
+
+func main() {
+	perClass := flag.Int("per-class", 40, "samples per class (paper: 400)")
+	seed := flag.Int64("seed", 1, "corpus generation seed")
+	flag.Parse()
+
+	ds, err := dataset.Standard(dataset.Config{PerClass: *perClass, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaguard-corpus:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("TABLE II: THE ATTACK DATASET")
+	fmt.Printf("%-8s %-50s %4s %6s\n", "Type", "Sources", "#C", "#M")
+	for _, fam := range attacks.Families() {
+		pocs := attacks.OfFamily(fam, attacks.DefaultParams())
+		names := make([]string, len(pocs))
+		for i, p := range pocs {
+			names[i] = p.Name
+		}
+		fmt.Printf("%-8s %-50s %4d %6d\n", fam, join(names), len(pocs), len(ds.ByLabel(fam)))
+	}
+
+	fmt.Println("\nTABLE III: THE BENIGN DATASET")
+	bySource := map[string]int{}
+	for _, s := range ds.ByLabel(attacks.FamilyBenign) {
+		kind := s.Source[:index(s.Source, '/')]
+		bySource[kind]++
+	}
+	kinds := make([]string, 0, len(bySource))
+	for k := range bySource {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("%-10s %6d samples\n", k, bySource[k])
+	}
+
+	fmt.Println("\nSIZE STATISTICS")
+	var minI, maxI, sumI, minB, maxB, sumB int
+	minI, minB = 1<<30, 1<<30
+	for _, s := range ds.Samples {
+		n := len(s.Program.Insns)
+		c := cfg.MustBuild(s.Program).NumBlocks()
+		sumI += n
+		sumB += c
+		if n < minI {
+			minI = n
+		}
+		if n > maxI {
+			maxI = n
+		}
+		if c < minB {
+			minB = c
+		}
+		if c > maxB {
+			maxB = c
+		}
+	}
+	n := ds.Len()
+	fmt.Printf("samples:          %d\n", n)
+	fmt.Printf("instructions:     min %d / avg %d / max %d\n", minI, sumI/n, maxI)
+	fmt.Printf("basic blocks:     min %d / avg %d / max %d\n", minB, sumB/n, maxB)
+}
+
+func join(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+func index(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return len(s)
+}

@@ -1,0 +1,285 @@
+// Command scaguard is the command-line front end of the SCAGuard
+// reproduction: it models programs, compares behavior models and
+// classifies targets against the canonical attack repository.
+//
+// Usage:
+//
+//	scaguard list
+//	scaguard model -target FR-IAIK [-disasm]
+//	scaguard compare -a FR-IAIK -b PP-IAIK
+//	scaguard classify -target ER-IAIK
+//	scaguard classify -benign crypto/aes-ttable/7
+//	scaguard classify -target FR-IAIK -obfuscate 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	scaguard "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "model":
+		err = cmdModel(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "repo-save":
+		err = cmdRepoSave(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaguard:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: scaguard <command> [flags]
+
+commands:
+  list       list canonical attack PoCs and benign templates
+  model      build and summarize the behavior model of a program
+  compare    similarity score between two programs' models
+  classify   classify a target against the default repository
+  repo-save  build the default repository and write it as JSON`)
+}
+
+func cmdList() error {
+	fmt.Println("Attack PoCs (Table II):")
+	for _, n := range scaguard.AttackNames() {
+		poc := scaguard.MustAttack(n)
+		fmt.Printf("  %-14s family=%-5s insns=%d\n", n, poc.Family, len(poc.Program.Insns))
+	}
+	fmt.Println("\nExtension PoCs (beyond the paper):")
+	for _, n := range scaguard.ExtensionNames() {
+		poc := scaguard.MustAttack(n)
+		fmt.Printf("  %-14s family=%-5s insns=%d\n", n, poc.Family, len(poc.Program.Insns))
+	}
+	fmt.Println("\nBenign templates (Table III):")
+	for _, kind := range scaguard.BenignKinds() {
+		fmt.Printf("  %s: %s\n", kind, strings.Join(scaguard.BenignTemplates(kind), ", "))
+	}
+	return nil
+}
+
+// loadTarget resolves -target/-benign/-mutate/-obfuscate flags into a
+// program plus its victim.
+func loadTarget(fs *flag.FlagSet, args []string) (*scaguard.Program, *scaguard.Program, error) {
+	target := fs.String("target", "", "canonical attack PoC name")
+	benignSpec := fs.String("benign", "", "benign program kind/template/seed")
+	file := fs.String("file", "", "assemble a textual program from this file")
+	mutateSeed := fs.Int64("mutate", -1, "apply light mutation with this seed")
+	obfuscateSeed := fs.Int64("obfuscate", -1, "apply polymorphic obfuscation with this seed")
+	disasm := fs.Bool("disasm", false, "print the target's disassembly")
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	var prog, victim *scaguard.Program
+	switch {
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, err = scaguard.ParseProgram(*file, string(src))
+		if err != nil {
+			return nil, nil, err
+		}
+	case *target != "":
+		poc, err := scaguard.Attack(*target)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, victim = poc.Program, poc.Victim
+	case *benignSpec != "":
+		parts := strings.Split(*benignSpec, "/")
+		if len(parts) != 3 {
+			return nil, nil, fmt.Errorf("-benign wants kind/template/seed, got %q", *benignSpec)
+		}
+		seed, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad seed in %q: %v", *benignSpec, err)
+		}
+		prog, err = scaguard.GenerateBenign(parts[0], parts[1], seed)
+		if err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("one of -target, -benign or -file is required")
+	}
+	var err error
+	if *mutateSeed >= 0 {
+		prog, err = scaguard.MutateVariant(prog, *mutateSeed)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if *obfuscateSeed >= 0 {
+		prog, err = scaguard.ObfuscateVariant(prog, *obfuscateSeed)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if *disasm {
+		fmt.Println(prog.Disassemble())
+	}
+	return prog, victim, nil
+}
+
+func cmdModel(args []string) error {
+	fs := flag.NewFlagSet("model", flag.ContinueOnError)
+	dot := fs.Bool("dot", false, "print the CFG as Graphviz DOT with identified attack-relevant blocks highlighted (Fig. 1/Fig. 4 style)")
+	dotGraph := fs.Bool("dot-attack-graph", false, "print the attack-relevant graph as Graphviz DOT")
+	prog, victim, err := loadTarget(fs, args)
+	if err != nil {
+		return err
+	}
+	m, err := scaguard.BuildModel(prog, victim)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		highlight := make(map[uint64]bool)
+		for _, l := range m.IdentifiedBBs() {
+			highlight[l] = true
+		}
+		fmt.Print(m.CFG.DOT(highlight))
+		return nil
+	}
+	if *dotGraph {
+		fmt.Print(m.CFG.GraphDOT(m.AttackGraph, prog.Name+"-attack-graph"))
+		return nil
+	}
+	fmt.Printf("program:            %s\n", m.Name)
+	fmt.Printf("cfg blocks:         %d\n", m.CFG.NumBlocks())
+	fmt.Printf("potential blocks:   %d\n", len(m.PotentialBBs))
+	fmt.Printf("relevant blocks:    %d\n", len(m.RelevantBBs))
+	fmt.Printf("identified blocks:  %d\n", len(m.IdentifiedBBs()))
+	fmt.Printf("cst-bbs length:     %d\n", m.BBS.Len())
+	fmt.Printf("trace cycles:       %d\n", m.TraceCycles)
+	fmt.Println("cst-bbs:")
+	for i, c := range m.BBS.Seq {
+		fmt.Printf("  [%2d] block 0x%x  delta=%.3f  hpc=%d\n       %s\n",
+			i, c.Leader, c.Delta(), c.HPCValue, strings.Join(c.NormInsns, "; "))
+	}
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	a := fs.String("a", "", "first PoC name")
+	b := fs.String("b", "", "second PoC name")
+	explain := fs.Bool("explain", false, "print the block alignment")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *a == "" || *b == "" {
+		return fmt.Errorf("compare needs -a and -b")
+	}
+	pa, err := scaguard.Attack(*a)
+	if err != nil {
+		return err
+	}
+	pb, err := scaguard.Attack(*b)
+	if err != nil {
+		return err
+	}
+	ma, err := scaguard.BuildModel(pa.Program, pa.Victim)
+	if err != nil {
+		return err
+	}
+	mb, err := scaguard.BuildModel(pb.Program, pb.Victim)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("similarity(%s, %s) = %.2f%%\n", *a, *b, scaguard.Score(ma.BBS, mb.BBS)*100)
+	if *explain {
+		_, pairs := scaguard.Align(ma.BBS, mb.BBS)
+		fmt.Printf("%-24s %-24s %s\n", *a, *b, "cost")
+		for _, pr := range pairs {
+			ca, cb := ma.BBS.Seq[pr.I], mb.BBS.Seq[pr.J]
+			fmt.Printf("0x%-8x d=%.2f         0x%-8x d=%.2f       %.3f\n",
+				ca.Leader, ca.Delta(), cb.Leader, cb.Delta(), pr.Cost)
+		}
+	}
+	return nil
+}
+
+func cmdRepoSave(args []string) error {
+	fs := flag.NewFlagSet("repo-save", flag.ContinueOnError)
+	out := fs.String("out", "scaguard-repo.json", "output path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	det, err := scaguard.NewDetector()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := scaguard.SaveRepository(det.Repo, f); err != nil {
+		return err
+	}
+	fmt.Printf("repository (%d models) written to %s\n", len(det.Repo.Entries), *out)
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "classify against a saved repository instead of the default")
+	prog, victim, err := loadTarget(fs, args)
+	if err != nil {
+		return err
+	}
+	var det *scaguard.Detector
+	if *repoPath != "" {
+		f, err := os.Open(*repoPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		repo, err := scaguard.LoadRepository(f)
+		if err != nil {
+			return err
+		}
+		det = scaguard.NewDetectorFromRepository(repo)
+	} else {
+		det, err = scaguard.NewDetector()
+		if err != nil {
+			return err
+		}
+	}
+	res, m, err := det.Classify(prog, victim)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("target:    %s (model length %d)\n", prog.Name, m.BBS.Len())
+	fmt.Printf("verdict:   %s\n", res.Predicted)
+	for _, match := range res.Matches {
+		marker := " "
+		if match.Score >= det.Threshold {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-14s %-5s %6.2f%%\n", marker, match.Name, match.Family, match.Score*100)
+	}
+	return nil
+}

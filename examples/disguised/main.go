@@ -1,0 +1,61 @@
+// Disguised attacks (the paper's Limitation + future work, Section V):
+// an attack that only runs its malicious phase for a magic input hides
+// from dynamic modeling on a default input. The coverage-guided input
+// explorer (internal/trigger) finds the trigger AFL-style and the model
+// built on the unlocked trace is classified correctly.
+//
+// Run with:
+//
+//	go run ./examples/disguised
+package main
+
+import (
+	"fmt"
+	"log"
+
+	scaguard "repro"
+
+	"repro/internal/attacks"
+	"repro/internal/cache"
+	"repro/internal/model"
+	"repro/internal/trigger"
+)
+
+func main() {
+	// A Flush+Reload PoC gated behind the 2-byte magic 0xCAFE.
+	poc, err := trigger.Disguise(
+		attacks.FlushReloadIAIK(attacks.DefaultParams()), 0xCAFE, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := scaguard.NewDetector()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Naive dynamic analysis: run with the default input.
+	res, _, err := det.Classify(poc.Program, poc.Victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("default input: verdict %s (the decoy path hides the attack)\n", res.Predicted)
+
+	// Coverage-guided exploration.
+	explorer := trigger.NewExplorer()
+	found, err := explorer.Explore(poc.Program, poc.Victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explorer: %d runs, %d coverage-increasing inputs, best input %#x\n",
+		found.Runs, len(found.Corpus), found.BestInput)
+
+	// Model the unlocked trace and classify again.
+	m, err := model.BuildFromTrace(poc.Program, found.BestTrace,
+		cache.DefaultHierarchyConfig().LLC, model.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict := det.ClassifyBBS(m.BBS)
+	fmt.Printf("after exploration: verdict %s (best match %s at %.2f%%)\n",
+		verdict.Predicted, verdict.Best.Name, verdict.Best.Score*100)
+}

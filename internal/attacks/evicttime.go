@@ -1,0 +1,135 @@
+package attacks
+
+import "repro/internal/isa"
+
+// Evict+Time extension (Osvik et al.'s third classic technique, not in
+// the paper's Table II corpus): instead of timing its own reloads or
+// probes, the attacker times the *victim's* progress. The victim
+// publishes an operations counter in shared memory; the attacker
+// measures counter advance over a fixed window twice per monitored set —
+// once undisturbed, once after evicting the set. If evicting set S slows
+// the victim, the victim's secret-dependent data lives in S.
+//
+// Like MeltdownFR this PoC exists as a generalizability probe: the
+// detector holds no Evict+Time model, yet the behavior — eviction
+// sweeps, timer reads, repeated set interrogation — lands in the
+// eviction-based families rather than benign.
+const (
+	// evictTimeCounter is the shared ops-counter the victim publishes.
+	evictTimeCounter uint64 = 0x2100_0000
+	// evictTimeBufBase is the attacker's eviction buffer (congruent to
+	// the victim's monitored sets).
+	evictTimeBufBase uint64 = 0x5c00_0000
+)
+
+// EvictTime builds the Evict+Time PoC and its counter-publishing victim.
+func EvictTime(p Params) PoC {
+	p = p.withDefaults()
+	b := isa.NewBuilder("Evict-Time", AttackerCodeBase)
+	evBytes := uint64(p.Lines)*LineSize + uint64(LLCWays+1)*EvictionStride + MonitoredSetOffset*LineSize
+	b.DataAt("evbuf", evictTimeBufBase, evBytes, nil, false)
+	scratch := b.Bytes("scratch", 128, false)
+	slow := b.Bytes("slowdown", uint64(p.Lines)*8, false)
+
+	emitSetupNoise(b, scratch, 8, "setup", 2)
+
+	// measure: time how long the victim takes to complete K published
+	// operations (the textbook Evict+Time measurement). When withEvict
+	// is set the monitored set (index in R2) is re-evicted before every
+	// operation, so a set the victim depends on pays one memory miss per
+	// op — K misses of amplification. Elapsed cycles land in R9.
+	// Clobbers R0, R3, R4, R5, R7, R8, R9, R12.
+	const opsPerWindow = 4
+	measure := func(prefix string, withEvict bool) {
+		b.Rdtscp(isa.R7).
+			Mov(isa.R(isa.R12), isa.Imm(opsPerWindow)).
+			Label(prefix + "_op")
+		if withEvict {
+			b.Mov(isa.R(isa.R3), isa.Imm(0)).
+				Label(prefix+"_ev").
+				Mov(isa.R(isa.R4), isa.R(isa.R3)).
+				And(isa.R(isa.R4), isa.Imm(LLCWays-1)). // mask the transient extra iteration
+				Mul(isa.R(isa.R4), isa.Imm(int64(EvictionStride))).
+				Mov(isa.R(isa.R5), isa.R(isa.R2)).
+				Add(isa.R(isa.R5), isa.Imm(MonitoredSetOffset)).
+				Shl(isa.R(isa.R5), isa.Imm(6)).
+				Add(isa.R(isa.R4), isa.R(isa.R5)).
+				Add(isa.R(isa.R4), isa.Imm(int64(evictTimeBufBase))).
+				Mov(isa.R(isa.R0), isa.Mem(isa.R4, 0)).
+				Inc(isa.R(isa.R3)).
+				Cmp(isa.R(isa.R3), isa.Imm(int64(LLCWays))).
+				Jl(prefix + "_ev")
+		}
+		b.Mov(isa.R(isa.R8), isa.Mem(isa.RegNone, int64(evictTimeCounter))).
+			Label(prefix+"_poll").
+			Mov(isa.R(isa.R9), isa.Mem(isa.RegNone, int64(evictTimeCounter))).
+			Cmp(isa.R(isa.R9), isa.R(isa.R8)).
+			Je(prefix+"_poll").
+			Dec(isa.R(isa.R12)).
+			Jne(prefix+"_op").
+			Rdtscp(isa.R9).
+			Sub(isa.R(isa.R9), isa.R(isa.R7))
+	}
+
+	b.Mov(isa.R(isa.R11), isa.Imm(int64(p.Rounds)))
+	b.Label("round")
+	b.Mov(isa.R(isa.R2), isa.Imm(0)) // set index
+	b.Label("sets")
+
+	// Baseline window (no eviction).
+	measure("base", false)
+	b.Mov(isa.R(isa.R10), isa.R(isa.R9)) // baseline elapsed cycles
+
+	// Timed window with per-operation eviction of the monitored set.
+	b.BeginAttack()
+	measure("evicted", true)
+	// slowdown[set] += evictedElapsed - baselineElapsed (positive when
+	// the victim depends on the evicted set).
+	b.Sub(isa.R(isa.R9), isa.R(isa.R10)).
+		Cmp(isa.R(isa.R9), isa.Imm(0)).
+		Jle("noslow").
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(slow))).
+		Mov(isa.R(isa.R7), isa.Mem(isa.R6, 0)).
+		Add(isa.R(isa.R7), isa.R(isa.R9)).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R7)).
+		EndAttack().
+		Label("noslow")
+
+	b.Inc(isa.R(isa.R2)).
+		Cmp(isa.R(isa.R2), isa.Imm(int64(p.Lines))).
+		Jl("sets")
+	b.Dec(isa.R(isa.R11)).
+		Jne("round")
+	emitResultScan(b, slow, p.Lines, "post", 1)
+	b.Hlt()
+	return PoC{Name: "Evict-Time", Family: FamilyPP, Program: b.MustBuild(), Victim: EvictTimeVictim(p)}
+}
+
+// EvictTimeVictim repeatedly performs a secret-dependent table access
+// and publishes an operations counter to shared memory. When the
+// attacker evicts the table's set, each iteration pays memory latency
+// and the published rate drops.
+func EvictTimeVictim(p Params) *isa.Program {
+	p = p.withDefaults()
+	b := isa.NewBuilder("victim-evict-time", VictimCodeBase)
+	b.SetDataBase(VictimDataBase)
+
+	// The secret-dependent working line, in the monitored set range.
+	tableLine := uint64(0x3900_0000) + uint64(MonitoredSetOffset+p.Secret)*LineSize
+
+	b.Mov(isa.R(isa.R5), isa.Imm(int64(evictTimeCounter))).
+		Mov(isa.R(isa.R6), isa.Imm(int64(tableLine)))
+	b.Label("op")
+	// The "encryption": several dependent accesses to the secret line.
+	b.Mov(isa.R(isa.R0), isa.Mem(isa.R6, 0)).
+		Add(isa.R(isa.R0), isa.Imm(1)).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R0)).
+		Mov(isa.R(isa.R1), isa.Mem(isa.R6, 8)).
+		Xor(isa.R(isa.R1), isa.R(isa.R0))
+	// Publish progress.
+	b.Mov(isa.R(isa.R2), isa.Mem(isa.R5, 0)).
+		Inc(isa.R(isa.R2)).
+		Mov(isa.Mem(isa.R5, 0), isa.R(isa.R2)).
+		Jmp("op")
+	return b.MustBuild()
+}

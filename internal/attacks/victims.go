@@ -1,0 +1,121 @@
+package attacks
+
+import "repro/internal/isa"
+
+// SharedVictim builds the victim the Flush+Reload family spies on: an
+// endless loop whose memory accesses depend on its secret — each
+// iteration touches shared line (secret) plus a small amount of private
+// state, like a table-based crypto routine indexing its S-box with key
+// material.
+func SharedVictim(p Params) *isa.Program {
+	p = p.withDefaults()
+	b := isa.NewBuilder("victim-shared", VictimCodeBase)
+	b.SetDataBase(VictimDataBase)
+	priv := b.Bytes("vpriv", 512, false)
+
+	secretLine := SharedBase + uint64(p.Secret)*LineSize
+	b.Mov(isa.R(isa.R3), isa.Imm(0)) // iteration counter
+	b.Label("work")
+	// Secret-dependent shared access.
+	b.Mov(isa.R(isa.R1), isa.Imm(int64(secretLine))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R1, 0))
+	// Private bookkeeping.
+	b.Mov(isa.R(isa.R2), isa.R(isa.R3)).
+		And(isa.R(isa.R2), isa.Imm(7)).
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(priv))).
+		Mov(isa.R(isa.R5), isa.Mem(isa.R4, 0)).
+		Add(isa.R(isa.R5), isa.Imm(1)).
+		Mov(isa.Mem(isa.R4, 0), isa.R(isa.R5))
+	b.Inc(isa.R(isa.R3)).
+		Jmp("work")
+	return b.MustBuild()
+}
+
+// SetVictim builds the victim the Prime+Probe family spies on: it has no
+// shared memory with the attacker; instead its secret selects which LLC
+// set its private working data maps to, evicting the attacker's primed
+// lines from exactly that set.
+func SetVictim(p Params) *isa.Program {
+	p = p.withDefaults()
+	b := isa.NewBuilder("victim-set", VictimCodeBase)
+	b.SetDataBase(VictimDataBase)
+	priv := b.Bytes("vpriv", 512, false)
+
+	// The victim's secret-dependent buffer: enough lines in the target
+	// set to displace primed ways. The attacker monitors sets starting at
+	// MonitoredSetOffset, so the victim's secret set lives there too.
+	victimBuf := uint64(0x3800_0000)
+	secretSetAddr := victimBuf + uint64(MonitoredSetOffset+p.Secret)*LineSize
+
+	b.Mov(isa.R(isa.R3), isa.Imm(0))
+	b.Label("work")
+	// Touch several lines of the secret's LLC set (same set, different
+	// tags, stride = EvictionStride).
+	b.Mov(isa.R(isa.R2), isa.Imm(0)).
+		Label("touch").
+		Mov(isa.R(isa.R1), isa.R(isa.R2)).
+		Mul(isa.R(isa.R1), isa.Imm(int64(EvictionStride))).
+		Add(isa.R(isa.R1), isa.Imm(int64(secretSetAddr))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R1, 0)).
+		Inc(isa.R(isa.R2)).
+		Cmp(isa.R(isa.R2), isa.Imm(4)).
+		Jl("touch")
+	// Private bookkeeping.
+	b.Mov(isa.R(isa.R2), isa.R(isa.R3)).
+		And(isa.R(isa.R2), isa.Imm(7)).
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(priv))).
+		Mov(isa.R(isa.R5), isa.Mem(isa.R4, 0)).
+		Inc(isa.R(isa.R5)).
+		Mov(isa.Mem(isa.R4, 0), isa.R(isa.R5))
+	b.Inc(isa.R(isa.R3)).
+		Jmp("work")
+	return b.MustBuild()
+}
+
+// QuietVictim builds a victim with no secret-dependent access at all; it
+// exists for experiments that need the attacker to run against silence.
+func QuietVictim() *isa.Program {
+	b := isa.NewBuilder("victim-quiet", VictimCodeBase)
+	b.SetDataBase(VictimDataBase)
+	b.Mov(isa.R(isa.R0), isa.Imm(0)).
+		Label("spin").
+		Inc(isa.R(isa.R0)).
+		Jmp("spin")
+	return b.MustBuild()
+}
+
+// AESTableVictim models the paper's motivating target: a crypto library
+// whose S-box/T-table lives in shared memory (a shared library page).
+// Each iteration it encrypts a fixed plaintext block: the table index is
+// keyNibble XOR (round counter & 15), so the victim's shared-line access
+// pattern is key-dependent — the access pattern Flush+Reload recovers.
+//
+// The table occupies 16 shared lines starting at SharedBase; an attacker
+// monitoring those lines sees line (keyNibble XOR r) hot during round r.
+// With the round counter pinned (rounds = 0 mod 16 layout below), the
+// hottest line directly names the key nibble.
+func AESTableVictim(keyNibble int) *isa.Program {
+	keyNibble &= 15
+	b := isa.NewBuilder("victim-aes", VictimCodeBase)
+	b.SetDataBase(VictimDataBase)
+	state := b.Bytes("vstate", 128, false)
+
+	b.Mov(isa.R(isa.R7), isa.Imm(0)) // block counter
+	b.Label("encrypt")
+	// index = key ^ (block & 0) = key — the fixed-plaintext case where
+	// every encryption touches the same key-dependent table line, the
+	// cleanest Flush+Reload signal (chosen-plaintext attacks vary this).
+	b.Mov(isa.R(isa.R1), isa.Imm(int64(keyNibble))).
+		Shl(isa.R(isa.R1), isa.Imm(6)).
+		Add(isa.R(isa.R1), isa.Imm(int64(SharedBase))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R1, 0))
+	// Mix into local state (the "encryption work").
+	b.Mov(isa.R(isa.R2), isa.R(isa.R7)).
+		And(isa.R(isa.R2), isa.Imm(15)).
+		Lea(isa.R3, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(state))).
+		Xor(isa.R(isa.R0), isa.Mem(isa.R3, 0)).
+		Mov(isa.Mem(isa.R3, 0), isa.R(isa.R0))
+	b.Inc(isa.R(isa.R7)).
+		Jmp("encrypt")
+	return b.MustBuild()
+}

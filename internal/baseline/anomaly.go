@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+)
+
+// AnomalyDetector is the victim-oriented approach of the related-work
+// section (Chiappetta et al.): a one-class model fitted on *benign*
+// window features only — no attack samples needed — that flags any
+// sufficiently out-of-distribution trace as an attack. The paper's
+// critique, which the tests reproduce, is that single-source anomaly
+// models produce false positives on unusual-but-benign programs and can
+// only say "anomalous", never which attack family.
+type AnomalyDetector struct {
+	mean []float64
+	std  []float64
+	// K is the z-score radius: a sample whose maximum per-dimension
+	// z-score exceeds K is anomalous.
+	K float64
+	// AttackLabel and BenignLabel are the two possible verdicts.
+	AttackLabel string
+	BenignLabel string
+}
+
+// DefaultAnomalyK follows the usual 3-sigma rule, widened slightly for
+// the small training sets of the experiments.
+const DefaultAnomalyK = 4.0
+
+// TrainAnomaly fits the detector on benign feature vectors.
+func TrainAnomaly(benign [][]float64, k float64) (*AnomalyDetector, error) {
+	if len(benign) == 0 {
+		return nil, fmt.Errorf("baseline: anomaly: empty benign training set")
+	}
+	dim := len(benign[0])
+	for _, x := range benign {
+		if len(x) != dim {
+			return nil, fmt.Errorf("baseline: anomaly: inconsistent feature dims")
+		}
+	}
+	if k <= 0 {
+		k = DefaultAnomalyK
+	}
+	d := &AnomalyDetector{
+		mean:        make([]float64, dim),
+		std:         make([]float64, dim),
+		K:           k,
+		AttackLabel: "Anomalous",
+		BenignLabel: "Benign",
+	}
+	for _, x := range benign {
+		for i, v := range x {
+			d.mean[i] += v
+		}
+	}
+	for i := range d.mean {
+		d.mean[i] /= float64(len(benign))
+	}
+	for _, x := range benign {
+		for i, v := range x {
+			diff := v - d.mean[i]
+			d.std[i] += diff * diff
+		}
+	}
+	for i := range d.std {
+		d.std[i] = math.Sqrt(d.std[i] / float64(len(benign)))
+		if d.std[i] < 1e-9 {
+			d.std[i] = 1e-9
+		}
+	}
+	return d, nil
+}
+
+// Score returns the maximum per-dimension z-score of a sample.
+func (d *AnomalyDetector) Score(x []float64) float64 {
+	worst := 0.0
+	for i, v := range x {
+		if i >= len(d.mean) {
+			break
+		}
+		z := math.Abs(v-d.mean[i]) / d.std[i]
+		if z > worst {
+			worst = z
+		}
+	}
+	return worst
+}
+
+// Name identifies the approach.
+func (d *AnomalyDetector) Name() string { return "Anomaly-HPC" }
+
+// Predict returns AttackLabel when the sample is out of distribution.
+// Note the fundamental limitation vs SCAGuard: the verdict carries no
+// family information.
+func (d *AnomalyDetector) Predict(x []float64) string {
+	if d.Score(x) > d.K {
+		return d.AttackLabel
+	}
+	return d.BenignLabel
+}

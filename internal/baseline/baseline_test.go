@@ -1,0 +1,275 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/benign"
+	"repro/internal/exec"
+	"repro/internal/hpc"
+	"repro/internal/isa"
+	"repro/internal/mutate"
+)
+
+func trace(t *testing.T, prog, victim *isa.Program) *exec.Trace {
+	t.Helper()
+	tr, err := Collect(prog, victim, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestWindowFeaturesShape(t *testing.T) {
+	p := attacks.DefaultParams()
+	poc := attacks.FlushReloadIAIK(p)
+	tr := trace(t, poc.Program, poc.Victim)
+	x := WindowFeatures(tr)
+	if len(x) != FeatureDim {
+		t.Fatalf("feature dim = %d, want %d", len(x), FeatureDim)
+	}
+	nonzero := 0
+	for _, v := range x {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 5 {
+		t.Errorf("features nearly all zero: %v", x)
+	}
+}
+
+func TestLoopFeaturesShape(t *testing.T) {
+	p := attacks.DefaultParams()
+	poc := attacks.PrimeProbeIAIK(p)
+	tr := trace(t, poc.Program, poc.Victim)
+	x := LoopFeatures(tr)
+	if len(x) != LoopFeatureDim {
+		t.Fatalf("feature dim = %d, want %d", len(x), LoopFeatureDim)
+	}
+	// An empty trace still yields a full-size zero vector.
+	empty := LoopFeatures(&exec.Trace{Bank: hpc.NewBank(), ByAddr: map[uint64]*exec.AddrRecord{}})
+	if len(empty) != LoopFeatureDim {
+		t.Errorf("empty feature dim = %d", len(empty))
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	xs := [][]float64{{1, 10}, {3, 10}}
+	s := FitStandardizer(xs)
+	out := s.Apply([]float64{2, 10})
+	if out[0] != 0 {
+		t.Errorf("standardized mean = %v", out[0])
+	}
+	if out[1] != 0 { // zero variance passes through as 0 after centering
+		t.Errorf("zero-variance feature = %v", out[1])
+	}
+	if FitStandardizer(nil).Apply([]float64{5})[0] != 5 {
+		t.Error("empty standardizer must be identity")
+	}
+}
+
+// buildToy builds a small, clearly separable training set and checks a
+// classifier learns it.
+func checkLearner(t *testing.T, train func([]Example) (Classifier, error)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var examples []Example
+	for i := 0; i < 40; i++ {
+		a := []float64{5 + rng.Float64(), 0 + rng.Float64(), rng.Float64()}
+		b := []float64{0 + rng.Float64(), 5 + rng.Float64(), rng.Float64()}
+		examples = append(examples,
+			Example{X: a, Label: "atk"},
+			Example{X: b, Label: "ben"})
+	}
+	c, err := train(examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < 20; i++ {
+		if c.Predict([]float64{5.5, 0.2, 0.5}) == "atk" {
+			correct++
+		}
+		if c.Predict([]float64{0.2, 5.5, 0.5}) == "ben" {
+			correct++
+		}
+	}
+	if correct != 40 {
+		t.Errorf("%s: %d/40 correct on separable data", c.Name(), correct)
+	}
+}
+
+func TestSVMLearnsSeparableData(t *testing.T) {
+	checkLearner(t, func(ex []Example) (Classifier, error) {
+		return TrainSVM(ex, DefaultSVMConfig())
+	})
+}
+
+func TestLRLearnsSeparableData(t *testing.T) {
+	checkLearner(t, func(ex []Example) (Classifier, error) {
+		return TrainLR(ex, DefaultLRConfig())
+	})
+}
+
+func TestKNNLearnsSeparableData(t *testing.T) {
+	checkLearner(t, func(ex []Example) (Classifier, error) {
+		return TrainKNN(ex, DefaultKNNConfig())
+	})
+}
+
+func TestTrainersRejectEmpty(t *testing.T) {
+	if _, err := TrainSVM(nil, DefaultSVMConfig()); err == nil {
+		t.Error("SVM empty train must fail")
+	}
+	if _, err := TrainLR(nil, DefaultLRConfig()); err == nil {
+		t.Error("LR empty train must fail")
+	}
+	if _, err := TrainKNN(nil, DefaultKNNConfig()); err == nil {
+		t.Error("KNN empty train must fail")
+	}
+	if _, err := TrainSVM([]Example{{X: []float64{1}}, {X: []float64{1, 2}}}, DefaultSVMConfig()); err == nil {
+		t.Error("inconsistent dims must fail")
+	}
+}
+
+// End-to-end: the learners must separate real attack traces from benign
+// traces on held-out samples of the same kinds.
+func TestLearnersOnRealTraces(t *testing.T) {
+	var train, test []Example
+	var trainLoop, testLoop []Example
+	params := attacks.DefaultParams()
+	add := func(prog, victim *isa.Program, label string, hold bool) {
+		tr := trace(t, prog, victim)
+		w := Example{X: WindowFeatures(tr), Label: label}
+		l := Example{X: LoopFeatures(tr), Label: label}
+		if hold {
+			test = append(test, w)
+			testLoop = append(testLoop, l)
+		} else {
+			train = append(train, w)
+			trainLoop = append(trainLoop, l)
+		}
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		poc := attacks.FlushReloadIAIK(params)
+		m, err := mutate.Mutate(poc.Program, mutate.LightConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		add(m, poc.Victim, "attack", seed >= 4)
+		bp := benign.MustGenerate(benign.Spec{Kind: benign.KindLeetcode, Template: "bubble-sort", Seed: seed})
+		add(bp, nil, "benign", seed >= 4)
+		bp2 := benign.MustGenerate(benign.Spec{Kind: benign.KindSpec, Template: "stream", Seed: seed})
+		add(bp2, nil, "benign", seed >= 4)
+	}
+	svm, err := TrainSVM(train, DefaultSVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := TrainLR(train, DefaultLRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := TrainKNN(trainLoop, DefaultKNNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Classifier{svm, lr} {
+		correct := 0
+		for _, ex := range test {
+			if c.Predict(ex.X) == ex.Label {
+				correct++
+			}
+		}
+		if correct < len(test)*2/3 {
+			t.Errorf("%s: %d/%d correct on held-out traces", c.Name(), correct, len(test))
+		}
+	}
+	correct := 0
+	for _, ex := range testLoop {
+		if knn.Predict(ex.X) == ex.Label {
+			correct++
+		}
+	}
+	if correct < len(testLoop)*2/3 {
+		t.Errorf("KNN-MLFM: %d/%d correct on held-out traces", correct, len(testLoop))
+	}
+}
+
+func TestSCADETDetectsPlainPP(t *testing.T) {
+	s := NewSCADET()
+	p := attacks.DefaultParams()
+	for _, build := range []func(attacks.Params) attacks.PoC{attacks.PrimeProbeIAIK, attacks.PrimeProbeJzhang} {
+		poc := build(p)
+		tr := trace(t, poc.Program, poc.Victim)
+		if got := s.Detect(tr, poc.Program); got != "PP-F" {
+			t.Errorf("%s detected as %q, want PP-F", poc.Name, got)
+		}
+	}
+}
+
+func TestSCADETIgnoresFlushFamily(t *testing.T) {
+	s := NewSCADET()
+	p := attacks.DefaultParams()
+	poc := attacks.FlushReloadIAIK(p)
+	tr := trace(t, poc.Program, poc.Victim)
+	if got := s.Detect(tr, poc.Program); got != "Benign" {
+		t.Errorf("FR detected as %q (SCADET has no FR rules)", got)
+	}
+}
+
+func TestSCADETMissesObfuscatedPP(t *testing.T) {
+	s := NewSCADET()
+	p := attacks.DefaultParams()
+	poc := attacks.PrimeProbeIAIK(p)
+	missed := 0
+	const trials = 5
+	for seed := int64(0); seed < trials; seed++ {
+		m, err := mutate.Mutate(poc.Program, mutate.ObfuscationConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace(t, m, poc.Victim)
+		if s.Detect(tr, m) == "Benign" {
+			missed++
+		}
+	}
+	if missed < trials-1 {
+		t.Errorf("SCADET missed only %d/%d obfuscated PP variants; rules too robust", missed, trials)
+	}
+}
+
+func TestSCADETIgnoresBenign(t *testing.T) {
+	s := NewSCADET()
+	for _, spec := range []benign.Spec{
+		{Kind: benign.KindCrypto, Template: "aes-ttable", Seed: 2},
+		{Kind: benign.KindSpec, Template: "histogram", Seed: 2},
+		{Kind: benign.KindServer, Template: "gzip-deflate", Seed: 2},
+	} {
+		prog := benign.MustGenerate(spec)
+		tr := trace(t, prog, nil)
+		if got := s.Detect(tr, prog); got != "Benign" {
+			t.Errorf("%s flagged as %q", spec.Name(), got)
+		}
+	}
+}
+
+func TestSCADETEvictReloadOutsideRules(t *testing.T) {
+	// Evict+Reload walks eviction sets like PP but targets shared lines;
+	// SCADET's full prime/probe pattern (two full-way bursts per set over
+	// several sets) should usually not match its single-line reloads.
+	s := NewSCADET()
+	p := attacks.DefaultParams()
+	poc := attacks.EvictReloadIAIK(p)
+	tr := trace(t, poc.Program, poc.Victim)
+	got := s.Detect(tr, poc.Program)
+	// ER evicts with full-way walks twice per round per set, so SCADET
+	// may legitimately fire; record the behavior either way but require
+	// determinism.
+	got2 := s.Detect(tr, poc.Program)
+	if got != got2 {
+		t.Error("SCADET nondeterministic")
+	}
+}

@@ -1,0 +1,244 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Example is one labeled feature vector.
+type Example struct {
+	X     []float64
+	Label string
+}
+
+// Classifier is the common interface of the trained baselines.
+type Classifier interface {
+	// Predict returns the label of one feature vector.
+	Predict(x []float64) string
+	// Name identifies the approach in reports.
+	Name() string
+}
+
+// --- linear one-vs-rest machinery ---------------------------------------
+
+// linearModel is a set of one-vs-rest linear scorers sharing a
+// standardizer.
+type linearModel struct {
+	name    string
+	labels  []string
+	weights [][]float64 // per label: dim+1 (bias last)
+	std     *Standardizer
+}
+
+func (m *linearModel) Name() string { return m.name }
+
+func (m *linearModel) score(li int, x []float64) float64 {
+	w := m.weights[li]
+	s := w[len(w)-1]
+	for i, v := range x {
+		s += w[i] * v
+	}
+	return s
+}
+
+func (m *linearModel) Predict(x []float64) string {
+	x = m.std.Apply(x)
+	best, bestScore := 0, math.Inf(-1)
+	for i := range m.labels {
+		if s := m.score(i, x); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return m.labels[best]
+}
+
+func uniqueLabels(train []Example) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, ex := range train {
+		if !seen[ex.Label] {
+			seen[ex.Label] = true
+			out = append(out, ex.Label)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SVMConfig tunes the Pegasos trainer.
+type SVMConfig struct {
+	Epochs int
+	Lambda float64
+	Seed   int64
+}
+
+// DefaultSVMConfig mirrors a reasonably tuned linear SVM.
+func DefaultSVMConfig() SVMConfig { return SVMConfig{Epochs: 40, Lambda: 1e-3, Seed: 1} }
+
+// TrainSVM trains the SVM-NW baseline: one-vs-rest linear SVMs fitted
+// with the Pegasos stochastic sub-gradient method over standardized
+// window features.
+func TrainSVM(train []Example, cfg SVMConfig) (Classifier, error) {
+	return trainLinear("SVM-NW", train, cfg.Epochs, cfg.Seed, func(w []float64, x []float64, y float64, t int) {
+		lr := 1 / (cfg.Lambda * float64(t))
+		margin := y * dotBias(w, x)
+		for i := range w {
+			w[i] *= 1 - lr*cfg.Lambda
+		}
+		if margin < 1 {
+			for i, v := range x {
+				w[i] += lr * y * v
+			}
+			w[len(w)-1] += lr * y
+		}
+	})
+}
+
+// LRConfig tunes the logistic-regression trainer.
+type LRConfig struct {
+	Epochs int
+	Rate   float64
+	Seed   int64
+}
+
+// DefaultLRConfig mirrors the LR-NW setup.
+func DefaultLRConfig() LRConfig { return LRConfig{Epochs: 40, Rate: 0.05, Seed: 1} }
+
+// TrainLR trains the LR-NW baseline: one-vs-rest logistic regression
+// with SGD.
+func TrainLR(train []Example, cfg LRConfig) (Classifier, error) {
+	return trainLinear("LR-NW", train, cfg.Epochs, cfg.Seed, func(w []float64, x []float64, y float64, t int) {
+		// y in {-1,+1}; p = sigmoid(s); gradient step on log-loss.
+		s := dotBias(w, x)
+		p := 1 / (1 + math.Exp(-s))
+		target := 0.0
+		if y > 0 {
+			target = 1
+		}
+		g := p - target
+		for i, v := range x {
+			w[i] -= cfg.Rate * g * v
+		}
+		w[len(w)-1] -= cfg.Rate * g
+	})
+}
+
+func dotBias(w, x []float64) float64 {
+	s := w[len(w)-1]
+	for i, v := range x {
+		s += w[i] * v
+	}
+	return s
+}
+
+func trainLinear(name string, train []Example, epochs int, seed int64,
+	update func(w []float64, x []float64, y float64, t int)) (Classifier, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("baseline: %s: empty training set", name)
+	}
+	dim := len(train[0].X)
+	for _, ex := range train {
+		if len(ex.X) != dim {
+			return nil, fmt.Errorf("baseline: %s: inconsistent feature dims", name)
+		}
+	}
+	raw := make([][]float64, len(train))
+	for i, ex := range train {
+		raw[i] = ex.X
+	}
+	std := FitStandardizer(raw)
+	xs := make([][]float64, len(train))
+	for i, ex := range train {
+		xs[i] = std.Apply(ex.X)
+	}
+	labels := uniqueLabels(train)
+	m := &linearModel{name: name, labels: labels, std: std}
+	rng := rand.New(rand.NewSource(seed))
+	for _, label := range labels {
+		w := make([]float64, dim+1)
+		t := 1
+		for e := 0; e < epochs; e++ {
+			for _, i := range rng.Perm(len(xs)) {
+				y := -1.0
+				if train[i].Label == label {
+					y = 1.0
+				}
+				update(w, xs[i], y, t)
+				t++
+			}
+		}
+		m.weights = append(m.weights, w)
+	}
+	return m, nil
+}
+
+// --- kNN -----------------------------------------------------------------
+
+// KNNConfig tunes the KNN-MLFM baseline.
+type KNNConfig struct{ K int }
+
+// DefaultKNNConfig uses k=5 as in the original study's best setting.
+func DefaultKNNConfig() KNNConfig { return KNNConfig{K: 5} }
+
+type knnModel struct {
+	k     int
+	std   *Standardizer
+	train []Example // standardized copies
+}
+
+func (m *knnModel) Name() string { return "KNN-MLFM" }
+
+func (m *knnModel) Predict(x []float64) string {
+	x = m.std.Apply(x)
+	type cand struct {
+		d     float64
+		label string
+	}
+	cands := make([]cand, len(m.train))
+	for i, ex := range m.train {
+		d := 0.0
+		for j, v := range ex.X {
+			diff := v - x[j]
+			d += diff * diff
+		}
+		cands[i] = cand{d, ex.Label}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	k := m.k
+	if k > len(cands) {
+		k = len(cands)
+	}
+	votes := make(map[string]int)
+	for _, c := range cands[:k] {
+		votes[c.label]++
+	}
+	best, bestN := "", -1
+	for _, c := range cands[:k] { // deterministic tie-break by proximity
+		if votes[c.label] > bestN {
+			best, bestN = c.label, votes[c.label]
+		}
+	}
+	return best
+}
+
+// TrainKNN builds the KNN-MLFM baseline over loop features.
+func TrainKNN(train []Example, cfg KNNConfig) (Classifier, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("baseline: KNN-MLFM: empty training set")
+	}
+	if cfg.K <= 0 {
+		cfg.K = DefaultKNNConfig().K
+	}
+	raw := make([][]float64, len(train))
+	for i, ex := range train {
+		raw[i] = ex.X
+	}
+	std := FitStandardizer(raw)
+	cp := make([]Example, len(train))
+	for i, ex := range train {
+		cp[i] = Example{X: std.Apply(ex.X), Label: ex.Label}
+	}
+	return &knnModel{k: cfg.K, std: std, train: cp}, nil
+}

@@ -1,0 +1,179 @@
+// Package benign generates the benign program corpus of Table III of
+// the paper: SPEC2006-like compute/memory workloads, LeetCode-style
+// algorithm kernels, table-based cryptosystems and server-application
+// request loops. The four families deliberately span the spectrum of
+// memory-access intensity — including crypto kernels whose
+// secret-dependent table lookups generate heavy, attack-like cache
+// activity — because that diversity is what makes the benign side of the
+// evaluation meaningful.
+//
+// Every generator is a pure function of its Spec, so the corpus is
+// reproducible; the seed feeds both embedded data and size parameters.
+package benign
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Kind names one of the Table III benign families.
+type Kind string
+
+// The four benign families.
+const (
+	KindSpec     Kind = "spec2006"
+	KindLeetcode Kind = "leetcode"
+	KindCrypto   Kind = "crypto"
+	KindServer   Kind = "server"
+)
+
+// Kinds lists the families in canonical order.
+func Kinds() []Kind {
+	return []Kind{KindSpec, KindLeetcode, KindCrypto, KindServer}
+}
+
+// Spec selects a template of a family plus a generation seed.
+type Spec struct {
+	Kind     Kind
+	Template string
+	Seed     int64
+}
+
+// Name returns the canonical program name for a spec.
+func (s Spec) Name() string {
+	return fmt.Sprintf("%s-%s-%d", s.Kind, s.Template, s.Seed)
+}
+
+type generator func(name string, rng *rand.Rand) *isa.Program
+
+var templates = map[Kind]map[string]generator{
+	KindLeetcode: {
+		"two-sum":       genTwoSum,
+		"binary-search": genBinarySearch,
+		"bubble-sort":   genBubbleSort,
+		"fib-dp":        genFibDP,
+		"kadane":        genKadane,
+		"reverse":       genReverse,
+		"count-bits":    genCountBits,
+		"gcd":           genGCD,
+		"prefix-sum":    genPrefixSum,
+		"matrix-mul":    genMatrixMul,
+		"merge-sorted":  genMergeSorted,
+		"valid-parens":  genValidParens,
+		"climb-stairs":  genClimbStairs,
+		"rotate-array":  genRotateArray,
+		"majority-vote": genMajorityVote,
+		"hash-join":     genHashJoin,
+	},
+	KindSpec: {
+		"stream":     genStream,
+		"pointer":    genPointerChase,
+		"stride":     genStride,
+		"histogram":  genHistogram,
+		"stencil":    genStencil,
+		"matvec":     genMatVec,
+		"randxor":    genRandXor,
+		"hotloop":    genHotLoop,
+		"writeburst": genWriteBurst,
+		"mixed":      genMixed,
+		"reduction":  genReduction,
+		"copyloop":   genCopyLoop,
+	},
+	KindCrypto: {
+		"aes-ttable": genAESTTable,
+		"rsa-sqmul":  genRSASquareMultiply,
+		"rc4-stream": genRC4,
+		"sha-mix":    genSHAMix,
+		"des-perm":   genDESPerm,
+		"chacha-arx": genChaChaARX,
+	},
+	KindServer: {
+		"sqlite-btree": genBTreeSearch,
+		"openssh-kex":  genKexMix,
+		"openssl-hmac": genHMACLoop,
+		"vsftpd-cmd":   genCommandParse,
+		"thttpd-serve": genHTTPServe,
+		"gzip-deflate": genDeflateScan,
+		"openvpn-tun":  genTunnelLoop,
+		"openntpd-ts":  genTimestampLoop,
+	},
+}
+
+// Templates lists the template names of a family, sorted.
+func Templates(kind Kind) []string {
+	m := templates[kind]
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generate builds the program selected by spec.
+func Generate(spec Spec) (*isa.Program, error) {
+	m, ok := templates[spec.Kind]
+	if !ok {
+		return nil, fmt.Errorf("benign: unknown kind %q", spec.Kind)
+	}
+	gen, ok := m[spec.Template]
+	if !ok {
+		return nil, fmt.Errorf("benign: unknown template %q of kind %q", spec.Template, spec.Kind)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	p := gen(spec.Name(), rng)
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("benign: %s: %w", spec.Name(), err)
+	}
+	return p, nil
+}
+
+// MustGenerate panics on error; for tests and static corpora.
+func MustGenerate(spec Spec) *isa.Program {
+	p, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Random draws a template of the given kind with a derived seed.
+func Random(kind Kind, rng *rand.Rand) (*isa.Program, error) {
+	ts := Templates(kind)
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("benign: unknown kind %q", kind)
+	}
+	return Generate(Spec{Kind: kind, Template: ts[rng.Intn(len(ts))], Seed: rng.Int63()})
+}
+
+// randWords produces n little-endian 64-bit words of random data.
+func randWords(rng *rand.Rand, n int, max int64) []byte {
+	out := make([]byte, n*8)
+	for i := 0; i < n; i++ {
+		v := uint64(rng.Int63n(max))
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = byte(v >> (8 * j))
+		}
+	}
+	return out
+}
+
+// sortedWords produces n sorted words for binary-search-style kernels.
+func sortedWords(rng *rand.Rand, n int) []byte {
+	vals := make([]int64, n)
+	cur := int64(0)
+	for i := range vals {
+		cur += 1 + rng.Int63n(9)
+		vals[i] = cur
+	}
+	out := make([]byte, n*8)
+	for i, v := range vals {
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = byte(uint64(v) >> (8 * j))
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package benign
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/isa"
+)
+
+func TestAllTemplatesBuildAndHalt(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, tmpl := range Templates(kind) {
+			for _, seed := range []int64{1, 42, 12345} {
+				spec := Spec{Kind: kind, Template: tmpl, Seed: seed}
+				p, err := Generate(spec)
+				if err != nil {
+					t.Fatalf("%s: %v", spec.Name(), err)
+				}
+				cfg := exec.DefaultConfig()
+				cfg.MaxRetired = 500_000
+				m, err := exec.NewMachine(cfg, p, nil)
+				if err != nil {
+					t.Fatalf("%s: %v", spec.Name(), err)
+				}
+				tr := m.Run()
+				if !tr.Halted {
+					t.Errorf("%s: did not halt within %d instructions",
+						spec.Name(), cfg.MaxRetired)
+				}
+				if tr.Retired < 20 {
+					t.Errorf("%s: suspiciously short run (%d retired)",
+						spec.Name(), tr.Retired)
+				}
+			}
+		}
+	}
+}
+
+func TestTemplateCounts(t *testing.T) {
+	// Table III families: all four present with multiple templates each.
+	want := map[Kind]int{
+		KindLeetcode: 16,
+		KindSpec:     12,
+		KindCrypto:   6,
+		KindServer:   8,
+	}
+	for kind, n := range want {
+		if got := len(Templates(kind)); got != n {
+			t.Errorf("%s: %d templates, want %d", kind, got, n)
+		}
+	}
+	// Server templates map 1:1 to the eight Table III applications.
+	if len(Templates(KindServer)) != 8 {
+		t.Error("server family must model the 8 applications")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{Kind: "nope", Template: "x"}); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	if _, err := Generate(Spec{Kind: KindCrypto, Template: "nope"}); err == nil {
+		t.Error("unknown template must fail")
+	}
+	if _, err := Random("nope", rand.New(rand.NewSource(1))); err == nil {
+		t.Error("Random with unknown kind must fail")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec := Spec{Kind: KindCrypto, Template: "aes-ttable", Seed: 7}
+	a := MustGenerate(spec)
+	b := MustGenerate(spec)
+	if len(a.Insns) != len(b.Insns) {
+		t.Fatal("nondeterministic instruction count")
+	}
+	for i := range a.Insns {
+		if a.Insns[i] != b.Insns[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}
+
+func TestSeedsDiversify(t *testing.T) {
+	a := MustGenerate(Spec{Kind: KindLeetcode, Template: "binary-search", Seed: 1})
+	b := MustGenerate(Spec{Kind: KindLeetcode, Template: "binary-search", Seed: 2})
+	// Different seeds must change something observable (data or size).
+	same := len(a.Insns) == len(b.Insns)
+	if same {
+		for i := range a.Insns {
+			if a.Insns[i] != b.Insns[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		segA, _ := a.Segment("arr")
+		segB, _ := b.Segment("arr")
+		if string(segA.Init) == string(segB.Init) {
+			t.Error("seeds 1 and 2 produced identical programs")
+		}
+	}
+}
+
+func TestRandomDrawsFromKind(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 10; i++ {
+		p, err := Random(KindServer, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNoAttackMarks(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, tmpl := range Templates(kind) {
+			p := MustGenerate(Spec{Kind: kind, Template: tmpl, Seed: 3})
+			if len(p.AttackAddrs()) != 0 {
+				t.Errorf("%s/%s: benign program carries attack marks", kind, tmpl)
+			}
+		}
+	}
+}
+
+func TestBenignHasNoClflush(t *testing.T) {
+	// Benign programs may use RDTSCP (openntpd-ts deliberately does) but
+	// none of them flushes cache lines.
+	for _, kind := range Kinds() {
+		for _, tmpl := range Templates(kind) {
+			p := MustGenerate(Spec{Kind: kind, Template: tmpl, Seed: 5})
+			for _, in := range p.Insns {
+				if in.Op == isa.CLFLUSH {
+					t.Errorf("%s/%s: clflush in benign program", kind, tmpl)
+				}
+			}
+		}
+	}
+}
+
+func TestNTPTemplateUsesRdtscp(t *testing.T) {
+	p := MustGenerate(Spec{Kind: KindServer, Template: "openntpd-ts", Seed: 1})
+	found := false
+	for _, in := range p.Insns {
+		if in.Op == isa.RDTSCP {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("openntpd-ts must use RDTSCP (the benign-timer hard case)")
+	}
+}
+
+func TestSpecName(t *testing.T) {
+	s := Spec{Kind: KindSpec, Template: "stream", Seed: 9}
+	if s.Name() != "spec2006-stream-9" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}

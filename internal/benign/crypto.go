@@ -1,0 +1,259 @@
+package benign
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// Crypto kernels: table-driven ciphers generate dense, key-dependent
+// cache traffic — the benign programs that look most like attacks to a
+// naive detector, which is exactly why the paper includes them.
+
+// genAESTTable: AES-like T-table rounds — key-dependent loads from four
+// 256-entry tables, xor-folded into the state.
+func genAESTTable(name string, rng *rand.Rand) *isa.Program {
+	rounds := 10
+	blocks := 4 + rng.Intn(8)
+	b := isa.NewBuilder(name, benignCodeBase)
+	t0 := b.DataInit("t0", 256*8, randWords(rng, 256, 1<<62), false)
+	t1 := b.DataInit("t1", 256*8, randWords(rng, 256, 1<<62), false)
+	t2 := b.DataInit("t2", 256*8, randWords(rng, 256, 1<<62), false)
+	t3 := b.DataInit("t3", 256*8, randWords(rng, 256, 1<<62), false)
+	key := b.DataInit("key", 16*8, randWords(rng, 16, 1<<62), false)
+	out := b.Bytes("ct", uint64(blocks*8), false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(0)) // block counter
+	b.Label("block").
+		// state = block index mixed with key[0]
+		Mov(isa.R(isa.R0), isa.R(isa.R9)).
+		Mul(isa.R(isa.R0), isa.Imm(0x9e3779b9)).
+		Xor(isa.R(isa.R0), isa.Mem(isa.RegNone, int64(key))).
+		Mov(isa.R(isa.R8), isa.Imm(int64(rounds)))
+	b.Label("round").
+		// idx0..idx3 = successive bytes of the state
+		Mov(isa.R(isa.R1), isa.R(isa.R0)).
+		And(isa.R(isa.R1), isa.Imm(255)).
+		Lea(isa.R2, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(t0))).
+		Mov(isa.R(isa.R3), isa.Mem(isa.R2, 0)).
+		Mov(isa.R(isa.R1), isa.R(isa.R0)).
+		Shr(isa.R(isa.R1), isa.Imm(8)).
+		And(isa.R(isa.R1), isa.Imm(255)).
+		Lea(isa.R2, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(t1))).
+		Xor(isa.R(isa.R3), isa.Mem(isa.R2, 0)).
+		Mov(isa.R(isa.R1), isa.R(isa.R0)).
+		Shr(isa.R(isa.R1), isa.Imm(16)).
+		And(isa.R(isa.R1), isa.Imm(255)).
+		Lea(isa.R2, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(t2))).
+		Xor(isa.R(isa.R3), isa.Mem(isa.R2, 0)).
+		Mov(isa.R(isa.R1), isa.R(isa.R0)).
+		Shr(isa.R(isa.R1), isa.Imm(24)).
+		And(isa.R(isa.R1), isa.Imm(255)).
+		Lea(isa.R2, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(t3))).
+		Xor(isa.R(isa.R3), isa.Mem(isa.R2, 0)).
+		// fold round key
+		Mov(isa.R(isa.R4), isa.R(isa.R8)).
+		And(isa.R(isa.R4), isa.Imm(15)).
+		Lea(isa.R5, isa.MemIdx(isa.RegNone, isa.R4, 8, int64(key))).
+		Xor(isa.R(isa.R3), isa.Mem(isa.R5, 0)).
+		Mov(isa.R(isa.R0), isa.R(isa.R3)).
+		Dec(isa.R(isa.R8)).
+		Jne("round").
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R9, 8, int64(out))).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R0)).
+		Inc(isa.R(isa.R9)).
+		Cmp(isa.R(isa.R9), isa.Imm(int64(blocks))).
+		Jl("block").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genRSASquareMultiply: square-and-multiply modular exponentiation with
+// a key-bit-dependent branch — the classic leaky RSA kernel.
+func genRSASquareMultiply(name string, rng *rand.Rand) *isa.Program {
+	bits := 24 + rng.Intn(24)
+	exponent := rng.Int63() | 1
+	modulus := int64(0xFFFF_FFFB)
+	b := isa.NewBuilder(name, benignCodeBase)
+	out := b.Bytes("out", 8, false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(1)). // result
+						Mov(isa.R(isa.R1), isa.Imm(int64(rng.Intn(1<<30)))). // base
+						Mov(isa.R(isa.R2), isa.Imm(exponent)).
+						Mov(isa.R(isa.R3), isa.Imm(int64(bits)))
+	b.Label("bit").
+		// result = result^2 mod m (approximate mod via mask)
+		Mul(isa.R(isa.R0), isa.R(isa.R0)).
+		And(isa.R(isa.R0), isa.Imm(modulus)).
+		// if (e & 1) result *= base
+		Mov(isa.R(isa.R4), isa.R(isa.R2)).
+		And(isa.R(isa.R4), isa.Imm(1)).
+		Test(isa.R(isa.R4), isa.R(isa.R4)).
+		Je("skipmul").
+		Mul(isa.R(isa.R0), isa.R(isa.R1)).
+		And(isa.R(isa.R0), isa.Imm(modulus)).
+		Label("skipmul").
+		Shr(isa.R(isa.R2), isa.Imm(1)).
+		Dec(isa.R(isa.R3)).
+		Jne("bit").
+		Mov(isa.Mem(isa.RegNone, int64(out)), isa.R(isa.R0)).
+		Hlt()
+	return b.MustBuild()
+}
+
+// genRC4: RC4-like keystream with the swap-heavy S-box walk.
+func genRC4(name string, rng *rand.Rand) *isa.Program {
+	outLen := 48 + rng.Intn(48)
+	// Identity S-box; the KSA-equivalent scrambling happens in-loop.
+	sbox := make([]byte, 256*8)
+	for i := 0; i < 256; i++ {
+		sbox[i*8] = byte(i)
+	}
+	b := isa.NewBuilder(name, benignCodeBase)
+	s := b.DataInit("sbox", 256*8, sbox, false)
+	ks := b.Bytes("keystream", uint64(outLen*8), false)
+	j0 := int64(rng.Intn(256))
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0)). // i
+						Mov(isa.R(isa.R1), isa.Imm(j0)). // j
+						Mov(isa.R(isa.R9), isa.Imm(0))   // output count
+	b.Label("prga").
+		Inc(isa.R(isa.R0)).
+		And(isa.R(isa.R0), isa.Imm(255)).
+		Lea(isa.R2, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(s))).
+		Mov(isa.R(isa.R3), isa.Mem(isa.R2, 0)). // S[i]
+		Add(isa.R(isa.R1), isa.R(isa.R3)).
+		And(isa.R(isa.R1), isa.Imm(255)).
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(s))).
+		Mov(isa.R(isa.R5), isa.Mem(isa.R4, 0)). // S[j]
+		// swap
+		Mov(isa.Mem(isa.R2, 0), isa.R(isa.R5)).
+		Mov(isa.Mem(isa.R4, 0), isa.R(isa.R3)).
+		// k = S[(S[i]+S[j]) & 255]
+		Mov(isa.R(isa.R6), isa.R(isa.R3)).
+		Add(isa.R(isa.R6), isa.R(isa.R5)).
+		And(isa.R(isa.R6), isa.Imm(255)).
+		Lea(isa.R7, isa.MemIdx(isa.RegNone, isa.R6, 8, int64(s))).
+		Mov(isa.R(isa.R8), isa.Mem(isa.R7, 0)).
+		Lea(isa.R7, isa.MemIdx(isa.RegNone, isa.R9, 8, int64(ks))).
+		Mov(isa.Mem(isa.R7, 0), isa.R(isa.R8)).
+		Inc(isa.R(isa.R9)).
+		Cmp(isa.R(isa.R9), isa.Imm(int64(outLen))).
+		Jl("prga").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genSHAMix: SHA-like compression — almost pure register arithmetic with
+// a small message schedule buffer; the low-memory end of the crypto set.
+func genSHAMix(name string, rng *rand.Rand) *isa.Program {
+	blocks := 4 + rng.Intn(6)
+	b := isa.NewBuilder(name, benignCodeBase)
+	msg := b.DataInit("msg", 16*8, randWords(rng, 16, 1<<62), false)
+	digest := b.Bytes("digest", 4*8, false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0x6a09e667)).
+		Mov(isa.R(isa.R1), isa.Imm(-0x44a11e68)). // 0xbb67ae58 as signed
+		Mov(isa.R(isa.R2), isa.Imm(0x3c6ef372)).
+		Mov(isa.R(isa.R3), isa.Imm(-0x5ab00ac6)).
+		Mov(isa.R(isa.R9), isa.Imm(int64(blocks)))
+	b.Label("block").
+		Mov(isa.R(isa.R8), isa.Imm(0))
+	b.Label("mix").
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R8, 8, int64(msg))).
+		Mov(isa.R(isa.R5), isa.Mem(isa.R4, 0)).
+		Add(isa.R(isa.R0), isa.R(isa.R5)).
+		Mov(isa.R(isa.R6), isa.R(isa.R1)).
+		Shl(isa.R(isa.R6), isa.Imm(5)).
+		Xor(isa.R(isa.R0), isa.R(isa.R6)).
+		Mov(isa.R(isa.R6), isa.R(isa.R2)).
+		Shr(isa.R(isa.R6), isa.Imm(11)).
+		Add(isa.R(isa.R1), isa.R(isa.R6)).
+		Xor(isa.R(isa.R2), isa.R(isa.R0)).
+		Add(isa.R(isa.R3), isa.R(isa.R1)).
+		Inc(isa.R(isa.R8)).
+		Cmp(isa.R(isa.R8), isa.Imm(16)).
+		Jl("mix").
+		Dec(isa.R(isa.R9)).
+		Jne("block").
+		Mov(isa.Mem(isa.RegNone, int64(digest)), isa.R(isa.R0)).
+		Mov(isa.Mem(isa.RegNone, int64(digest+8)), isa.R(isa.R1)).
+		Mov(isa.Mem(isa.RegNone, int64(digest+16)), isa.R(isa.R2)).
+		Mov(isa.Mem(isa.RegNone, int64(digest+24)), isa.R(isa.R3)).
+		Hlt()
+	return b.MustBuild()
+}
+
+// genDESPerm: DES-like permutation through small lookup tables.
+func genDESPerm(name string, rng *rand.Rand) *isa.Program {
+	rounds := 16
+	blocks := 3 + rng.Intn(5)
+	b := isa.NewBuilder(name, benignCodeBase)
+	perm := b.DataInit("perm", 64*8, randWords(rng, 64, 64), false)
+	sbx := b.DataInit("sbx", 64*8, randWords(rng, 64, 1<<16), false)
+	out := b.Bytes("out", uint64(blocks*8), false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(0))
+	b.Label("block").
+		Mov(isa.R(isa.R0), isa.R(isa.R9)).
+		Mul(isa.R(isa.R0), isa.Imm(0x1234567)).
+		Mov(isa.R(isa.R8), isa.Imm(int64(rounds)))
+	b.Label("round").
+		Mov(isa.R(isa.R1), isa.R(isa.R0)).
+		And(isa.R(isa.R1), isa.Imm(63)).
+		Lea(isa.R2, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(perm))).
+		Mov(isa.R(isa.R3), isa.Mem(isa.R2, 0)).
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R3, 8, int64(sbx))).
+		Xor(isa.R(isa.R0), isa.Mem(isa.R4, 0)).
+		Shr(isa.R(isa.R0), isa.Imm(1)).
+		Dec(isa.R(isa.R8)).
+		Jne("round").
+		Lea(isa.R5, isa.MemIdx(isa.RegNone, isa.R9, 8, int64(out))).
+		Mov(isa.Mem(isa.R5, 0), isa.R(isa.R0)).
+		Inc(isa.R(isa.R9)).
+		Cmp(isa.R(isa.R9), isa.Imm(int64(blocks))).
+		Jl("block").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genChaChaARX: ChaCha-like add-rotate-xor rounds, purely in registers.
+func genChaChaARX(name string, rng *rand.Rand) *isa.Program {
+	rounds := 20
+	blocks := 4 + rng.Intn(6)
+	b := isa.NewBuilder(name, benignCodeBase)
+	state := b.DataInit("state", 4*8, randWords(rng, 4, 1<<62), false)
+	out := b.Bytes("out", uint64(blocks*8), false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(0))
+	b.Label("block").
+		Mov(isa.R(isa.R0), isa.Mem(isa.RegNone, int64(state))).
+		Mov(isa.R(isa.R1), isa.Mem(isa.RegNone, int64(state+8))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.RegNone, int64(state+16))).
+		Mov(isa.R(isa.R3), isa.Mem(isa.RegNone, int64(state+24))).
+		Add(isa.R(isa.R0), isa.R(isa.R9)).
+		Mov(isa.R(isa.R8), isa.Imm(int64(rounds)))
+	b.Label("qr").
+		Add(isa.R(isa.R0), isa.R(isa.R1)).
+		Xor(isa.R(isa.R3), isa.R(isa.R0)).
+		Mov(isa.R(isa.R4), isa.R(isa.R3)).
+		Shl(isa.R(isa.R4), isa.Imm(16)).
+		Shr(isa.R(isa.R3), isa.Imm(48)).
+		Or(isa.R(isa.R3), isa.R(isa.R4)).
+		Add(isa.R(isa.R2), isa.R(isa.R3)).
+		Xor(isa.R(isa.R1), isa.R(isa.R2)).
+		Mov(isa.R(isa.R4), isa.R(isa.R1)).
+		Shl(isa.R(isa.R4), isa.Imm(12)).
+		Shr(isa.R(isa.R1), isa.Imm(52)).
+		Or(isa.R(isa.R1), isa.R(isa.R4)).
+		Dec(isa.R(isa.R8)).
+		Jne("qr").
+		Lea(isa.R5, isa.MemIdx(isa.RegNone, isa.R9, 8, int64(out))).
+		Xor(isa.R(isa.R0), isa.R(isa.R2)).
+		Mov(isa.Mem(isa.R5, 0), isa.R(isa.R0)).
+		Inc(isa.R(isa.R9)).
+		Cmp(isa.R(isa.R9), isa.Imm(int64(blocks))).
+		Jl("block").
+		Hlt()
+	return b.MustBuild()
+}

@@ -1,0 +1,639 @@
+package benign
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// benignCodeBase keeps benign programs at the same code address range as
+// real targets would occupy.
+const benignCodeBase uint64 = 0x40_0000
+
+// --- LeetCode-style kernels ----------------------------------------------
+
+// genTwoSum: nested-loop two-sum over a random array; stores the found
+// index pair.
+func genTwoSum(name string, rng *rand.Rand) *isa.Program {
+	n := 24 + rng.Intn(40)
+	b := isa.NewBuilder(name, benignCodeBase)
+	arr := b.DataInit("arr", uint64(n*8), randWords(rng, n, 500), false)
+	out := b.Bytes("out", 16, false)
+	target := int64(rng.Intn(900))
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0)) // i
+	b.Label("outer").
+		Mov(isa.R(isa.R1), isa.R(isa.R0)).
+		Inc(isa.R(isa.R1)) // j = i+1
+	b.Label("inner").
+		Lea(isa.R2, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(arr))).
+		Mov(isa.R(isa.R3), isa.Mem(isa.R2, 0)).
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(arr))).
+		Add(isa.R(isa.R3), isa.Mem(isa.R4, 0)).
+		Cmp(isa.R(isa.R3), isa.Imm(target)).
+		Jne("next").
+		Mov(isa.Mem(isa.RegNone, int64(out)), isa.R(isa.R0)).
+		Mov(isa.Mem(isa.RegNone, int64(out+8)), isa.R(isa.R1)).
+		Label("next").
+		Inc(isa.R(isa.R1)).
+		Cmp(isa.R(isa.R1), isa.Imm(int64(n))).
+		Jl("inner").
+		Inc(isa.R(isa.R0)).
+		Mov(isa.R(isa.R5), isa.R(isa.R0)).
+		Inc(isa.R(isa.R5)).
+		Cmp(isa.R(isa.R5), isa.Imm(int64(n))).
+		Jl("outer").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genBinarySearch: repeated binary searches over a sorted array.
+func genBinarySearch(name string, rng *rand.Rand) *isa.Program {
+	n := 64 + rng.Intn(64)
+	queries := 12 + rng.Intn(12)
+	b := isa.NewBuilder(name, benignCodeBase)
+	arr := b.DataInit("arr", uint64(n*8), sortedWords(rng, n), false)
+	keys := b.DataInit("keys", uint64(queries*8), randWords(rng, queries, int64(n*10)), false)
+	found := b.Bytes("found", 8, false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(0)) // query index
+	b.Label("query").
+		Lea(isa.R8, isa.MemIdx(isa.RegNone, isa.R9, 8, int64(keys))).
+		Mov(isa.R(isa.R7), isa.Mem(isa.R8, 0)). // key
+		Mov(isa.R(isa.R0), isa.Imm(0)).         // lo
+		Mov(isa.R(isa.R1), isa.Imm(int64(n)))   // hi
+	b.Label("loop").
+		Cmp(isa.R(isa.R0), isa.R(isa.R1)).
+		Jge("done").
+		Mov(isa.R(isa.R2), isa.R(isa.R0)).
+		Add(isa.R(isa.R2), isa.R(isa.R1)).
+		Shr(isa.R(isa.R2), isa.Imm(1)). // mid
+		Lea(isa.R3, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(arr))).
+		Mov(isa.R(isa.R4), isa.Mem(isa.R3, 0)).
+		Cmp(isa.R(isa.R4), isa.R(isa.R7)).
+		Jge("left").
+		Mov(isa.R(isa.R0), isa.R(isa.R2)).
+		Inc(isa.R(isa.R0)).
+		Jmp("loop").
+		Label("left").
+		Mov(isa.R(isa.R1), isa.R(isa.R2)).
+		Jmp("loop")
+	b.Label("done").
+		Mov(isa.R(isa.R5), isa.Mem(isa.RegNone, int64(found))).
+		Add(isa.R(isa.R5), isa.R(isa.R0)).
+		Mov(isa.Mem(isa.RegNone, int64(found)), isa.R(isa.R5)).
+		Inc(isa.R(isa.R9)).
+		Cmp(isa.R(isa.R9), isa.Imm(int64(queries))).
+		Jl("query").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genBubbleSort: in-place bubble sort with early exit.
+func genBubbleSort(name string, rng *rand.Rand) *isa.Program {
+	n := 16 + rng.Intn(24)
+	b := isa.NewBuilder(name, benignCodeBase)
+	arr := b.DataInit("arr", uint64(n*8), randWords(rng, n, 1000), false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(int64(n-1))) // passes remaining
+	b.Label("pass").
+		Mov(isa.R(isa.R8), isa.Imm(0)). // swapped flag
+		Mov(isa.R(isa.R0), isa.Imm(0))  // i
+	b.Label("scan").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(arr))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, 0)).
+		Mov(isa.R(isa.R3), isa.Mem(isa.R1, 8)).
+		Cmp(isa.R(isa.R2), isa.R(isa.R3)).
+		Jle("noswap").
+		Mov(isa.Mem(isa.R1, 0), isa.R(isa.R3)).
+		Mov(isa.Mem(isa.R1, 8), isa.R(isa.R2)).
+		Mov(isa.R(isa.R8), isa.Imm(1)).
+		Label("noswap").
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n-1))).
+		Jl("scan").
+		Test(isa.R(isa.R8), isa.R(isa.R8)).
+		Je("sorted").
+		Dec(isa.R(isa.R9)).
+		Jne("pass").
+		Label("sorted").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genFibDP: bottom-up Fibonacci table fill plus a verification sum.
+func genFibDP(name string, rng *rand.Rand) *isa.Program {
+	n := 40 + rng.Intn(40)
+	b := isa.NewBuilder(name, benignCodeBase)
+	table := b.Bytes("table", uint64(n*8), false)
+
+	b.Mov(isa.Mem(isa.RegNone, int64(table)), isa.Imm(0)).
+		Mov(isa.Mem(isa.RegNone, int64(table+8)), isa.Imm(1)).
+		Mov(isa.R(isa.R0), isa.Imm(2))
+	b.Label("fill").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(table))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, -8)).
+		Add(isa.R(isa.R2), isa.Mem(isa.R1, -16)).
+		Mov(isa.Mem(isa.R1, 0), isa.R(isa.R2)).
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jl("fill")
+	// Verification sum.
+	b.Mov(isa.R(isa.R0), isa.Imm(0)).
+		Mov(isa.R(isa.R3), isa.Imm(0))
+	b.Label("sum").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(table))).
+		Add(isa.R(isa.R3), isa.Mem(isa.R1, 0)).
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jl("sum").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genKadane: maximum subarray sum in one pass.
+func genKadane(name string, rng *rand.Rand) *isa.Program {
+	n := 48 + rng.Intn(48)
+	b := isa.NewBuilder(name, benignCodeBase)
+	data := make([]byte, n*8)
+	for i := 0; i < n; i++ {
+		v := rng.Int63n(41) - 20
+		for j := 0; j < 8; j++ {
+			data[i*8+j] = byte(uint64(v) >> (8 * j))
+		}
+	}
+	arr := b.DataInit("arr", uint64(n*8), data, false)
+	out := b.Bytes("out", 8, false)
+
+	b.Mov(isa.R(isa.R1), isa.Imm(0)). // best
+						Mov(isa.R(isa.R2), isa.Imm(0)). // cur
+						Mov(isa.R(isa.R0), isa.Imm(0))
+	b.Label("scan").
+		Lea(isa.R3, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(arr))).
+		Add(isa.R(isa.R2), isa.Mem(isa.R3, 0)).
+		Cmp(isa.R(isa.R2), isa.Imm(0)).
+		Jge("keep").
+		Mov(isa.R(isa.R2), isa.Imm(0)).
+		Label("keep").
+		Cmp(isa.R(isa.R2), isa.R(isa.R1)).
+		Jle("nobest").
+		Mov(isa.R(isa.R1), isa.R(isa.R2)).
+		Label("nobest").
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jl("scan").
+		Mov(isa.Mem(isa.RegNone, int64(out)), isa.R(isa.R1)).
+		Hlt()
+	return b.MustBuild()
+}
+
+// genReverse: in-place array reversal with two pointers.
+func genReverse(name string, rng *rand.Rand) *isa.Program {
+	n := 32 + rng.Intn(64)
+	b := isa.NewBuilder(name, benignCodeBase)
+	arr := b.DataInit("arr", uint64(n*8), randWords(rng, n, 1<<20), false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(int64(arr))).
+		Mov(isa.R(isa.R1), isa.Imm(int64(arr)+int64((n-1)*8)))
+	b.Label("swap").
+		Cmp(isa.R(isa.R0), isa.R(isa.R1)).
+		Jge("done").
+		Mov(isa.R(isa.R2), isa.Mem(isa.R0, 0)).
+		Mov(isa.R(isa.R3), isa.Mem(isa.R1, 0)).
+		Mov(isa.Mem(isa.R0, 0), isa.R(isa.R3)).
+		Mov(isa.Mem(isa.R1, 0), isa.R(isa.R2)).
+		Add(isa.R(isa.R0), isa.Imm(8)).
+		Sub(isa.R(isa.R1), isa.Imm(8)).
+		Jmp("swap").
+		Label("done").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genCountBits: popcount via Kernighan's trick over random words.
+func genCountBits(name string, rng *rand.Rand) *isa.Program {
+	n := 32 + rng.Intn(32)
+	b := isa.NewBuilder(name, benignCodeBase)
+	arr := b.DataInit("arr", uint64(n*8), randWords(rng, n, 1<<62), false)
+	out := b.Bytes("out", 8, false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0)).
+		Mov(isa.R(isa.R4), isa.Imm(0)) // total
+	b.Label("word").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(arr))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, 0))
+	b.Label("bit").
+		Test(isa.R(isa.R2), isa.R(isa.R2)).
+		Je("nextword").
+		Mov(isa.R(isa.R3), isa.R(isa.R2)).
+		Dec(isa.R(isa.R3)).
+		And(isa.R(isa.R2), isa.R(isa.R3)).
+		Inc(isa.R(isa.R4)).
+		Jmp("bit").
+		Label("nextword").
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jl("word").
+		Mov(isa.Mem(isa.RegNone, int64(out)), isa.R(isa.R4)).
+		Hlt()
+	return b.MustBuild()
+}
+
+// genGCD: Euclid's algorithm over pairs of random values.
+func genGCD(name string, rng *rand.Rand) *isa.Program {
+	pairs := 16 + rng.Intn(16)
+	b := isa.NewBuilder(name, benignCodeBase)
+	arr := b.DataInit("arr", uint64(pairs*16), randWords(rng, pairs*2, 1<<16), false)
+	out := b.Bytes("out", 8, false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(0))
+	b.Label("pair").
+		Mov(isa.R(isa.R8), isa.R(isa.R9)).
+		Shl(isa.R(isa.R8), isa.Imm(4)).
+		Add(isa.R(isa.R8), isa.Imm(int64(arr))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R8, 0)).
+		Mov(isa.R(isa.R1), isa.Mem(isa.R8, 8)).
+		Inc(isa.R(isa.R0)). // avoid zero operands
+		Inc(isa.R(isa.R1))
+	b.Label("euclid").
+		Cmp(isa.R(isa.R0), isa.R(isa.R1)).
+		Je("gcddone").
+		Jl("swap").
+		Sub(isa.R(isa.R0), isa.R(isa.R1)).
+		Jmp("euclid").
+		Label("swap").
+		Sub(isa.R(isa.R1), isa.R(isa.R0)).
+		Jmp("euclid").
+		Label("gcddone").
+		Mov(isa.R(isa.R2), isa.Mem(isa.RegNone, int64(out))).
+		Add(isa.R(isa.R2), isa.R(isa.R0)).
+		Mov(isa.Mem(isa.RegNone, int64(out)), isa.R(isa.R2)).
+		Inc(isa.R(isa.R9)).
+		Cmp(isa.R(isa.R9), isa.Imm(int64(pairs))).
+		Jl("pair").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genPrefixSum: in-place prefix sums then a binary verification walk.
+func genPrefixSum(name string, rng *rand.Rand) *isa.Program {
+	n := 64 + rng.Intn(64)
+	b := isa.NewBuilder(name, benignCodeBase)
+	arr := b.DataInit("arr", uint64(n*8), randWords(rng, n, 100), false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(1))
+	b.Label("prefix").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(arr))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, -8)).
+		Add(isa.R(isa.R2), isa.Mem(isa.R1, 0)).
+		Mov(isa.Mem(isa.R1, 0), isa.R(isa.R2)).
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jl("prefix").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genMatrixMul: small dense matrix multiply C = A*B.
+func genMatrixMul(name string, rng *rand.Rand) *isa.Program {
+	dim := 6 + rng.Intn(5)
+	n := dim * dim
+	b := isa.NewBuilder(name, benignCodeBase)
+	am := b.DataInit("a", uint64(n*8), randWords(rng, n, 50), false)
+	bm := b.DataInit("b", uint64(n*8), randWords(rng, n, 50), false)
+	cm := b.Bytes("c", uint64(n*8), false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0)) // i
+	b.Label("rows").
+		Mov(isa.R(isa.R1), isa.Imm(0)) // j
+	b.Label("cols").
+		Mov(isa.R(isa.R2), isa.Imm(0)). // k
+		Mov(isa.R(isa.R3), isa.Imm(0))  // acc
+	b.Label("dot").
+		// a[i*dim+k]
+		Mov(isa.R(isa.R4), isa.R(isa.R0)).
+		Mul(isa.R(isa.R4), isa.Imm(int64(dim))).
+		Add(isa.R(isa.R4), isa.R(isa.R2)).
+		Lea(isa.R5, isa.MemIdx(isa.RegNone, isa.R4, 8, int64(am))).
+		Mov(isa.R(isa.R6), isa.Mem(isa.R5, 0)).
+		// b[k*dim+j]
+		Mov(isa.R(isa.R4), isa.R(isa.R2)).
+		Mul(isa.R(isa.R4), isa.Imm(int64(dim))).
+		Add(isa.R(isa.R4), isa.R(isa.R1)).
+		Lea(isa.R5, isa.MemIdx(isa.RegNone, isa.R4, 8, int64(bm))).
+		Mul(isa.R(isa.R6), isa.Mem(isa.R5, 0)).
+		Add(isa.R(isa.R3), isa.R(isa.R6)).
+		Inc(isa.R(isa.R2)).
+		Cmp(isa.R(isa.R2), isa.Imm(int64(dim))).
+		Jl("dot").
+		// c[i*dim+j] = acc
+		Mov(isa.R(isa.R4), isa.R(isa.R0)).
+		Mul(isa.R(isa.R4), isa.Imm(int64(dim))).
+		Add(isa.R(isa.R4), isa.R(isa.R1)).
+		Lea(isa.R5, isa.MemIdx(isa.RegNone, isa.R4, 8, int64(cm))).
+		Mov(isa.Mem(isa.R5, 0), isa.R(isa.R3)).
+		Inc(isa.R(isa.R1)).
+		Cmp(isa.R(isa.R1), isa.Imm(int64(dim))).
+		Jl("cols").
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(dim))).
+		Jl("rows").
+		Hlt()
+	return b.MustBuild()
+}
+
+// --- SPEC2006-like kernels -------------------------------------------------
+
+// genStream: large sequential sweep with accumulate (STREAM-like).
+func genStream(name string, rng *rand.Rand) *isa.Program {
+	n := 512 + rng.Intn(512)
+	b := isa.NewBuilder(name, benignCodeBase)
+	arr := b.Bytes("arr", uint64(n*8), false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0)).
+		Mov(isa.R(isa.R2), isa.Imm(0))
+	b.Label("sweep").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(arr))).
+		Mov(isa.R(isa.R3), isa.Mem(isa.R1, 0)).
+		Add(isa.R(isa.R3), isa.Imm(3)).
+		Mov(isa.Mem(isa.R1, 0), isa.R(isa.R3)).
+		Add(isa.R(isa.R2), isa.R(isa.R3)).
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jl("sweep").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genPointerChase: random-permutation pointer chasing (mcf-like).
+func genPointerChase(name string, rng *rand.Rand) *isa.Program {
+	n := 128 + rng.Intn(128)
+	b := isa.NewBuilder(name, benignCodeBase)
+	// Build a random cyclic permutation as 64-bit "next" indices.
+	perm := rng.Perm(n)
+	next := make([]byte, n*8)
+	for i := 0; i < n; i++ {
+		v := uint64(perm[(i+1)%n])
+		for j := 0; j < 8; j++ {
+			next[perm[i]*8+j] = byte(v >> (8 * j))
+		}
+	}
+	arr := b.DataInit("chain", uint64(n*8), next, false)
+	steps := n * 2
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0)).
+		Mov(isa.R(isa.R2), isa.Imm(int64(steps)))
+	b.Label("chase").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(arr))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R1, 0)).
+		Dec(isa.R(isa.R2)).
+		Jne("chase").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genStride: strided access pattern (libquantum-like).
+func genStride(name string, rng *rand.Rand) *isa.Program {
+	n := 1024
+	stride := int64(8 * (4 + rng.Intn(12)))
+	b := isa.NewBuilder(name, benignCodeBase)
+	arr := b.Bytes("arr", uint64(n*8), false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0)).
+		Mov(isa.R(isa.R2), isa.Imm(0))
+	b.Label("walk").
+		Mov(isa.R(isa.R1), isa.R(isa.R0)).
+		Add(isa.R(isa.R1), isa.Imm(int64(arr))).
+		Mov(isa.R(isa.R3), isa.Mem(isa.R1, 0)).
+		Add(isa.R(isa.R2), isa.R(isa.R3)).
+		Add(isa.R(isa.R0), isa.Imm(stride)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n*8))).
+		Jl("walk").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genHistogram: bucket counting with data-dependent store addresses.
+func genHistogram(name string, rng *rand.Rand) *isa.Program {
+	n := 128 + rng.Intn(128)
+	buckets := 32
+	b := isa.NewBuilder(name, benignCodeBase)
+	data := b.DataInit("data", uint64(n*8), randWords(rng, n, int64(buckets)), false)
+	hist := b.Bytes("hist", uint64(buckets*8), false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0))
+	b.Label("count").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(data))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, 0)).
+		And(isa.R(isa.R2), isa.Imm(int64(buckets-1))).
+		Lea(isa.R3, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(hist))).
+		Mov(isa.R(isa.R4), isa.Mem(isa.R3, 0)).
+		Inc(isa.R(isa.R4)).
+		Mov(isa.Mem(isa.R3, 0), isa.R(isa.R4)).
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jl("count").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genStencil: 1-D three-point stencil over two buffers.
+func genStencil(name string, rng *rand.Rand) *isa.Program {
+	n := 128 + rng.Intn(128)
+	iters := 2 + rng.Intn(3)
+	b := isa.NewBuilder(name, benignCodeBase)
+	src := b.DataInit("src", uint64(n*8), randWords(rng, n, 100), false)
+	dst := b.Bytes("dst", uint64(n*8), false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(int64(iters)))
+	b.Label("iter").
+		Mov(isa.R(isa.R0), isa.Imm(1))
+	b.Label("cell").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(src))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, -8)).
+		Add(isa.R(isa.R2), isa.Mem(isa.R1, 0)).
+		Add(isa.R(isa.R2), isa.Mem(isa.R1, 8)).
+		Lea(isa.R3, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(dst))).
+		Mov(isa.Mem(isa.R3, 0), isa.R(isa.R2)).
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n-1))).
+		Jl("cell").
+		Dec(isa.R(isa.R9)).
+		Jne("iter").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genMatVec: matrix-vector product.
+func genMatVec(name string, rng *rand.Rand) *isa.Program {
+	dim := 12 + rng.Intn(8)
+	b := isa.NewBuilder(name, benignCodeBase)
+	mat := b.DataInit("mat", uint64(dim*dim*8), randWords(rng, dim*dim, 30), false)
+	vec := b.DataInit("vec", uint64(dim*8), randWords(rng, dim, 30), false)
+	out := b.Bytes("out", uint64(dim*8), false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0))
+	b.Label("row").
+		Mov(isa.R(isa.R1), isa.Imm(0)).
+		Mov(isa.R(isa.R2), isa.Imm(0))
+	b.Label("col").
+		Mov(isa.R(isa.R3), isa.R(isa.R0)).
+		Mul(isa.R(isa.R3), isa.Imm(int64(dim))).
+		Add(isa.R(isa.R3), isa.R(isa.R1)).
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R3, 8, int64(mat))).
+		Mov(isa.R(isa.R5), isa.Mem(isa.R4, 0)).
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(vec))).
+		Mul(isa.R(isa.R5), isa.Mem(isa.R6, 0)).
+		Add(isa.R(isa.R2), isa.R(isa.R5)).
+		Inc(isa.R(isa.R1)).
+		Cmp(isa.R(isa.R1), isa.Imm(int64(dim))).
+		Jl("col").
+		Lea(isa.R7, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(out))).
+		Mov(isa.Mem(isa.R7, 0), isa.R(isa.R2)).
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(dim))).
+		Jl("row").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genRandXor: register-heavy pseudo-random mixing with sparse loads.
+func genRandXor(name string, rng *rand.Rand) *isa.Program {
+	iters := 200 + rng.Intn(200)
+	b := isa.NewBuilder(name, benignCodeBase)
+	seedBuf := b.DataInit("seed", 64, randWords(rng, 8, 1<<30), false)
+
+	b.Mov(isa.R(isa.R0), isa.Mem(isa.RegNone, int64(seedBuf))).
+		Mov(isa.R(isa.R1), isa.Imm(int64(iters)))
+	b.Label("mix").
+		Mov(isa.R(isa.R2), isa.R(isa.R0)).
+		Shl(isa.R(isa.R2), isa.Imm(13)).
+		Xor(isa.R(isa.R0), isa.R(isa.R2)).
+		Mov(isa.R(isa.R2), isa.R(isa.R0)).
+		Shr(isa.R(isa.R2), isa.Imm(7)).
+		Xor(isa.R(isa.R0), isa.R(isa.R2)).
+		Mov(isa.R(isa.R2), isa.R(isa.R0)).
+		Shl(isa.R(isa.R2), isa.Imm(17)).
+		Xor(isa.R(isa.R0), isa.R(isa.R2)).
+		Dec(isa.R(isa.R1)).
+		Jne("mix").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genHotLoop: tiny working set, long-running compute loop (perl-like).
+func genHotLoop(name string, rng *rand.Rand) *isa.Program {
+	iters := 400 + rng.Intn(400)
+	b := isa.NewBuilder(name, benignCodeBase)
+	cnt := b.Bytes("cnt", 16, false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(int64(iters)))
+	b.Label("hot").
+		Mov(isa.R(isa.R1), isa.Mem(isa.RegNone, int64(cnt))).
+		Inc(isa.R(isa.R1)).
+		Mul(isa.R(isa.R1), isa.Imm(3)).
+		Shr(isa.R(isa.R1), isa.Imm(1)).
+		Mov(isa.Mem(isa.RegNone, int64(cnt)), isa.R(isa.R1)).
+		Dec(isa.R(isa.R0)).
+		Jne("hot").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genWriteBurst: bursty sequential stores (bzip-like output phase).
+func genWriteBurst(name string, rng *rand.Rand) *isa.Program {
+	n := 256 + rng.Intn(256)
+	b := isa.NewBuilder(name, benignCodeBase)
+	out := b.Bytes("out", uint64(n*8), false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0)).
+		Mov(isa.R(isa.R2), isa.Imm(int64(rng.Intn(100))))
+	b.Label("burst").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(out))).
+		Mov(isa.Mem(isa.R1, 0), isa.R(isa.R2)).
+		Add(isa.R(isa.R2), isa.Imm(7)).
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jl("burst").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genMixed: interleaved compute and memory phases (gcc-like).
+func genMixed(name string, rng *rand.Rand) *isa.Program {
+	n := 96 + rng.Intn(96)
+	b := isa.NewBuilder(name, benignCodeBase)
+	buf := b.DataInit("buf", uint64(n*8), randWords(rng, n, 1<<16), false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(3))
+	b.Label("phase")
+	// Memory pass.
+	b.Mov(isa.R(isa.R0), isa.Imm(0))
+	b.Label("mem").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(buf))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, 0)).
+		Xor(isa.R(isa.R2), isa.Imm(0xff)).
+		Mov(isa.Mem(isa.R1, 0), isa.R(isa.R2)).
+		Add(isa.R(isa.R0), isa.Imm(2)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jl("mem")
+	// Compute pass.
+	b.Mov(isa.R(isa.R3), isa.Imm(64))
+	b.Label("comp").
+		Mul(isa.R(isa.R2), isa.Imm(5)).
+		Add(isa.R(isa.R2), isa.Imm(1)).
+		Shr(isa.R(isa.R2), isa.Imm(1)).
+		Dec(isa.R(isa.R3)).
+		Jne("comp").
+		Dec(isa.R(isa.R9)).
+		Jne("phase").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genReduction: tree-style pairwise reduction.
+func genReduction(name string, rng *rand.Rand) *isa.Program {
+	n := 128 // power of two
+	b := isa.NewBuilder(name, benignCodeBase)
+	arr := b.DataInit("arr", uint64(n*8), randWords(rng, n, 1000), false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(int64(n/2))) // half
+	b.Label("level").
+		Mov(isa.R(isa.R0), isa.Imm(0))
+	b.Label("pair").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(arr))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, 0)).
+		Mov(isa.R(isa.R3), isa.R(isa.R0)).
+		Add(isa.R(isa.R3), isa.R(isa.R9)).
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R3, 8, int64(arr))).
+		Add(isa.R(isa.R2), isa.Mem(isa.R4, 0)).
+		Mov(isa.Mem(isa.R1, 0), isa.R(isa.R2)).
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.R(isa.R9)).
+		Jl("pair").
+		Shr(isa.R(isa.R9), isa.Imm(1)).
+		Test(isa.R(isa.R9), isa.R(isa.R9)).
+		Jne("level").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genCopyLoop: memcpy-style block copy.
+func genCopyLoop(name string, rng *rand.Rand) *isa.Program {
+	n := 256 + rng.Intn(256)
+	b := isa.NewBuilder(name, benignCodeBase)
+	src := b.DataInit("src", uint64(n*8), randWords(rng, n, 1<<30), false)
+	dst := b.Bytes("dst", uint64(n*8), false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0))
+	b.Label("copy").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(src))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, 0)).
+		Lea(isa.R3, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(dst))).
+		Mov(isa.Mem(isa.R3, 0), isa.R(isa.R2)).
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jl("copy").
+		Hlt()
+	return b.MustBuild()
+}

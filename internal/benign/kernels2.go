@@ -1,0 +1,268 @@
+package benign
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// Additional LeetCode-style kernels, enriching the Table III corpus
+// toward the paper's 230-solution diversity.
+
+// genMergeSorted: merge two sorted arrays into a third.
+func genMergeSorted(name string, rng *rand.Rand) *isa.Program {
+	n := 24 + rng.Intn(24)
+	b := isa.NewBuilder(name, benignCodeBase)
+	a1 := b.DataInit("a1", uint64(n*8), sortedWords(rng, n), false)
+	a2 := b.DataInit("a2", uint64(n*8), sortedWords(rng, n), false)
+	out := b.Bytes("out", uint64(2*n*8), false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0)). // i
+						Mov(isa.R(isa.R1), isa.Imm(0)). // j
+						Mov(isa.R(isa.R2), isa.Imm(0))  // k
+	b.Label("merge").
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jge("drain2").
+		Cmp(isa.R(isa.R1), isa.Imm(int64(n))).
+		Jge("drain1").
+		Lea(isa.R3, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(a1))).
+		Mov(isa.R(isa.R4), isa.Mem(isa.R3, 0)).
+		Lea(isa.R5, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(a2))).
+		Mov(isa.R(isa.R6), isa.Mem(isa.R5, 0)).
+		Cmp(isa.R(isa.R4), isa.R(isa.R6)).
+		Jg("take2").
+		Lea(isa.R7, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(out))).
+		Mov(isa.Mem(isa.R7, 0), isa.R(isa.R4)).
+		Inc(isa.R(isa.R0)).
+		Jmp("next").
+		Label("take2").
+		Lea(isa.R7, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(out))).
+		Mov(isa.Mem(isa.R7, 0), isa.R(isa.R6)).
+		Inc(isa.R(isa.R1)).
+		Label("next").
+		Inc(isa.R(isa.R2)).
+		Jmp("merge")
+	// Drain the remainder of one array.
+	b.Label("drain1").
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jge("done").
+		Lea(isa.R3, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(a1))).
+		Mov(isa.R(isa.R4), isa.Mem(isa.R3, 0)).
+		Lea(isa.R7, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(out))).
+		Mov(isa.Mem(isa.R7, 0), isa.R(isa.R4)).
+		Inc(isa.R(isa.R0)).
+		Inc(isa.R(isa.R2)).
+		Jmp("drain1")
+	b.Label("drain2").
+		Cmp(isa.R(isa.R1), isa.Imm(int64(n))).
+		Jge("done").
+		Lea(isa.R5, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(a2))).
+		Mov(isa.R(isa.R6), isa.Mem(isa.R5, 0)).
+		Lea(isa.R7, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(out))).
+		Mov(isa.Mem(isa.R7, 0), isa.R(isa.R6)).
+		Inc(isa.R(isa.R1)).
+		Inc(isa.R(isa.R2)).
+		Jmp("drain2")
+	b.Label("done").Hlt()
+	return b.MustBuild()
+}
+
+// genValidParens: stack-based bracket matching over a random sequence.
+func genValidParens(name string, rng *rand.Rand) *isa.Program {
+	n := 32 + rng.Intn(32)
+	seq := make([]byte, n*8)
+	for i := 0; i < n; i++ {
+		seq[i*8] = byte(rng.Intn(2)) // 0 = open, 1 = close
+	}
+	b := isa.NewBuilder(name, benignCodeBase)
+	input := b.DataInit("input", uint64(n*8), seq, false)
+	verdict := b.Bytes("verdict", 8, false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0)). // index
+						Mov(isa.R(isa.R1), isa.Imm(0)). // depth (the "stack")
+						Mov(isa.R(isa.R4), isa.Imm(0))  // violation flag
+	b.Label("scan").
+		Lea(isa.R2, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(input))).
+		Mov(isa.R(isa.R3), isa.Mem(isa.R2, 0)).
+		Test(isa.R(isa.R3), isa.R(isa.R3)).
+		Jne("close").
+		Inc(isa.R(isa.R1)).
+		Jmp("step").
+		Label("close").
+		Dec(isa.R(isa.R1)).
+		Cmp(isa.R(isa.R1), isa.Imm(0)).
+		Jge("step").
+		Mov(isa.R(isa.R4), isa.Imm(1)). // went negative: invalid, keep scanning
+		Label("step").
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jl("scan").
+		Or(isa.R(isa.R4), isa.R(isa.R1)). // nonzero depth or violation -> invalid
+		Test(isa.R(isa.R4), isa.R(isa.R4)).
+		Jne("invalid").
+		Mov(isa.Mem(isa.RegNone, int64(verdict)), isa.Imm(1)).
+		Jmp("end").
+		Label("invalid").
+		Mov(isa.Mem(isa.RegNone, int64(verdict)), isa.Imm(0)).
+		Label("end").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genClimbStairs: DP over ways to climb n stairs with memo table.
+func genClimbStairs(name string, rng *rand.Rand) *isa.Program {
+	n := 30 + rng.Intn(30)
+	b := isa.NewBuilder(name, benignCodeBase)
+	memo := b.Bytes("memo", uint64((n+2)*8), false)
+
+	b.Mov(isa.Mem(isa.RegNone, int64(memo)), isa.Imm(1)).
+		Mov(isa.Mem(isa.RegNone, int64(memo+8)), isa.Imm(1)).
+		Mov(isa.R(isa.R0), isa.Imm(2))
+	b.Label("dp").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(memo))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, -8)).
+		Add(isa.R(isa.R2), isa.Mem(isa.R1, -16)).
+		And(isa.R(isa.R2), isa.Imm(0xFFFFFFF)). // keep it bounded
+		Mov(isa.Mem(isa.R1, 0), isa.R(isa.R2)).
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jle("dp").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genRotateArray: rotate by k via triple reversal.
+func genRotateArray(name string, rng *rand.Rand) *isa.Program {
+	n := 32 + rng.Intn(32)
+	k := 1 + rng.Intn(n-1)
+	b := isa.NewBuilder(name, benignCodeBase)
+	arr := b.DataInit("arr", uint64(n*8), randWords(rng, n, 1<<20), false)
+
+	// reverse(lo, hi) subroutine: R0=lo addr, R1=hi addr.
+	b.Entry("main")
+	b.Label("reverse").
+		Label("rloop").
+		Cmp(isa.R(isa.R0), isa.R(isa.R1)).
+		Jge("rdone").
+		Mov(isa.R(isa.R2), isa.Mem(isa.R0, 0)).
+		Mov(isa.R(isa.R3), isa.Mem(isa.R1, 0)).
+		Mov(isa.Mem(isa.R0, 0), isa.R(isa.R3)).
+		Mov(isa.Mem(isa.R1, 0), isa.R(isa.R2)).
+		Add(isa.R(isa.R0), isa.Imm(8)).
+		Sub(isa.R(isa.R1), isa.Imm(8)).
+		Jmp("rloop").
+		Label("rdone").
+		Ret()
+	b.Label("main")
+	// Reverse whole array.
+	b.Mov(isa.R(isa.R0), isa.Imm(int64(arr))).
+		Mov(isa.R(isa.R1), isa.Imm(int64(arr)+int64((n-1)*8))).
+		Call("reverse")
+	// Reverse first k.
+	b.Mov(isa.R(isa.R0), isa.Imm(int64(arr))).
+		Mov(isa.R(isa.R1), isa.Imm(int64(arr)+int64((k-1)*8))).
+		Call("reverse")
+	// Reverse the rest.
+	b.Mov(isa.R(isa.R0), isa.Imm(int64(arr)+int64(k*8))).
+		Mov(isa.R(isa.R1), isa.Imm(int64(arr)+int64((n-1)*8))).
+		Call("reverse").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genMajorityVote: Boyer-Moore majority element scan.
+func genMajorityVote(name string, rng *rand.Rand) *isa.Program {
+	n := 48 + rng.Intn(48)
+	b := isa.NewBuilder(name, benignCodeBase)
+	arr := b.DataInit("arr", uint64(n*8), randWords(rng, n, 4), false)
+	out := b.Bytes("out", 8, false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(0)). // index
+						Mov(isa.R(isa.R1), isa.Imm(0)). // candidate
+						Mov(isa.R(isa.R2), isa.Imm(0))  // count
+	b.Label("vote").
+		Lea(isa.R3, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(arr))).
+		Mov(isa.R(isa.R4), isa.Mem(isa.R3, 0)).
+		Test(isa.R(isa.R2), isa.R(isa.R2)).
+		Jne("compare").
+		Mov(isa.R(isa.R1), isa.R(isa.R4)).
+		Mov(isa.R(isa.R2), isa.Imm(1)).
+		Jmp("step").
+		Label("compare").
+		Cmp(isa.R(isa.R4), isa.R(isa.R1)).
+		Jne("down").
+		Inc(isa.R(isa.R2)).
+		Jmp("step").
+		Label("down").
+		Dec(isa.R(isa.R2)).
+		Label("step").
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jl("vote").
+		Mov(isa.Mem(isa.RegNone, int64(out)), isa.R(isa.R1)).
+		Hlt()
+	return b.MustBuild()
+}
+
+// genHashJoin: map-like lookup loop — build a small open-addressing
+// table, then probe it with queries (the hash-map-heavy LeetCode shape).
+func genHashJoin(name string, rng *rand.Rand) *isa.Program {
+	const slots = 64 // power of two
+	inserts := 24 + rng.Intn(24)
+	queries := 24 + rng.Intn(24)
+	b := isa.NewBuilder(name, benignCodeBase)
+	keys := b.DataInit("keys", uint64(inserts*8), randWords(rng, inserts, 1<<20), false)
+	qs := b.DataInit("qs", uint64(queries*8), randWords(rng, queries, 1<<20), false)
+	table := b.Bytes("table", slots*8, false)
+	found := b.Bytes("found", 8, false)
+
+	// Insert phase: slot = key & 63, linear probe until empty slot.
+	b.Mov(isa.R(isa.R0), isa.Imm(0))
+	b.Label("ins").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(keys))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, 0)).
+		Mov(isa.R(isa.R3), isa.R(isa.R2)).
+		And(isa.R(isa.R3), isa.Imm(slots-1))
+	b.Label("probe_ins").
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R3, 8, int64(table))).
+		Mov(isa.R(isa.R5), isa.Mem(isa.R4, 0)).
+		Test(isa.R(isa.R5), isa.R(isa.R5)).
+		Je("store").
+		Inc(isa.R(isa.R3)).
+		And(isa.R(isa.R3), isa.Imm(slots-1)).
+		Jmp("probe_ins").
+		Label("store").
+		Mov(isa.Mem(isa.R4, 0), isa.R(isa.R2)).
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(inserts))).
+		Jl("ins")
+
+	// Query phase: bounded linear probe.
+	b.Mov(isa.R(isa.R0), isa.Imm(0))
+	b.Label("q").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(qs))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, 0)).
+		Mov(isa.R(isa.R3), isa.R(isa.R2)).
+		And(isa.R(isa.R3), isa.Imm(slots-1)).
+		Mov(isa.R(isa.R6), isa.Imm(8)) // probe budget
+	b.Label("probe_q").
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R3, 8, int64(table))).
+		Mov(isa.R(isa.R5), isa.Mem(isa.R4, 0)).
+		Cmp(isa.R(isa.R5), isa.R(isa.R2)).
+		Jne("miss").
+		Mov(isa.R(isa.R7), isa.Mem(isa.RegNone, int64(found))).
+		Inc(isa.R(isa.R7)).
+		Mov(isa.Mem(isa.RegNone, int64(found)), isa.R(isa.R7)).
+		Jmp("nextq").
+		Label("miss").
+		Inc(isa.R(isa.R3)).
+		And(isa.R(isa.R3), isa.Imm(slots-1)).
+		Dec(isa.R(isa.R6)).
+		Jne("probe_q").
+		Label("nextq").
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(queries))).
+		Jl("q").
+		Hlt()
+	return b.MustBuild()
+}

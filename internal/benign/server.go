@@ -1,0 +1,360 @@
+package benign
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// Server-application loops: each template models the hot loop of one of
+// the eight real-world applications of Table III — request parsing,
+// lookup structures, buffer transforms and bookkeeping, with sizes drawn
+// from the seed.
+
+// genBTreeSearch: SQLite-like B-tree page walk — binary search within a
+// page, then a pointer hop to the child page.
+func genBTreeSearch(name string, rng *rand.Rand) *isa.Program {
+	pages := 8
+	keysPerPage := 16
+	queries := 10 + rng.Intn(10)
+	b := isa.NewBuilder(name, benignCodeBase)
+	// Pages: sorted keys, contiguous.
+	tree := b.DataInit("tree", uint64(pages*keysPerPage*8),
+		sortedWords(rng, pages*keysPerPage), false)
+	qs := b.DataInit("queries", uint64(queries*8), randWords(rng, queries, 2000), false)
+	hitsOut := b.Bytes("hitsout", 8, false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(0))
+	b.Label("query").
+		Lea(isa.R8, isa.MemIdx(isa.RegNone, isa.R9, 8, int64(qs))).
+		Mov(isa.R(isa.R7), isa.Mem(isa.R8, 0)).
+		Mov(isa.R(isa.R6), isa.Imm(0)) // page index
+	b.Label("page").
+		// Binary search within the page.
+		Mov(isa.R(isa.R0), isa.Imm(0)).
+		Mov(isa.R(isa.R1), isa.Imm(int64(keysPerPage)))
+	b.Label("bs").
+		Cmp(isa.R(isa.R0), isa.R(isa.R1)).
+		Jge("pagedone").
+		Mov(isa.R(isa.R2), isa.R(isa.R0)).
+		Add(isa.R(isa.R2), isa.R(isa.R1)).
+		Shr(isa.R(isa.R2), isa.Imm(1)).
+		Mov(isa.R(isa.R3), isa.R(isa.R6)).
+		Mul(isa.R(isa.R3), isa.Imm(int64(keysPerPage))).
+		Add(isa.R(isa.R3), isa.R(isa.R2)).
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R3, 8, int64(tree))).
+		Mov(isa.R(isa.R5), isa.Mem(isa.R4, 0)).
+		Cmp(isa.R(isa.R5), isa.R(isa.R7)).
+		Jge("goleft").
+		Mov(isa.R(isa.R0), isa.R(isa.R2)).
+		Inc(isa.R(isa.R0)).
+		Jmp("bs").
+		Label("goleft").
+		Mov(isa.R(isa.R1), isa.R(isa.R2)).
+		Jmp("bs")
+	b.Label("pagedone").
+		// Descend: child page = (page*2+1+lowbit(result)) mod pages.
+		Mov(isa.R(isa.R2), isa.R(isa.R6)).
+		Shl(isa.R(isa.R2), isa.Imm(1)).
+		Inc(isa.R(isa.R2)).
+		And(isa.R(isa.R2), isa.Imm(int64(pages-1))).
+		Mov(isa.R(isa.R6), isa.R(isa.R2)).
+		// Two levels of descent per query.
+		Mov(isa.R(isa.R3), isa.Mem(isa.RegNone, int64(hitsOut))).
+		Inc(isa.R(isa.R3)).
+		Mov(isa.Mem(isa.RegNone, int64(hitsOut)), isa.R(isa.R3)).
+		Cmp(isa.R(isa.R3), isa.Imm(int64(queries*2))).
+		Jge("nextq").
+		Test(isa.R(isa.R6), isa.R(isa.R6)).
+		Jne("page").
+		Label("nextq").
+		Inc(isa.R(isa.R9)).
+		Cmp(isa.R(isa.R9), isa.Imm(int64(queries))).
+		Jl("query").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genKexMix: OpenSSH-like key exchange — modular exponentiation mixed
+// with buffer hashing.
+func genKexMix(name string, rng *rand.Rand) *isa.Program {
+	b := isa.NewBuilder(name, benignCodeBase)
+	buf := b.DataInit("kexbuf", 32*8, randWords(rng, 32, 1<<62), false)
+	out := b.Bytes("secret", 8, false)
+	bits := 20 + rng.Intn(12)
+
+	// Exponentiation phase.
+	b.Mov(isa.R(isa.R0), isa.Imm(1)).
+		Mov(isa.R(isa.R1), isa.Imm(int64(rng.Intn(1<<20)+3))).
+		Mov(isa.R(isa.R2), isa.Imm(rng.Int63()|1)).
+		Mov(isa.R(isa.R3), isa.Imm(int64(bits)))
+	b.Label("modexp").
+		Mul(isa.R(isa.R0), isa.R(isa.R0)).
+		And(isa.R(isa.R0), isa.Imm(0x7FFF_FFFF)).
+		Mov(isa.R(isa.R4), isa.R(isa.R2)).
+		And(isa.R(isa.R4), isa.Imm(1)).
+		Test(isa.R(isa.R4), isa.R(isa.R4)).
+		Je("noodd").
+		Mul(isa.R(isa.R0), isa.R(isa.R1)).
+		And(isa.R(isa.R0), isa.Imm(0x7FFF_FFFF)).
+		Label("noodd").
+		Shr(isa.R(isa.R2), isa.Imm(1)).
+		Dec(isa.R(isa.R3)).
+		Jne("modexp")
+	// Hash phase over the exchange buffer.
+	b.Mov(isa.R(isa.R5), isa.Imm(0))
+	b.Label("hash").
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R5, 8, int64(buf))).
+		Xor(isa.R(isa.R0), isa.Mem(isa.R6, 0)).
+		Mul(isa.R(isa.R0), isa.Imm(0x100000001b3)).
+		Inc(isa.R(isa.R5)).
+		Cmp(isa.R(isa.R5), isa.Imm(32)).
+		Jl("hash").
+		Mov(isa.Mem(isa.RegNone, int64(out)), isa.R(isa.R0)).
+		Hlt()
+	return b.MustBuild()
+}
+
+// genHMACLoop: OpenSSL-like HMAC over a sequence of records.
+func genHMACLoop(name string, rng *rand.Rand) *isa.Program {
+	records := 6 + rng.Intn(8)
+	recLen := 16
+	b := isa.NewBuilder(name, benignCodeBase)
+	data := b.DataInit("records", uint64(records*recLen*8),
+		randWords(rng, records*recLen, 1<<62), false)
+	macs := b.Bytes("macs", uint64(records*8), false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(0))
+	b.Label("record").
+		Mov(isa.R(isa.R0), isa.Imm(0x5c5c5c5c)). // opad seed
+		Mov(isa.R(isa.R1), isa.Imm(0))
+	b.Label("inner").
+		Mov(isa.R(isa.R2), isa.R(isa.R9)).
+		Mul(isa.R(isa.R2), isa.Imm(int64(recLen))).
+		Add(isa.R(isa.R2), isa.R(isa.R1)).
+		Lea(isa.R3, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(data))).
+		Xor(isa.R(isa.R0), isa.Mem(isa.R3, 0)).
+		Mov(isa.R(isa.R4), isa.R(isa.R0)).
+		Shl(isa.R(isa.R4), isa.Imm(7)).
+		Add(isa.R(isa.R0), isa.R(isa.R4)).
+		Inc(isa.R(isa.R1)).
+		Cmp(isa.R(isa.R1), isa.Imm(int64(recLen))).
+		Jl("inner").
+		// Outer pass.
+		Xor(isa.R(isa.R0), isa.Imm(0x36363636)).
+		Mul(isa.R(isa.R0), isa.Imm(0x9e3779b97f4a7c1)).
+		Lea(isa.R5, isa.MemIdx(isa.RegNone, isa.R9, 8, int64(macs))).
+		Mov(isa.Mem(isa.R5, 0), isa.R(isa.R0)).
+		Inc(isa.R(isa.R9)).
+		Cmp(isa.R(isa.R9), isa.Imm(int64(records))).
+		Jl("record").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genCommandParse: vsftpd-like command loop — scan a byte buffer for
+// delimiters and dispatch on the first word.
+func genCommandParse(name string, rng *rand.Rand) *isa.Program {
+	cmds := 8 + rng.Intn(8)
+	b := isa.NewBuilder(name, benignCodeBase)
+	// Command codes 0..5 with lengths.
+	input := b.DataInit("input", uint64(cmds*16), randWords(rng, cmds*2, 6), false)
+	counters := b.Bytes("counters", 6*8, false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(0))
+	b.Label("cmd").
+		Mov(isa.R(isa.R8), isa.R(isa.R9)).
+		Shl(isa.R(isa.R8), isa.Imm(4)).
+		Add(isa.R(isa.R8), isa.Imm(int64(input))).
+		Mov(isa.R(isa.R0), isa.Mem(isa.R8, 0)). // opcode
+		Mov(isa.R(isa.R1), isa.Mem(isa.R8, 8))  // arg
+	// Dispatch chain (if-else ladder like real parsers).
+	b.Cmp(isa.R(isa.R0), isa.Imm(0)).
+		Jne("c1").
+		Mov(isa.R(isa.R2), isa.Imm(0)).
+		Jmp("bump").
+		Label("c1").
+		Cmp(isa.R(isa.R0), isa.Imm(1)).
+		Jne("c2").
+		Mov(isa.R(isa.R2), isa.Imm(1)).
+		Jmp("bump").
+		Label("c2").
+		Cmp(isa.R(isa.R0), isa.Imm(2)).
+		Jne("c3").
+		Mov(isa.R(isa.R2), isa.Imm(2)).
+		Jmp("bump").
+		Label("c3").
+		Cmp(isa.R(isa.R0), isa.Imm(3)).
+		Jne("cother").
+		Mov(isa.R(isa.R2), isa.Imm(3)).
+		Jmp("bump").
+		Label("cother").
+		Mov(isa.R(isa.R2), isa.Imm(4)).
+		Test(isa.R(isa.R1), isa.R(isa.R1)).
+		Je("bump").
+		Mov(isa.R(isa.R2), isa.Imm(5)).
+		Label("bump").
+		Lea(isa.R3, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(counters))).
+		Mov(isa.R(isa.R4), isa.Mem(isa.R3, 0)).
+		Inc(isa.R(isa.R4)).
+		Mov(isa.Mem(isa.R3, 0), isa.R(isa.R4)).
+		Inc(isa.R(isa.R9)).
+		Cmp(isa.R(isa.R9), isa.Imm(int64(cmds))).
+		Jl("cmd").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genHTTPServe: thttpd-like request loop — header scan, hash of the
+// path, then a response buffer fill.
+func genHTTPServe(name string, rng *rand.Rand) *isa.Program {
+	requests := 4 + rng.Intn(6)
+	hdrLen := 24
+	respLen := 32
+	b := isa.NewBuilder(name, benignCodeBase)
+	hdrs := b.DataInit("hdrs", uint64(requests*hdrLen*8),
+		randWords(rng, requests*hdrLen, 128), false)
+	resp := b.Bytes("resp", uint64(respLen*8), false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(0))
+	b.Label("request").
+		// Scan headers for a terminator (value 0) while hashing.
+		Mov(isa.R(isa.R0), isa.Imm(0)).
+		Mov(isa.R(isa.R1), isa.Imm(1469598103))
+	b.Label("scan").
+		Mov(isa.R(isa.R2), isa.R(isa.R9)).
+		Mul(isa.R(isa.R2), isa.Imm(int64(hdrLen))).
+		Add(isa.R(isa.R2), isa.R(isa.R0)).
+		Lea(isa.R3, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(hdrs))).
+		Mov(isa.R(isa.R4), isa.Mem(isa.R3, 0)).
+		Xor(isa.R(isa.R1), isa.R(isa.R4)).
+		Mul(isa.R(isa.R1), isa.Imm(16777619)).
+		Test(isa.R(isa.R4), isa.R(isa.R4)).
+		Je("respond").
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(hdrLen))).
+		Jl("scan")
+	b.Label("respond").
+		Mov(isa.R(isa.R5), isa.Imm(0))
+	b.Label("fill").
+		Mov(isa.R(isa.R6), isa.R(isa.R1)).
+		Add(isa.R(isa.R6), isa.R(isa.R5)).
+		Lea(isa.R7, isa.MemIdx(isa.RegNone, isa.R5, 8, int64(resp))).
+		Mov(isa.Mem(isa.R7, 0), isa.R(isa.R6)).
+		Inc(isa.R(isa.R5)).
+		Cmp(isa.R(isa.R5), isa.Imm(int64(respLen))).
+		Jl("fill").
+		Inc(isa.R(isa.R9)).
+		Cmp(isa.R(isa.R9), isa.Imm(int64(requests))).
+		Jl("request").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genDeflateScan: gzip-like sliding-window match finder.
+func genDeflateScan(name string, rng *rand.Rand) *isa.Program {
+	n := 96 + rng.Intn(96)
+	window := 16
+	b := isa.NewBuilder(name, benignCodeBase)
+	data := b.DataInit("data", uint64(n*8), randWords(rng, n, 8), false)
+	matches := b.Bytes("matches", 8, false)
+
+	b.Mov(isa.R(isa.R0), isa.Imm(int64(window))) // position
+	b.Label("pos").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(data))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, 0)). // current symbol
+		Mov(isa.R(isa.R3), isa.Imm(1))          // back distance
+	b.Label("back").
+		Mov(isa.R(isa.R4), isa.R(isa.R0)).
+		Sub(isa.R(isa.R4), isa.R(isa.R3)).
+		Lea(isa.R5, isa.MemIdx(isa.RegNone, isa.R4, 8, int64(data))).
+		Mov(isa.R(isa.R6), isa.Mem(isa.R5, 0)).
+		Cmp(isa.R(isa.R6), isa.R(isa.R2)).
+		Jne("nomatch").
+		Mov(isa.R(isa.R7), isa.Mem(isa.RegNone, int64(matches))).
+		Inc(isa.R(isa.R7)).
+		Mov(isa.Mem(isa.RegNone, int64(matches)), isa.R(isa.R7)).
+		Jmp("advance").
+		Label("nomatch").
+		Inc(isa.R(isa.R3)).
+		Cmp(isa.R(isa.R3), isa.Imm(int64(window))).
+		Jl("back").
+		Label("advance").
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(n))).
+		Jl("pos").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genTunnelLoop: OpenVPN-like packet loop — copy, xor-"encrypt",
+// checksum per packet.
+func genTunnelLoop(name string, rng *rand.Rand) *isa.Program {
+	packets := 5 + rng.Intn(6)
+	pktLen := 24
+	b := isa.NewBuilder(name, benignCodeBase)
+	in := b.DataInit("in", uint64(packets*pktLen*8),
+		randWords(rng, packets*pktLen, 1<<62), false)
+	outBuf := b.Bytes("out", uint64(pktLen*8), false)
+	sums := b.Bytes("sums", uint64(packets*8), false)
+	key := rng.Int63()
+
+	b.Mov(isa.R(isa.R9), isa.Imm(0))
+	b.Label("packet").
+		Mov(isa.R(isa.R0), isa.Imm(0)).
+		Mov(isa.R(isa.R5), isa.Imm(0)) // checksum
+	b.Label("word").
+		Mov(isa.R(isa.R1), isa.R(isa.R9)).
+		Mul(isa.R(isa.R1), isa.Imm(int64(pktLen))).
+		Add(isa.R(isa.R1), isa.R(isa.R0)).
+		Lea(isa.R2, isa.MemIdx(isa.RegNone, isa.R1, 8, int64(in))).
+		Mov(isa.R(isa.R3), isa.Mem(isa.R2, 0)).
+		Xor(isa.R(isa.R3), isa.Imm(key)).
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(outBuf))).
+		Mov(isa.Mem(isa.R4, 0), isa.R(isa.R3)).
+		Add(isa.R(isa.R5), isa.R(isa.R3)).
+		Inc(isa.R(isa.R0)).
+		Cmp(isa.R(isa.R0), isa.Imm(int64(pktLen))).
+		Jl("word").
+		Lea(isa.R6, isa.MemIdx(isa.RegNone, isa.R9, 8, int64(sums))).
+		Mov(isa.Mem(isa.R6, 0), isa.R(isa.R5)).
+		Inc(isa.R(isa.R9)).
+		Cmp(isa.R(isa.R9), isa.Imm(int64(packets))).
+		Jl("packet").
+		Hlt()
+	return b.MustBuild()
+}
+
+// genTimestampLoop: OpenNTPD-like loop — it reads the timestamp counter
+// (benign RDTSCP usage!) and smooths an offset estimate; a deliberate
+// hard case for naive rdtscp-based detection rules.
+func genTimestampLoop(name string, rng *rand.Rand) *isa.Program {
+	samples := 12 + rng.Intn(12)
+	b := isa.NewBuilder(name, benignCodeBase)
+	offsets := b.Bytes("offsets", uint64(samples*8), false)
+
+	b.Mov(isa.R(isa.R9), isa.Imm(0)).
+		Mov(isa.R(isa.R5), isa.Imm(0)) // smoothed offset
+	b.Label("sample").
+		Rdtscp(isa.R0).
+		// Simulated peer time: local time plus jitter from the counter.
+		Mov(isa.R(isa.R1), isa.R(isa.R0)).
+		And(isa.R(isa.R1), isa.Imm(63)).
+		Add(isa.R(isa.R1), isa.R(isa.R0)).
+		Sub(isa.R(isa.R1), isa.R(isa.R0)). // jitter only
+		// smoothed = smoothed*7/8 + jitter/8
+		Mov(isa.R(isa.R2), isa.R(isa.R5)).
+		Mul(isa.R(isa.R2), isa.Imm(7)).
+		Shr(isa.R(isa.R2), isa.Imm(3)).
+		Mov(isa.R(isa.R3), isa.R(isa.R1)).
+		Shr(isa.R(isa.R3), isa.Imm(3)).
+		Add(isa.R(isa.R2), isa.R(isa.R3)).
+		Mov(isa.R(isa.R5), isa.R(isa.R2)).
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R9, 8, int64(offsets))).
+		Mov(isa.Mem(isa.R4, 0), isa.R(isa.R5)).
+		Inc(isa.R(isa.R9)).
+		Cmp(isa.R(isa.R9), isa.Imm(int64(samples))).
+		Jl("sample").
+		Hlt()
+	return b.MustBuild()
+}

@@ -1,0 +1,213 @@
+// Package cfg recovers control flow graphs from ISA programs — the
+// reproduction's stand-in for Angr's CFG recovery on binaries
+// (Section III-A1 of the paper).
+//
+// Recovery is the classic leader algorithm: the program entry, every
+// static branch target and every instruction following a branch starts a
+// basic block; blocks end at branches or right before the next leader.
+// Indirect branches and RET contribute no static successors, exactly as
+// a conservative binary-level CFG would.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/isa"
+)
+
+// BasicBlock is a straight-line instruction sequence (Definition 1).
+// Its identity is the address of its first instruction (the leader).
+type BasicBlock struct {
+	Leader uint64
+	Insns  []isa.Instruction
+}
+
+// Last returns the final instruction of the block.
+func (b *BasicBlock) Last() isa.Instruction { return b.Insns[len(b.Insns)-1] }
+
+// End returns the first address past the block.
+func (b *BasicBlock) End() uint64 { return b.Last().Next() }
+
+// Contains reports whether addr is the address of one of the block's
+// instructions.
+func (b *BasicBlock) Contains(addr uint64) bool {
+	for _, in := range b.Insns {
+		if in.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAttackMark reports whether any instruction carries the ground-truth
+// attack mark (evaluation only).
+func (b *BasicBlock) HasAttackMark() bool {
+	for _, in := range b.Insns {
+		if in.Attack {
+			return true
+		}
+	}
+	return false
+}
+
+// CFG is the control flow graph of a program (Definition 1): blocks keyed
+// by leader address plus a digraph over leaders.
+type CFG struct {
+	Prog   *isa.Program
+	Blocks map[uint64]*BasicBlock
+	G      *graph.Digraph
+
+	addrToLeader map[uint64]uint64
+}
+
+// Build recovers the CFG of p.
+func Build(p *isa.Program) (*CFG, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	leaders := map[uint64]bool{p.Entry: true}
+	if len(p.Insns) > 0 {
+		leaders[p.Insns[0].Addr] = true
+	}
+	for _, in := range p.Insns {
+		if !in.Op.IsBranch() {
+			continue
+		}
+		if t, ok := in.BranchTarget(); ok {
+			leaders[t] = true
+		}
+		// The instruction after any branch (even unconditional: it may be
+		// a join target reached from elsewhere) starts a block when it
+		// exists.
+		if _, ok := p.At(in.Next()); ok {
+			leaders[in.Next()] = true
+		}
+	}
+
+	c := &CFG{
+		Prog:         p,
+		Blocks:       make(map[uint64]*BasicBlock),
+		G:            graph.New(),
+		addrToLeader: make(map[uint64]uint64, len(p.Insns)),
+	}
+
+	// Carve blocks between leaders. Instructions are sorted already.
+	var cur *BasicBlock
+	flush := func() {
+		if cur != nil {
+			c.Blocks[cur.Leader] = cur
+			c.G.AddNode(cur.Leader)
+			cur = nil
+		}
+	}
+	for i, in := range p.Insns {
+		gap := i > 0 && p.Insns[i-1].Next() != in.Addr
+		if leaders[in.Addr] || gap || cur == nil {
+			flush()
+			cur = &BasicBlock{Leader: in.Addr}
+		}
+		cur.Insns = append(cur.Insns, in)
+		c.addrToLeader[in.Addr] = cur.Leader
+		if in.Op.IsBranch() || in.Op == isa.HLT {
+			flush()
+		}
+	}
+	flush()
+
+	// Edges.
+	for _, bb := range c.Blocks {
+		last := bb.Last()
+		switch {
+		case last.Op == isa.HLT:
+			// terminal
+		case last.Op == isa.RET:
+			// no static successor
+		case last.Op == isa.JMP || last.Op == isa.CALL:
+			if t, ok := last.BranchTarget(); ok {
+				c.G.AddEdge(bb.Leader, c.addrToLeader[t])
+			}
+			if last.Op == isa.CALL {
+				// A call returns: fallthrough edge approximates the
+				// post-return control flow, as binary CFG tools do.
+				if _, ok := p.At(last.Next()); ok {
+					c.G.AddEdge(bb.Leader, c.addrToLeader[last.Next()])
+				}
+			}
+		case last.Op.IsCondBranch():
+			if t, ok := last.BranchTarget(); ok {
+				c.G.AddEdge(bb.Leader, c.addrToLeader[t])
+			}
+			if _, ok := p.At(last.Next()); ok {
+				c.G.AddEdge(bb.Leader, c.addrToLeader[last.Next()])
+			}
+		default:
+			// Plain fallthrough into the next leader.
+			if _, ok := p.At(last.Next()); ok {
+				c.G.AddEdge(bb.Leader, c.addrToLeader[last.Next()])
+			}
+		}
+	}
+	return c, nil
+}
+
+// MustBuild panics on error; for tests and static corpora.
+func MustBuild(p *isa.Program) *CFG {
+	c, err := Build(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// LeaderOf maps any instruction address to its block leader.
+func (c *CFG) LeaderOf(addr uint64) (uint64, bool) {
+	l, ok := c.addrToLeader[addr]
+	return l, ok
+}
+
+// Block returns the block with the given leader.
+func (c *CFG) Block(leader uint64) (*BasicBlock, bool) {
+	b, ok := c.Blocks[leader]
+	return b, ok
+}
+
+// Leaders returns all block leaders in ascending address order.
+func (c *CFG) Leaders() []uint64 {
+	out := make([]uint64, 0, len(c.Blocks))
+	for l := range c.Blocks {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumBlocks returns the block count (#BB of Table IV).
+func (c *CFG) NumBlocks() int { return len(c.Blocks) }
+
+// EntryLeader returns the leader of the entry block.
+func (c *CFG) EntryLeader() uint64 {
+	l, ok := c.addrToLeader[c.Prog.Entry]
+	if !ok {
+		return c.Prog.Entry
+	}
+	return l
+}
+
+// GroundTruthAttackBlocks returns the leaders of blocks containing at
+// least one ground-truth-marked instruction (#TAB of Table IV).
+func (c *CFG) GroundTruthAttackBlocks() []uint64 {
+	var out []uint64
+	for _, l := range c.Leaders() {
+		if c.Blocks[l].HasAttackMark() {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// String summarizes the CFG.
+func (c *CFG) String() string {
+	return fmt.Sprintf("cfg{%s: %d blocks, %d edges}", c.Prog.Name, c.NumBlocks(), c.G.NumEdges())
+}

@@ -1,0 +1,204 @@
+// Package dataset assembles the evaluation corpora of Tables II and III:
+// per attack family, mutated variants of the canonical PoCs with varied
+// attack parameters; for the benign class, a mix of SPEC-like,
+// LeetCode-like, crypto and server programs in the paper's proportions
+// (12 : 280 : 100 : 8 out of 400). Everything is seeded and
+// reproducible.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/attacks"
+	"repro/internal/benign"
+	"repro/internal/isa"
+	"repro/internal/mutate"
+)
+
+// Sample is one labeled program of the corpus.
+type Sample struct {
+	Name    string
+	Label   attacks.Family
+	Source  string // canonical PoC or benign template the sample derives from
+	Program *isa.Program
+	Victim  *isa.Program // nil for benign and Spectre samples
+}
+
+// Config controls corpus generation.
+type Config struct {
+	// PerClass is the number of samples per class (the paper uses 400;
+	// tests and quick runs use less).
+	PerClass int
+	// Seed drives every random choice.
+	Seed int64
+	// Obfuscate applies the polymorphic obfuscation pass instead of the
+	// light mutation (the E4 corpus).
+	Obfuscate bool
+}
+
+// DefaultConfig matches the paper's scale.
+func DefaultConfig() Config { return Config{PerClass: 400, Seed: 1} }
+
+// varyParams draws diversified but working attack parameters.
+func varyParams(rng *rand.Rand) attacks.Params {
+	p := attacks.DefaultParams()
+	p.Rounds = 3 + rng.Intn(3)
+	p.Lines = 8 + rng.Intn(8)
+	p.Wait = 16 + rng.Intn(24)
+	p.Secret = rng.Intn(p.Lines)
+	return p
+}
+
+// AttackSamples generates n labeled samples of one family by cycling
+// through the family's canonical PoCs, varying parameters and mutating
+// the result.
+func AttackSamples(family attacks.Family, n int, seed int64, obfuscate bool) ([]Sample, error) {
+	base := attacks.OfFamily(family, attacks.DefaultParams())
+	if len(base) == 0 {
+		return nil, fmt.Errorf("dataset: unknown family %q", family)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		ctorIdx := i % len(base)
+		params := varyParams(rng)
+		poc, err := attacks.ByName(base[ctorIdx].Name, params)
+		if err != nil {
+			return nil, err
+		}
+		mcfg := mutate.LightConfig(rng.Int63())
+		if obfuscate {
+			mcfg = mutate.ObfuscationConfig(rng.Int63())
+		}
+		prog, err := mutate.Mutate(poc.Program, mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s sample %d: %w", family, i, err)
+		}
+		prog.Name = fmt.Sprintf("%s-v%03d", poc.Name, i)
+		out = append(out, Sample{
+			Name:    prog.Name,
+			Label:   family,
+			Source:  poc.Name,
+			Program: prog,
+			Victim:  poc.Victim,
+		})
+	}
+	return out, nil
+}
+
+// benignMix returns how many samples of each Table III type make up a
+// benign set of size n, preserving the paper's 12/280/100/8 proportions.
+func benignMix(n int) map[benign.Kind]int {
+	mix := map[benign.Kind]int{
+		benign.KindSpec:     n * 12 / 400,
+		benign.KindLeetcode: n * 280 / 400,
+		benign.KindCrypto:   n * 100 / 400,
+		benign.KindServer:   n * 8 / 400,
+	}
+	// Distribute rounding leftovers to the largest class.
+	total := 0
+	for _, v := range mix {
+		total += v
+	}
+	mix[benign.KindLeetcode] += n - total
+	// Guarantee at least one of each kind when n allows it.
+	if n >= len(mix) {
+		for _, k := range benign.Kinds() {
+			if mix[k] == 0 {
+				mix[k]++
+				mix[benign.KindLeetcode]--
+			}
+		}
+	}
+	return mix
+}
+
+// BenignSamples generates n labeled benign samples in Table III
+// proportions.
+func BenignSamples(n int, seed int64) ([]Sample, error) {
+	rng := rand.New(rand.NewSource(seed))
+	mix := benignMix(n)
+	out := make([]Sample, 0, n)
+	for _, kind := range benign.Kinds() {
+		ts := benign.Templates(kind)
+		for i := 0; i < mix[kind]; i++ {
+			tmpl := ts[rng.Intn(len(ts))]
+			spec := benign.Spec{Kind: kind, Template: tmpl, Seed: rng.Int63()}
+			p, err := benign.Generate(spec)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Sample{
+				Name:    p.Name,
+				Label:   attacks.FamilyBenign,
+				Source:  string(kind) + "/" + tmpl,
+				Program: p,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Dataset is a full labeled corpus.
+type Dataset struct {
+	Samples []Sample
+}
+
+// Standard builds the full five-class corpus (four attack families plus
+// benign), PerClass samples each.
+func Standard(cfg Config) (*Dataset, error) {
+	if cfg.PerClass <= 0 {
+		cfg.PerClass = DefaultConfig().PerClass
+	}
+	d := &Dataset{}
+	for i, fam := range attacks.Families() {
+		s, err := AttackSamples(fam, cfg.PerClass, cfg.Seed+int64(i)*1000, cfg.Obfuscate)
+		if err != nil {
+			return nil, err
+		}
+		d.Samples = append(d.Samples, s...)
+	}
+	b, err := BenignSamples(cfg.PerClass, cfg.Seed+9999)
+	if err != nil {
+		return nil, err
+	}
+	d.Samples = append(d.Samples, b...)
+	return d, nil
+}
+
+// ByLabel returns the samples of one class.
+func (d *Dataset) ByLabel(label attacks.Family) []Sample {
+	var out []Sample
+	for _, s := range d.Samples {
+		if s.Label == label {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Labels returns the distinct labels present, in first-seen order.
+func (d *Dataset) Labels() []attacks.Family {
+	seen := make(map[attacks.Family]bool)
+	var out []attacks.Family
+	for _, s := range d.Samples {
+		if !seen[s.Label] {
+			seen[s.Label] = true
+			out = append(out, s.Label)
+		}
+	}
+	return out
+}
+
+// Len returns the corpus size.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// Stats summarizes per-class counts (the Table II/III "#M" columns).
+func (d *Dataset) Stats() map[attacks.Family]int {
+	out := make(map[attacks.Family]int)
+	for _, s := range d.Samples {
+		out[s.Label]++
+	}
+	return out
+}

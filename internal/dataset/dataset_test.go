@@ -1,0 +1,183 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/benign"
+	"repro/internal/exec"
+)
+
+func TestAttackSamples(t *testing.T) {
+	samples, err := AttackSamples(attacks.FamilyFR, 12, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 12 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	sources := make(map[string]bool)
+	names := make(map[string]bool)
+	for _, s := range samples {
+		if s.Label != attacks.FamilyFR {
+			t.Errorf("label = %s", s.Label)
+		}
+		if err := s.Program.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if s.Victim == nil {
+			t.Errorf("%s: FR family needs a victim", s.Name)
+		}
+		if names[s.Name] {
+			t.Errorf("duplicate name %s", s.Name)
+		}
+		names[s.Name] = true
+		sources[s.Source] = true
+	}
+	// All five FR-family PoCs must appear as sources when n >= 5.
+	if len(sources) != 5 {
+		t.Errorf("sources = %v, want all 5 FR PoCs", sources)
+	}
+}
+
+func TestAttackSamplesUnknownFamily(t *testing.T) {
+	if _, err := AttackSamples("nope", 3, 1, false); err == nil {
+		t.Error("unknown family must fail")
+	}
+}
+
+func TestSpectreSamplesAreSelfContained(t *testing.T) {
+	samples, err := AttackSamples(attacks.FamilySFR, 6, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.Victim != nil {
+			t.Errorf("%s: spectre sample must not need a victim", s.Name)
+		}
+	}
+}
+
+func TestBenignSamplesMix(t *testing.T) {
+	samples, err := BenignSamples(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 40 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	kinds := make(map[string]int)
+	for _, s := range samples {
+		if s.Label != attacks.FamilyBenign {
+			t.Errorf("label = %s", s.Label)
+		}
+		kinds[s.Source[:4]]++
+	}
+	// The leetcode share dominates per Table III proportions.
+	leet := 0
+	for src, n := range kinds {
+		if src == "leet" {
+			leet = n
+		}
+	}
+	if leet < 20 {
+		t.Errorf("leetcode share = %d of 40, want the majority", leet)
+	}
+}
+
+func TestBenignMixCoversAllKinds(t *testing.T) {
+	mix := benignMix(40)
+	total := 0
+	for _, k := range benign.Kinds() {
+		if mix[k] == 0 {
+			t.Errorf("kind %s missing from mix", k)
+		}
+		total += mix[k]
+	}
+	if total != 40 {
+		t.Errorf("mix total = %d", total)
+	}
+}
+
+func TestStandardDataset(t *testing.T) {
+	d, err := Standard(Config{PerClass: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 25 {
+		t.Fatalf("len = %d, want 25", d.Len())
+	}
+	stats := d.Stats()
+	for _, fam := range append(attacks.Families(), attacks.FamilyBenign) {
+		if stats[fam] != 5 {
+			t.Errorf("%s count = %d", fam, stats[fam])
+		}
+	}
+	if got := len(d.Labels()); got != 5 {
+		t.Errorf("labels = %d", got)
+	}
+	if got := len(d.ByLabel(attacks.FamilyPP)); got != 5 {
+		t.Errorf("ByLabel(PP) = %d", got)
+	}
+}
+
+func TestDatasetDeterminism(t *testing.T) {
+	a, err := Standard(Config{PerClass: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Standard(Config{PerClass: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Name != b.Samples[i].Name ||
+			len(a.Samples[i].Program.Insns) != len(b.Samples[i].Program.Insns) {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+// A random mutated sample of each family must still execute and halt (or
+// run its victim loop without crashing).
+func TestSamplesExecute(t *testing.T) {
+	d, err := Standard(Config{PerClass: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range d.Samples {
+		cfg := exec.DefaultConfig()
+		cfg.MaxRetired = 300_000
+		m, err := exec.NewMachine(cfg, s.Program, s.Victim)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		tr := m.Run()
+		if !tr.Halted {
+			t.Errorf("%s: did not halt", s.Name)
+		}
+	}
+}
+
+func TestObfuscatedDataset(t *testing.T) {
+	plain, err := AttackSamples(attacks.FamilyPP, 3, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obf, err := AttackSamples(attacks.FamilyPP, 3, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grew := 0
+	for i := range plain {
+		if len(obf[i].Program.Insns) > len(plain[i].Program.Insns) {
+			grew++
+		}
+	}
+	if grew == 0 {
+		t.Error("obfuscated samples are not larger than light mutants")
+	}
+}

@@ -1,0 +1,189 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/benign"
+)
+
+// TestFullCorpusClassification classifies every canonical PoC against
+// the one-PoC-per-family repository and checks the verdicts. Two PoCs
+// are documented hard cases whose best match may fall on the sibling
+// family that shares their structure; they must still be detected as
+// attacks.
+func TestFullCorpusClassification(t *testing.T) {
+	d := NewDetector(repo(t))
+	want := map[string][]attacks.Family{
+		"FR-IAIK":      {attacks.FamilyFR},
+		"FR-Mastik":    {attacks.FamilyFR, attacks.FamilySFR}, // batched sweeps sit between FR and its Spectre derivative
+		"FR-Nepoche":   {attacks.FamilyFR},
+		"FF-IAIK":      {attacks.FamilyFR},
+		"ER-IAIK":      {attacks.FamilyFR},
+		"PP-IAIK":      {attacks.FamilyPP},
+		"PP-Jzhang":    {attacks.FamilyPP, attacks.FamilyFR}, // batched structure
+		"S-FR-Idea":    {attacks.FamilySFR},
+		"S-FR-Good":    {attacks.FamilySFR, attacks.FamilyFR}, // Spectre-FR contains full FR phases
+		"S-FR-Min":     {attacks.FamilySFR, attacks.FamilySPP},
+		"S-PP-Trippel": {attacks.FamilySPP},
+	}
+	for _, poc := range attacks.All(attacks.DefaultParams()) {
+		res, _, err := d.Classify(poc.Program, poc.Victim)
+		if err != nil {
+			t.Fatalf("%s: %v", poc.Name, err)
+		}
+		if res.Predicted == attacks.FamilyBenign {
+			t.Errorf("%s: classified benign (score %.2f)", poc.Name, res.Best.Score)
+			continue
+		}
+		allowed := want[poc.Name]
+		ok := false
+		for _, fam := range allowed {
+			if res.Predicted == fam {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: classified %s (best %s %.2f), allowed %v",
+				poc.Name, res.Predicted, res.Best.Name, res.Best.Score, allowed)
+		}
+	}
+}
+
+// TestBenignPanelClassification checks a broad benign panel: one
+// template of every family across several seeds, all of which must stay
+// benign.
+func TestBenignPanelClassification(t *testing.T) {
+	d := NewDetector(repo(t))
+	for _, kind := range benign.Kinds() {
+		for _, tmpl := range benign.Templates(kind) {
+			prog := benign.MustGenerate(benign.Spec{Kind: kind, Template: tmpl, Seed: 31})
+			res, _, err := d.Classify(prog, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kind, tmpl, err)
+			}
+			if res.Predicted != attacks.FamilyBenign {
+				t.Errorf("%s/%s: classified %s (best %s %.2f)",
+					kind, tmpl, res.Predicted, res.Best.Name, res.Best.Score)
+			}
+		}
+	}
+}
+
+// TestMeltdownVariantDetected checks generalization to a transient
+// attack type absent from Table II entirely: the Meltdown-type PoC must
+// land in the transient-FR neighborhood, never in benign.
+func TestMeltdownVariantDetected(t *testing.T) {
+	d := NewDetector(repo(t))
+	poc := attacks.MeltdownFR(attacks.DefaultParams())
+	res, _, err := d.Classify(poc.Program, poc.Victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Predicted == attacks.FamilyBenign {
+		t.Fatalf("Meltdown-FR classified benign (best %s %.2f)", res.Best.Name, res.Best.Score)
+	}
+	if res.Predicted != attacks.FamilySFR && res.Predicted != attacks.FamilyFR {
+		t.Errorf("Meltdown-FR classified %s; expected the transient/FR neighborhood", res.Predicted)
+	}
+}
+
+// TestEvictTimeVariantDetected: Evict+Time is a third classic technique
+// absent from Table II; its eviction sweeps and timer-windowed
+// interrogation must land it in an eviction-based attack family.
+func TestEvictTimeVariantDetected(t *testing.T) {
+	d := NewDetector(repo(t))
+	poc := attacks.EvictTime(attacks.DefaultParams())
+	res, _, err := d.Classify(poc.Program, poc.Victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Predicted == attacks.FamilyBenign {
+		t.Fatalf("Evict+Time classified benign (best %s %.2f)", res.Best.Name, res.Best.Score)
+	}
+}
+
+// TestBenignFalsePositiveSweep classifies every benign template across
+// several seeds; the false-positive rate must stay under 2%.
+func TestBenignFalsePositiveSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	d := NewDetector(repo(t))
+	total, fps := 0, 0
+	for _, kind := range benign.Kinds() {
+		for _, tmpl := range benign.Templates(kind) {
+			for seed := int64(100); seed < 105; seed++ {
+				prog := benign.MustGenerate(benign.Spec{Kind: kind, Template: tmpl, Seed: seed})
+				res, _, err := d.Classify(prog, nil)
+				if err != nil {
+					t.Fatalf("%s/%s/%d: %v", kind, tmpl, seed, err)
+				}
+				total++
+				if res.Predicted != attacks.FamilyBenign {
+					fps++
+					t.Logf("FP: %s/%s seed %d -> %s (%.2f)",
+						kind, tmpl, seed, res.Predicted, res.Best.Score)
+				}
+			}
+		}
+	}
+	if rate := float64(fps) / float64(total); rate > 0.02 {
+		t.Errorf("false positive rate %.1f%% (%d/%d)", rate*100, fps, total)
+	}
+}
+
+// TestAttackDetectionSweep varies attack parameters across the whole
+// canonical corpus plus extensions; every configuration must be detected
+// as an attack (family mixups allowed, benign verdicts not).
+func TestAttackDetectionSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	d := NewDetector(repo(t))
+	variations := []attacks.Params{
+		{Rounds: 3, Lines: 8, Wait: 16, Secret: 2, Threshold: 100},
+		{Rounds: 5, Lines: 14, Wait: 30, Secret: 9, Threshold: 100},
+		{Rounds: 4, Lines: 10, Wait: 40, Secret: 0, Threshold: 100},
+	}
+	names := append(attacks.Names(), attacks.ExtensionNames()...)
+	total, missed := 0, 0
+	for _, name := range names {
+		for _, p := range variations {
+			poc, err := attacks.ByName(name, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, _, err := d.Classify(poc.Program, poc.Victim)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			total++
+			if res.Predicted == attacks.FamilyBenign {
+				missed++
+				t.Logf("MISS: %s %+v (best %s %.2f)", name, p, res.Best.Name, res.Best.Score)
+			}
+		}
+	}
+	if missed > 0 {
+		t.Errorf("missed %d/%d attack configurations", missed, total)
+	}
+}
+
+// TestSpectreBTBVariantDetected: Spectre-v2 (branch target injection) is
+// another transient family with no repository model; its gadget+reload
+// structure must land in the transient/FR neighborhood, never benign.
+func TestSpectreBTBVariantDetected(t *testing.T) {
+	d := NewDetector(repo(t))
+	poc, err := attacks.ByName("S-BTB", attacks.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := d.Classify(poc.Program, poc.Victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Predicted == attacks.FamilyBenign {
+		t.Fatalf("S-BTB classified benign (best %s %.2f)", res.Best.Name, res.Best.Score)
+	}
+}

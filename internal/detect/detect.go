@@ -1,0 +1,162 @@
+// Package detect implements SCAGuard's deployment layer
+// (Section III-B3): a repository of attack behavior models built from
+// the PoCs of known attacks, and a detector that models a target
+// program, compares it against every repository entry with the CST-BBS
+// similarity, and classifies it as the family of the best match — or as
+// benign when every score falls below the threshold (45% by default,
+// the optimum of Fig. 5).
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attacks"
+	"repro/internal/isa"
+	"repro/internal/model"
+	"repro/internal/similarity"
+)
+
+// DefaultThreshold is the paper's operating point (the middle of the
+// 30%-60% plateau of Fig. 5).
+const DefaultThreshold = 0.45
+
+// MinModelLen is the smallest CST-BBS that can represent an attack: a
+// cache side-channel attack needs at least preparation, measurement and
+// decision behavior, so its model always has several cache-active
+// blocks. Targets with shorter models are benign by construction;
+// without the gate a two-block benign model (e.g. one hot crypto table
+// loop) could align its few blocks cheaply onto an attack model. A
+// hand-written minimal Flush+Reload flattens to four entries, so the
+// gate sits at three.
+const MinModelLen = 3
+
+// Entry is one attack behavior model in the repository.
+type Entry struct {
+	Name   string
+	Family attacks.Family
+	BBS    *model.CSTBBS
+}
+
+// Repository holds the known-attack models.
+type Repository struct {
+	Entries []Entry
+}
+
+// Add inserts a model.
+func (r *Repository) Add(name string, family attacks.Family, bbs *model.CSTBBS) {
+	r.Entries = append(r.Entries, Entry{Name: name, Family: family, BBS: bbs})
+}
+
+// Families returns the distinct families represented, sorted.
+func (r *Repository) Families() []attacks.Family {
+	seen := make(map[attacks.Family]bool)
+	for _, e := range r.Entries {
+		seen[e.Family] = true
+	}
+	out := make([]attacks.Family, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BuildRepository models each PoC (with its victim when it has one) and
+// stores the resulting CST-BBSes. This is the "one PoC per attack type"
+// modeling step the paper's evaluation uses.
+func BuildRepository(pocs []attacks.PoC, cfg model.Config) (*Repository, error) {
+	r := &Repository{}
+	for _, poc := range pocs {
+		m, err := model.Build(poc.Program, poc.Victim, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("detect: modeling %s: %w", poc.Name, err)
+		}
+		r.Add(poc.Name, poc.Family, m.BBS)
+	}
+	return r, nil
+}
+
+// Match is one repository comparison result.
+type Match struct {
+	Name   string
+	Family attacks.Family
+	Score  float64
+}
+
+// Result is a classification outcome.
+type Result struct {
+	// Predicted is the inferred family, or attacks.FamilyBenign when no
+	// score reached the threshold.
+	Predicted attacks.Family
+	// Best is the highest-scoring repository entry.
+	Best Match
+	// Matches lists every comparison, best first.
+	Matches []Match
+}
+
+// Detector classifies target programs against a repository.
+type Detector struct {
+	Repo      *Repository
+	Threshold float64
+	ModelCfg  model.Config
+	SimOpts   similarity.Options
+	// RequireTimer gates classification on the target having read a
+	// timer at least once: a cache side-channel attack measures timing
+	// differences by definition, so a timer-free program is benign
+	// regardless of its cache-access shape. Disable for ablations.
+	RequireTimer bool
+}
+
+// NewDetector returns a detector with the paper's defaults.
+func NewDetector(repo *Repository) *Detector {
+	return &Detector{
+		Repo:         repo,
+		Threshold:    DefaultThreshold,
+		ModelCfg:     model.DefaultConfig(),
+		SimOpts:      similarity.DefaultOptions(),
+		RequireTimer: true,
+	}
+}
+
+// ClassifyBBS scores a pre-built behavior model against the repository.
+func (d *Detector) ClassifyBBS(bbs *model.CSTBBS) Result {
+	res := Result{Predicted: attacks.FamilyBenign}
+	if bbs.Len() < MinModelLen {
+		return res
+	}
+	if d.RequireTimer && bbs.TimerReads == 0 {
+		return res
+	}
+	for _, e := range d.Repo.Entries {
+		s := similarity.Score(bbs, e.BBS, d.SimOpts)
+		res.Matches = append(res.Matches, Match{Name: e.Name, Family: e.Family, Score: s})
+	}
+	sort.SliceStable(res.Matches, func(i, j int) bool {
+		return res.Matches[i].Score > res.Matches[j].Score
+	})
+	if len(res.Matches) > 0 {
+		res.Best = res.Matches[0]
+		if res.Best.Score >= d.Threshold {
+			res.Predicted = res.Best.Family
+		}
+	}
+	return res
+}
+
+// Classify models the target program (optionally alongside a victim
+// workload) and scores it against the repository.
+func (d *Detector) Classify(prog *isa.Program, victim *isa.Program) (Result, *model.Model, error) {
+	m, err := model.Build(prog, victim, d.ModelCfg)
+	if err != nil {
+		return Result{}, nil, fmt.Errorf("detect: modeling target %s: %w", progName(prog), err)
+	}
+	return d.ClassifyBBS(m.BBS), m, nil
+}
+
+func progName(p *isa.Program) string {
+	if p == nil {
+		return "<nil>"
+	}
+	return p.Name
+}

@@ -1,0 +1,91 @@
+package detect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/attacks"
+	"repro/internal/cache"
+	"repro/internal/model"
+)
+
+// The wire format for a saved repository. Deployment (Section III-B3 of
+// the paper) builds the repository once from PoCs and ships it to the
+// detection hosts; persistence makes that split concrete.
+
+type repoFile struct {
+	Version int         `json:"version"`
+	Entries []entryFile `json:"entries"`
+}
+
+type entryFile struct {
+	Name       string    `json:"name"`
+	Family     string    `json:"family"`
+	TimerReads uint64    `json:"timer_reads"`
+	Seq        []cstFile `json:"seq"`
+}
+
+type cstFile struct {
+	Leader     uint64   `json:"leader"`
+	BeforeAO   float64  `json:"before_ao"`
+	BeforeIO   float64  `json:"before_io"`
+	AfterAO    float64  `json:"after_ao"`
+	AfterIO    float64  `json:"after_io"`
+	NormInsns  []string `json:"norm_insns"`
+	FirstCycle uint64   `json:"first_cycle"`
+	HPCValue   uint64   `json:"hpc_value"`
+}
+
+const repoFormatVersion = 1
+
+// Save writes the repository as JSON.
+func (r *Repository) Save(w io.Writer) error {
+	out := repoFile{Version: repoFormatVersion}
+	for _, e := range r.Entries {
+		ef := entryFile{Name: e.Name, Family: string(e.Family), TimerReads: e.BBS.TimerReads}
+		for _, c := range e.BBS.Seq {
+			ef.Seq = append(ef.Seq, cstFile{
+				Leader:     c.Leader,
+				BeforeAO:   c.Before.AO,
+				BeforeIO:   c.Before.IO,
+				AfterAO:    c.After.AO,
+				AfterIO:    c.After.IO,
+				NormInsns:  c.NormInsns,
+				FirstCycle: c.FirstCycle,
+				HPCValue:   c.HPCValue,
+			})
+		}
+		out.Entries = append(out.Entries, ef)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadRepository reads a repository saved with Save.
+func LoadRepository(r io.Reader) (*Repository, error) {
+	var in repoFile
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("detect: load repository: %w", err)
+	}
+	if in.Version != repoFormatVersion {
+		return nil, fmt.Errorf("detect: unsupported repository version %d", in.Version)
+	}
+	repo := &Repository{}
+	for _, ef := range in.Entries {
+		bbs := &model.CSTBBS{Name: ef.Name, TimerReads: ef.TimerReads}
+		for _, c := range ef.Seq {
+			bbs.Seq = append(bbs.Seq, model.CST{
+				Leader:     c.Leader,
+				Before:     cache.State{AO: c.BeforeAO, IO: c.BeforeIO},
+				After:      cache.State{AO: c.AfterAO, IO: c.AfterIO},
+				NormInsns:  c.NormInsns,
+				FirstCycle: c.FirstCycle,
+				HPCValue:   c.HPCValue,
+			})
+		}
+		repo.Add(ef.Name, attacks.Family(ef.Family), bbs)
+	}
+	return repo, nil
+}

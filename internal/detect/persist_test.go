@@ -1,0 +1,62 @@
+package detect
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/attacks"
+)
+
+func TestRepositorySaveLoadRoundtrip(t *testing.T) {
+	orig := repo(t)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRepository(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Entries) != len(orig.Entries) {
+		t.Fatalf("entries %d -> %d", len(orig.Entries), len(loaded.Entries))
+	}
+	for i, e := range orig.Entries {
+		l := loaded.Entries[i]
+		if l.Name != e.Name || l.Family != e.Family {
+			t.Errorf("entry %d identity changed: %s/%s", i, l.Name, l.Family)
+		}
+		if l.BBS.Len() != e.BBS.Len() {
+			t.Fatalf("entry %d length %d -> %d", i, e.BBS.Len(), l.BBS.Len())
+		}
+		for j := range e.BBS.Seq {
+			a, b := e.BBS.Seq[j], l.BBS.Seq[j]
+			if a.Before != b.Before || a.After != b.After || a.Leader != b.Leader ||
+				a.FirstCycle != b.FirstCycle || a.HPCValue != b.HPCValue {
+				t.Fatalf("entry %d cst %d changed", i, j)
+			}
+			if strings.Join(a.NormInsns, ";") != strings.Join(b.NormInsns, ";") {
+				t.Fatalf("entry %d cst %d instructions changed", i, j)
+			}
+		}
+	}
+	// A detector over the loaded repository behaves identically.
+	d := NewDetector(loaded)
+	poc := attacks.FlushReloadNepoche(attacks.DefaultParams())
+	res, _, err := d.Classify(poc.Program, poc.Victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Predicted != attacks.FamilyFR {
+		t.Errorf("loaded repository misclassifies: %s", res.Predicted)
+	}
+}
+
+func TestLoadRepositoryErrors(t *testing.T) {
+	if _, err := LoadRepository(strings.NewReader("not json")); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := LoadRepository(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("unknown version must fail")
+	}
+}

@@ -1,0 +1,25 @@
+package dtw_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dtw"
+)
+
+// A stretched copy of a sequence aligns with zero cost — the property
+// that lets CST-BBS comparison tolerate unrolled or repeated attack
+// phases.
+func ExampleDistance() {
+	a := []float64{0, 1, 2, 3}
+	b := []float64{0, 0, 1, 1, 2, 2, 3, 3}
+	d := func(i, j int) float64 { return math.Abs(a[i] - b[j]) }
+	fmt.Println(dtw.Distance(len(a), len(b), d, dtw.Options{}))
+	// Output: 0
+}
+
+// Converting a distance into the paper's similarity score.
+func ExampleSimilarity() {
+	fmt.Println(dtw.Similarity(0), dtw.Similarity(1))
+	// Output: 1 0.5
+}

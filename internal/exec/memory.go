@@ -1,0 +1,68 @@
+package exec
+
+// Memory is a sparse, page-granular byte-addressable physical memory.
+// Attacker and victim programs live in one flat physical address space,
+// which is how shared library pages (Flush+Reload) and set-index aliasing
+// (Prime+Probe) arise naturally.
+type Memory struct {
+	pages map[uint64][]byte
+}
+
+const pageShift = 12
+const pageSize = 1 << pageShift
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64][]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) []byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = make([]byte, pageSize)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte reads one byte (0 for untouched memory).
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint64, v byte) {
+	p := m.page(addr, true)
+	p[addr&(pageSize-1)] = v
+}
+
+// Load64 reads a little-endian 64-bit word at any alignment.
+func (m *Memory) Load64(addr uint64) uint64 {
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.LoadByte(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Store64 writes a little-endian 64-bit word at any alignment.
+func (m *Memory) Store64(addr uint64, v uint64) {
+	for i := uint64(0); i < 8; i++ {
+		m.StoreByte(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for i, v := range b {
+		m.StoreByte(addr+uint64(i), v)
+	}
+}
+
+// PageCount returns the number of touched pages (for tests).
+func (m *Memory) PageCount() int { return len(m.pages) }

@@ -1,0 +1,167 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/hpc"
+)
+
+// AddrRecord aggregates everything observed about one instruction
+// address of the monitored process: how often it retired, when it first
+// did, and which memory lines it touched or flushed. Together with the
+// HPC bank this is the runtime information Section III-A of the paper
+// collects via perf and Intel PT.
+type AddrRecord struct {
+	ExecCount  uint64
+	FirstCycle uint64
+	// MemLines holds line-aligned data addresses read or written by the
+	// instruction (architecturally or transiently).
+	MemLines map[uint64]struct{}
+	// FlushLines holds line-aligned addresses the instruction flushed.
+	FlushLines map[uint64]struct{}
+}
+
+// SetAccessKind tags entries of the cache-set trace.
+type SetAccessKind uint8
+
+// Cache-set trace entry kinds.
+const (
+	SetRead SetAccessKind = iota
+	SetWrite
+	SetFlush
+)
+
+// SetAccess is one entry of the chronological cache-set access trace the
+// SCADET baseline consumes.
+type SetAccess struct {
+	Cycle uint64
+	Set   int    // LLC set index
+	Line  uint64 // line-aligned address
+	Kind  SetAccessKind
+	PC    uint64
+}
+
+// WindowSample is one fixed-width time window of HPC activity; the ML
+// baselines build their feature vectors from sequences of these.
+type WindowSample struct {
+	StartCycle uint64
+	Counts     hpc.Counts
+}
+
+// Trace is the complete runtime record of the monitored process.
+type Trace struct {
+	Bank     *hpc.Bank
+	ByAddr   map[uint64]*AddrRecord
+	SetTrace []SetAccess
+	Windows  []WindowSample
+
+	Retired     uint64 // architecturally retired instructions
+	Transient   uint64 // speculatively executed (squashed) instructions
+	Cycles      uint64 // total virtual cycles at the end of the run
+	Halted      bool   // monitored process reached HLT
+	WindowWidth uint64
+
+	maxSetTrace int
+	curWindow   WindowSample
+}
+
+// newTrace builds an empty trace with the given sampling parameters.
+func newTrace(windowWidth uint64, maxSetTrace int) *Trace {
+	if windowWidth == 0 {
+		windowWidth = 2048
+	}
+	return &Trace{
+		Bank:        hpc.NewBank(),
+		ByAddr:      make(map[uint64]*AddrRecord),
+		WindowWidth: windowWidth,
+		maxSetTrace: maxSetTrace,
+	}
+}
+
+func (t *Trace) record(pc uint64, cycle uint64) *AddrRecord {
+	r := t.ByAddr[pc]
+	if r == nil {
+		r = &AddrRecord{
+			FirstCycle: cycle,
+			MemLines:   make(map[uint64]struct{}),
+			FlushLines: make(map[uint64]struct{}),
+		}
+		t.ByAddr[pc] = r
+	}
+	return r
+}
+
+func (t *Trace) retire(pc uint64, cycle uint64) {
+	r := t.record(pc, cycle)
+	r.ExecCount++
+	t.Retired++
+}
+
+func (t *Trace) memLine(pc, lineAddr uint64, cycle uint64) {
+	t.record(pc, cycle).MemLines[lineAddr] = struct{}{}
+}
+
+func (t *Trace) flushLine(pc, lineAddr uint64, cycle uint64) {
+	t.record(pc, cycle).FlushLines[lineAddr] = struct{}{}
+}
+
+func (t *Trace) setAccess(cycle uint64, set int, line uint64, kind SetAccessKind, pc uint64) {
+	if t.maxSetTrace > 0 && len(t.SetTrace) >= t.maxSetTrace {
+		return
+	}
+	t.SetTrace = append(t.SetTrace, SetAccess{Cycle: cycle, Set: set, Line: line, Kind: kind, PC: pc})
+}
+
+// fire records an HPC event both in the bank and the current window.
+func (t *Trace) fire(e hpc.Event, pc uint64) {
+	t.Bank.Fire(e, pc)
+	t.curWindow.Counts[e]++
+}
+
+// tickWindows advances window sampling to the given cycle.
+func (t *Trace) tickWindows(cycle uint64) {
+	for cycle >= t.curWindow.StartCycle+t.WindowWidth {
+		t.Windows = append(t.Windows, t.curWindow)
+		t.curWindow = WindowSample{StartCycle: t.curWindow.StartCycle + t.WindowWidth}
+	}
+}
+
+// finish flushes the trailing partial window.
+func (t *Trace) finish(cycle uint64) {
+	t.Cycles = cycle
+	if t.curWindow.Counts.Total() > 0 {
+		t.Windows = append(t.Windows, t.curWindow)
+	}
+}
+
+// Addrs returns every recorded instruction address in ascending order.
+func (t *Trace) Addrs() []uint64 {
+	out := make([]uint64, 0, len(t.ByAddr))
+	for a := range t.ByAddr {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MemLinesOf returns the sorted accessed (and flushed) line addresses of
+// the instruction at pc. Flushed lines are included because the paper's
+// overlap analysis collects "accessed memory addresses (including
+// flushed addresses)".
+func (t *Trace) MemLinesOf(pc uint64) []uint64 {
+	r := t.ByAddr[pc]
+	if r == nil {
+		return nil
+	}
+	out := make([]uint64, 0, len(r.MemLines)+len(r.FlushLines))
+	for a := range r.MemLines {
+		out = append(out, a)
+	}
+	for a := range r.FlushLines {
+		if _, dup := r.MemLines[a]; !dup {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

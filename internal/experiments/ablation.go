@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attacks"
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/similarity"
+)
+
+// AblationRow reports E1-style classification quality under one
+// similarity configuration, isolating a design choice of DESIGN.md §5.
+type AblationRow struct {
+	Name   string
+	Scores metrics.Scores
+}
+
+// Ablation re-runs SCAGuard's E1 classification under variant similarity
+// configurations: the full design, syntax only (no CST term), cache
+// semantics only (no IS term), and no DTW band.
+func Ablation(config Config) ([]AblationRow, error) {
+	config = config.withDefaults()
+	corpus, err := prepareE1Corpus(config)
+	if err != nil {
+		return nil, err
+	}
+	repo, err := buildRepo(attacks.Families(), config)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		opts similarity.Options
+	}{
+		{"full", similarity.DefaultOptions()},
+		{"no-CST (syntax only)", similarity.Options{ISWeight: 1, CSPWeight: 1e-9, Window: similarity.DefaultOptions().Window}},
+		{"no-IS (semantics only)", similarity.Options{ISWeight: 1e-9, CSPWeight: 1, Window: similarity.DefaultOptions().Window}},
+		{"no-band (full warping)", similarity.Options{ISWeight: 0.5, CSPWeight: 0.5}},
+	}
+	var out []AblationRow
+	for _, v := range variants {
+		conf := metrics.NewConfusion()
+		for _, p := range corpus {
+			pred := classifyWithOpts(repo, p, config.Threshold, v.opts)
+			conf.Add(string(p.Label), string(pred))
+		}
+		out = append(out, AblationRow{Name: v.name, Scores: conf.Macro()})
+	}
+	return out, nil
+}
+
+func prepareE1Corpus(config Config) ([]*Prepared, error) {
+	ds, err := dataset.Standard(dataset.Config{PerClass: config.PerClass, Seed: config.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return prepare(ds.Samples, config)
+}
+
+func classifyWithOpts(repo *detect.Repository, p *Prepared, threshold float64, opts similarity.Options) attacks.Family {
+	best := attacks.FamilyBenign
+	bestScore := 0.0
+	if p.BBS.Len() < detect.MinModelLen || p.BBS.TimerReads == 0 {
+		return best
+	}
+	for _, e := range repo.Entries {
+		if s := similarity.Score(p.BBS, e.BBS, opts); s > bestScore {
+			bestScore, best = s, e.Family
+		}
+	}
+	if bestScore < threshold {
+		return attacks.FamilyBenign
+	}
+	return best
+}
+
+// FormatAblation renders the ablation table.
+func FormatAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %10s %10s %10s\n", "Configuration", "Precision", "Recall", "F1-score")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %9.2f%% %9.2f%% %9.2f%%\n",
+			r.Name, r.Scores.Precision*100, r.Scores.Recall*100, r.Scores.F1*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallConfig keeps the experiment tests fast while exercising the full
+// machinery.
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.PerClass = 6
+	c.Folds = 3
+	return c
+}
+
+func TestTableIV(t *testing.T) {
+	rows, err := TableIV(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // four families + average
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TAB == 0 {
+			t.Errorf("%s: no ground-truth blocks", r.Family)
+		}
+		if r.ITAB > r.TAB || r.ITAB > r.IAB {
+			t.Errorf("%s: inconsistent counts %+v", r.Family, r)
+		}
+		if r.IAB > r.BB {
+			t.Errorf("%s: identified more blocks than exist", r.Family)
+		}
+		// The headline claim: most ground-truth attack blocks are found.
+		if r.Accuracy < 0.8 {
+			t.Errorf("%s: identification accuracy %.2f below 80%%", r.Family, r.Accuracy)
+		}
+	}
+	avg := rows[len(rows)-1]
+	if avg.Family != "Avg." {
+		t.Error("last row must be the average")
+	}
+	// And the reduction claim: the pipeline shrinks the block set.
+	totalBB, totalIAB, ratio := ReductionStats(rows)
+	if totalIAB >= totalBB || ratio <= 0.2 {
+		t.Errorf("weak reduction: %d -> %d (%.0f%%)", totalBB, totalIAB, ratio*100)
+	}
+	out := FormatTableIV(rows)
+	if !strings.Contains(out, "Avg.") || !strings.Contains(out, "#ITAB") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestTableV(t *testing.T) {
+	rows, err := TableV(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's shape: S1 is the highest attack-pair score, S5 is far
+	// below every attack scenario, and every attack scenario clears the
+	// 45% threshold while the benign one stays under it.
+	s := func(i int) float64 { return rows[i].Score }
+	for i := 0; i < 4; i++ {
+		if s(i) < 0.45 {
+			t.Errorf("%s: score %.2f under the detection threshold", rows[i].No, s(i))
+		}
+	}
+	if s(4) >= 0.45 {
+		t.Errorf("S5: benign score %.2f above the threshold", s(4))
+	}
+	if s(0) <= s(4) || s(1) <= s(4) || s(2) <= s(4) || s(3) <= s(4) {
+		t.Error("attack scenarios must all beat the benign scenario")
+	}
+	if s(0) < s(3) {
+		t.Errorf("S1 (%.2f) should not score below S4 (%.2f)", s(0), s(3))
+	}
+	out := FormatTableV(rows)
+	if !strings.Contains(out, "S5") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestTableVIShape(t *testing.T) {
+	results, err := TableVI(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("tasks = %d", len(results))
+	}
+	byTask := map[string]map[string]ApproachResult{}
+	for _, tr := range results {
+		byTask[tr.Task] = map[string]ApproachResult{}
+		if len(tr.Results) != 5 {
+			t.Fatalf("%s: approaches = %d", tr.Task, len(tr.Results))
+		}
+		for _, r := range tr.Results {
+			byTask[tr.Task][r.Approach] = r
+		}
+	}
+	// Headline shape claims of the paper:
+	// 1. SCAGuard achieves high scores on every task.
+	for task, rs := range byTask {
+		sg := rs["SCAGUARD"]
+		if sg.Scores.F1 < 0.70 {
+			t.Errorf("%s: SCAGuard F1 = %.2f, want >= 0.70\n%s", task, sg.Scores.F1, sg.Confusion)
+		}
+	}
+	// 2. SCAGuard beats every baseline on the generalizability tasks.
+	for _, task := range []string{"E3-1", "E3-2"} {
+		sg := byTask[task]["SCAGUARD"]
+		for _, name := range []string{"SVM-NW", "LR-NW", "KNN-MLFM", "SCADET"} {
+			if byTask[task][name].Scores.F1 > sg.Scores.F1 {
+				t.Errorf("%s: %s (%.2f) beats SCAGuard (%.2f)",
+					task, name, byTask[task][name].Scores.F1, sg.Scores.F1)
+			}
+		}
+	}
+	// 3. SCADET detects nothing when PP is unknown (E3-1) and remains
+	// weak overall: its recall never beats SCAGuard's.
+	for task, rs := range byTask {
+		if rs["SCADET"].Scores.Recall > rs["SCAGUARD"].Scores.Recall {
+			t.Errorf("%s: SCADET recall above SCAGuard", task)
+		}
+	}
+	out := FormatTableVI(results)
+	for _, want := range []string{"E1", "E4", "SCAGUARD", "SCADET"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	cfg := smallConfig()
+	points, err := Fig5(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 10 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The paper's claim: a plateau of thresholds where P, R and F1 all
+	// exceed 90%, containing the 45% operating point.
+	lo, hi, ok := PlateauRange(points, 0.80)
+	if !ok {
+		t.Fatal("no threshold reaches the 80% floor")
+	}
+	if lo > 0.45 || hi < 0.45 {
+		t.Errorf("plateau [%.0f%%, %.0f%%] does not contain 45%%", lo*100, hi*100)
+	}
+	// Extremes degrade: recall collapses at very high thresholds.
+	last := points[len(points)-1]
+	if last.Scores.Recall > points[len(points)/2].Scores.Recall {
+		t.Error("recall should fall at extreme thresholds")
+	}
+	out := FormatFig5(points)
+	if !strings.Contains(out, "Threshold") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	d := c.withDefaults()
+	if d.PerClass == 0 || d.Folds <= 1 || d.Threshold == 0 || d.MaxRetired == 0 {
+		t.Errorf("defaults not applied: %+v", d)
+	}
+}

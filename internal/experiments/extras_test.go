@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeCost(t *testing.T) {
+	tc, err := MeasureTimeCost(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Samples != 11 {
+		t.Errorf("samples = %d", tc.Samples)
+	}
+	if tc.Collection <= 0 || tc.Modeling <= 0 || tc.Comparison <= 0 {
+		t.Errorf("stage times must be positive: %+v", tc)
+	}
+	sg := tc.PerApproach["SCAGUARD"]
+	if sg <= 0 {
+		t.Fatal("missing SCAGuard total")
+	}
+	// SCAGuard's total includes every stage; it must exceed collection
+	// alone (the learners' floor).
+	if sg < tc.Collection {
+		t.Error("SCAGuard total below collection time")
+	}
+	out := tc.Format()
+	for _, want := range []string{"collection", "modeling", "comparison", "SCADET"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblation(t *testing.T) {
+	rows, err := Ablation(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	full := byName["full"].Scores.F1
+	if full < 0.75 {
+		t.Errorf("full configuration F1 = %.2f", full)
+	}
+	// The semantics-only variant must over-trigger (recall fine,
+	// precision down) or otherwise degrade; the full design should not
+	// be strictly dominated by any ablated variant on F1.
+	for name, r := range byName {
+		if name == "full" {
+			continue
+		}
+		if r.Scores.F1 > full+0.05 {
+			t.Errorf("ablation %q (%.2f) clearly beats the full design (%.2f)", name, r.Scores.F1, full)
+		}
+	}
+	out := FormatAblation(rows)
+	if !strings.Contains(out, "no-CST") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestSensitivity(t *testing.T) {
+	rows, err := Sensitivity(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The method must not collapse on any hierarchy.
+		if r.Scores.F1 < 0.6 {
+			t.Errorf("%s: F1 = %.2f — micro-architecture dependence", r.Name, r.Scores.F1)
+		}
+	}
+	if !strings.Contains(FormatSensitivity(rows), "FIFO") {
+		t.Error("format missing variant names")
+	}
+}
+
+func TestNoiseRobustness(t *testing.T) {
+	rows, err := NoiseRobustness(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	clean, noisy := rows[0].Scores.F1, rows[1].Scores.F1
+	if clean < 0.7 {
+		t.Errorf("clean F1 = %.2f", clean)
+	}
+	// The method must degrade gracefully, not collapse, under noise.
+	if noisy < clean-0.35 {
+		t.Errorf("noise collapses detection: clean %.2f -> noisy %.2f", clean, noisy)
+	}
+	if !strings.Contains(FormatNoise(rows), "co-tenant") {
+		t.Error("format missing condition names")
+	}
+}
+
+// TestHeadlineOrderingMediumScale pins the paper's headline claims at a
+// larger corpus scale; skipped under -short.
+func TestHeadlineOrderingMediumScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale regression")
+	}
+	cfg := DefaultConfig()
+	cfg.PerClass = 40
+	cfg.Folds = 5
+	results, err := TableVI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range results {
+		var scaguard, bestBaseline float64
+		for _, r := range tr.Results {
+			if r.Approach == "SCAGUARD" {
+				scaguard = r.Scores.F1
+			} else if r.Scores.F1 > bestBaseline {
+				bestBaseline = r.Scores.F1
+			}
+		}
+		switch tr.Task {
+		case "E2", "E3-1", "E3-2":
+			if scaguard < bestBaseline {
+				t.Errorf("%s: SCAGuard %.3f below best baseline %.3f", tr.Task, scaguard, bestBaseline)
+			}
+			if scaguard < 0.95 {
+				t.Errorf("%s: SCAGuard F1 %.3f below 0.95", tr.Task, scaguard)
+			}
+		case "E1", "E4":
+			if scaguard < 0.85 {
+				t.Errorf("%s: SCAGuard F1 %.3f below 0.85", tr.Task, scaguard)
+			}
+			if scaguard < bestBaseline-0.06 {
+				t.Errorf("%s: SCAGuard %.3f trails best baseline %.3f by more than 6 points",
+					tr.Task, scaguard, bestBaseline)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attacks"
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+)
+
+// Fig5Point is one threshold setting of Fig. 5.
+type Fig5Point struct {
+	Threshold float64
+	Scores    metrics.Scores
+}
+
+// Fig5 sweeps SCAGuard's similarity threshold over an E1-style corpus
+// and reports macro precision/recall/F1 at each setting. Scores are
+// computed once per sample; only the thresholding is re-applied, exactly
+// like tuning the deployed system.
+func Fig5(config Config, thresholds []float64) ([]Fig5Point, error) {
+	config = config.withDefaults()
+	if len(thresholds) == 0 {
+		for th := 0.05; th <= 0.951; th += 0.05 {
+			thresholds = append(thresholds, th)
+		}
+	}
+	corpus, err := dataset.Standard(dataset.Config{PerClass: config.PerClass, Seed: config.Seed})
+	if err != nil {
+		return nil, err
+	}
+	prepared, err := prepare(corpus.Samples, config)
+	if err != nil {
+		return nil, err
+	}
+	repo, err := buildRepo(attacks.Families(), config)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-compute the best match of every sample once.
+	type scored struct {
+		truth  string
+		family attacks.Family
+		score  float64
+	}
+	var scoredSamples []scored
+	for _, p := range prepared {
+		res := classifyMatches(repo, p)
+		scoredSamples = append(scoredSamples, scored{
+			truth:  string(p.Label),
+			family: res.family,
+			score:  res.score,
+		})
+	}
+	var out []Fig5Point
+	for _, th := range thresholds {
+		conf := metrics.NewConfusion()
+		for _, s := range scoredSamples {
+			pred := string(attacks.FamilyBenign)
+			if s.score >= th {
+				pred = string(s.family)
+			}
+			conf.Add(s.truth, pred)
+		}
+		out = append(out, Fig5Point{Threshold: th, Scores: conf.Macro()})
+	}
+	return out, nil
+}
+
+type bestMatch struct {
+	family attacks.Family
+	score  float64
+}
+
+// classifyMatches returns the best repository match of a sample without
+// applying a threshold (a zero-threshold detector always names the best
+// family).
+func classifyMatches(repo *detect.Repository, p *Prepared) bestMatch {
+	d := detect.NewDetector(repo)
+	d.Threshold = 0
+	res := d.ClassifyBBS(p.BBS)
+	return bestMatch{family: res.Best.Family, score: res.Best.Score}
+}
+
+// FormatFig5 renders the sweep as an aligned text series.
+func FormatFig5(points []Fig5Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s\n", "Threshold", "Precision", "Recall", "F1-score")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%9.0f%% %9.2f%% %9.2f%% %9.2f%%\n",
+			p.Threshold*100, p.Scores.Precision*100, p.Scores.Recall*100, p.Scores.F1*100)
+	}
+	return b.String()
+}
+
+// PlateauRange returns the threshold interval where P, R and F1 all stay
+// at or above the floor (the paper's 30%-60% plateau claim at 90%).
+func PlateauRange(points []Fig5Point, floor float64) (lo, hi float64, ok bool) {
+	for _, p := range points {
+		if p.Scores.Precision >= floor && p.Scores.Recall >= floor && p.Scores.F1 >= floor {
+			if !ok {
+				lo, ok = p.Threshold, true
+			}
+			hi = p.Threshold
+		}
+	}
+	return lo, hi, ok
+}

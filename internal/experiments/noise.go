@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attacks"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+)
+
+// NoiseTenant builds a cache-hungry co-tenant: an endless streaming loop
+// over a 64 KiB buffer that thrashes many LLC sets. Its code and data
+// live away from every corpus program so it can run as a third process.
+func NoiseTenant() *isa.Program {
+	const (
+		codeBase = 0xa0_0000
+		dataBase = 0x4800_0000
+		bufWords = 8192 // 64 KiB
+	)
+	b := isa.NewBuilder("noise-tenant", codeBase)
+	b.SetDataBase(dataBase)
+	buf := b.Bytes("noise", bufWords*8, false)
+	b.Mov(isa.R(isa.R0), isa.Imm(0))
+	b.Label("sweep").
+		Lea(isa.R1, isa.MemIdx(isa.RegNone, isa.R0, 8, int64(buf))).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R1, 0)).
+		Add(isa.R(isa.R2), isa.Imm(1)).
+		Mov(isa.Mem(isa.R1, 0), isa.R(isa.R2)).
+		Add(isa.R(isa.R0), isa.Imm(8)). // one line per step
+		And(isa.R(isa.R0), isa.Imm(bufWords-1)).
+		Jmp("sweep")
+	return b.MustBuild()
+}
+
+// NoiseRow is one condition of the noise-robustness experiment.
+type NoiseRow struct {
+	Name   string
+	Scores metrics.Scores
+}
+
+// NoiseRobustness measures SCAGuard's E1 classification with and without
+// a cache-thrashing third process sharing the machine. The repository is
+// modeled under clean lab conditions either way — the realistic split: a
+// defender builds models offline but observes targets on a busy host.
+func NoiseRobustness(config Config) ([]NoiseRow, error) {
+	config = config.withDefaults()
+	repo, err := buildRepo(attacks.Families(), config)
+	if err != nil {
+		return nil, err
+	}
+	conditions := []struct {
+		name  string
+		noise *isa.Program
+	}{
+		{"clean host", nil},
+		{"noisy co-tenant", NoiseTenant()},
+	}
+	var out []NoiseRow
+	for _, cond := range conditions {
+		cfg := config
+		cfg.Noise = cond.noise
+		corpus, err := prepareE1Corpus(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("noise %q: %w", cond.name, err)
+		}
+		conf := metrics.NewConfusion()
+		for _, p := range corpus {
+			pred := classifySCAGuard(repo, p, cfg.Threshold)
+			conf.Add(string(p.Label), string(pred))
+		}
+		out = append(out, NoiseRow{Name: cond.name, Scores: conf.Macro()})
+	}
+	return out, nil
+}
+
+// FormatNoise renders the rows.
+func FormatNoise(rows []NoiseRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %10s %10s %10s\n", "Condition", "Precision", "Recall", "F1-score")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %9.2f%% %9.2f%% %9.2f%%\n",
+			r.Name, r.Scores.Precision*100, r.Scores.Recall*100, r.Scores.F1*100)
+	}
+	return b.String()
+}

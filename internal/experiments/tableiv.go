@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attacks"
+	"repro/internal/model"
+)
+
+// TableIVRow is one row of Table IV: how well the pipeline identifies
+// the manually identified (builder-marked) attack-relevant blocks of a
+// family's canonical PoCs.
+type TableIVRow struct {
+	Family   string
+	BB       int     // total basic blocks (#BB)
+	TAB      int     // ground-truth attack-relevant blocks (#TAB)
+	IAB      int     // blocks identified by the pipeline (#IAB)
+	ITAB     int     // ground-truth blocks among the identified (#ITAB)
+	Accuracy float64 // ITAB / TAB
+}
+
+// TableIV runs attack-relevant BB identification over every canonical
+// PoC, aggregated per family, plus an average row.
+func TableIV(config Config) ([]TableIVRow, error) {
+	config = config.withDefaults()
+	var rows []TableIVRow
+	var total TableIVRow
+	for _, fam := range attacks.Families() {
+		row := TableIVRow{Family: string(fam)}
+		for _, poc := range attacks.OfFamily(fam, attacks.DefaultParams()) {
+			m, err := model.Build(poc.Program, poc.Victim, config.Model)
+			if err != nil {
+				return nil, fmt.Errorf("table iv: %s: %w", poc.Name, err)
+			}
+			c := m.CFG
+			truth := make(map[uint64]bool)
+			for _, l := range c.GroundTruthAttackBlocks() {
+				truth[l] = true
+			}
+			identified := m.IdentifiedBBs()
+			itab := 0
+			for _, l := range identified {
+				if truth[l] {
+					itab++
+				}
+			}
+			row.BB += c.NumBlocks()
+			row.TAB += len(truth)
+			row.IAB += len(identified)
+			row.ITAB += itab
+		}
+		if row.TAB > 0 {
+			row.Accuracy = float64(row.ITAB) / float64(row.TAB)
+		}
+		total.BB += row.BB
+		total.TAB += row.TAB
+		total.IAB += row.IAB
+		total.ITAB += row.ITAB
+		rows = append(rows, row)
+	}
+	total.Family = "Avg."
+	if total.TAB > 0 {
+		total.Accuracy = float64(total.ITAB) / float64(total.TAB)
+	}
+	rows = append(rows, total)
+	return rows, nil
+}
+
+// FormatTableIV renders the rows like the paper's Table IV.
+func FormatTableIV(rows []TableIVRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %8s %8s %8s %10s\n", "Attack", "#BB", "#TAB", "#IAB", "#ITAB", "Accuracy")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %8d %8d %8d %8d %9.2f%%\n",
+			r.Family, r.BB, r.TAB, r.IAB, r.ITAB, r.Accuracy*100)
+	}
+	return b.String()
+}
+
+// ReductionStats reports how much the pipeline shrinks the block count
+// (the summary claim of Section IV-B).
+func ReductionStats(rows []TableIVRow) (totalBB, totalIAB int, ratio float64) {
+	for _, r := range rows {
+		if r.Family == "Avg." {
+			continue
+		}
+		totalBB += r.BB
+		totalIAB += r.IAB
+	}
+	if totalBB > 0 {
+		ratio = 1 - float64(totalIAB)/float64(totalBB)
+	}
+	return totalBB, totalIAB, ratio
+}

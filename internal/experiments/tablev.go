@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attacks"
+	"repro/internal/benign"
+	"repro/internal/model"
+	"repro/internal/similarity"
+)
+
+// TableVRow is one row of Table V: the similarity score of a scenario.
+type TableVRow struct {
+	No          string
+	Scenario    string
+	Description string
+	Score       float64
+}
+
+// TableV reproduces the five similarity scenarios:
+//
+//	S1 Flush+Reload vs another Flush+Reload implementation
+//	S2 Flush+Reload vs Evict+Reload
+//	S3 Flush+Reload vs Prime+Probe
+//	S4 Flush+Reload vs its Spectre variant
+//	S5 Flush+Reload vs benign programs (average over a benign panel)
+func TableV(config Config) ([]TableVRow, error) {
+	config = config.withDefaults()
+	params := attacks.DefaultParams()
+	buildBBS := func(poc attacks.PoC) (*model.CSTBBS, error) {
+		m, err := model.Build(poc.Program, poc.Victim, config.Model)
+		if err != nil {
+			return nil, fmt.Errorf("table v: %s: %w", poc.Name, err)
+		}
+		return m.BBS, nil
+	}
+	fr, err := buildBBS(attacks.FlushReloadIAIK(params))
+	if err != nil {
+		return nil, err
+	}
+	opts := similarity.DefaultOptions()
+	score := func(other *model.CSTBBS) float64 { return similarity.Score(fr, other, opts) }
+
+	fr2, err := buildBBS(attacks.FlushReloadNepoche(params))
+	if err != nil {
+		return nil, err
+	}
+	er, err := buildBBS(attacks.EvictReloadIAIK(params))
+	if err != nil {
+		return nil, err
+	}
+	pp, err := buildBBS(attacks.PrimeProbeIAIK(params))
+	if err != nil {
+		return nil, err
+	}
+	sfr, err := buildBBS(attacks.SpectreFRIdea(params))
+	if err != nil {
+		return nil, err
+	}
+
+	// S5: average over a representative benign panel (one per family).
+	panel := []benign.Spec{
+		{Kind: benign.KindCrypto, Template: "aes-ttable", Seed: 1},
+		{Kind: benign.KindCrypto, Template: "rc4-stream", Seed: 2},
+		{Kind: benign.KindLeetcode, Template: "binary-search", Seed: 3},
+		{Kind: benign.KindSpec, Template: "histogram", Seed: 4},
+		{Kind: benign.KindServer, Template: "openntpd-ts", Seed: 5},
+		{Kind: benign.KindServer, Template: "sqlite-btree", Seed: 6},
+	}
+	var benignSum float64
+	for _, spec := range panel {
+		prog, err := benign.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		m, err := model.Build(prog, nil, config.Model)
+		if err != nil {
+			return nil, err
+		}
+		benignSum += score(m.BBS)
+	}
+
+	return []TableVRow{
+		{"S1", "FR vs another FR implementation", "Different implementations of the same attack", score(fr2)},
+		{"S2", "FR vs Evict+Reload", "Different variants of the same attack", score(er)},
+		{"S3", "FR vs Prime+Probe", "Different attacks exploiting the same vulnerability", score(pp)},
+		{"S4", "FR vs its Spectre variant", "Different variants exploiting different vulnerabilities", score(sfr)},
+		{"S5", "FR vs benign programs", "An attack program and benign programs (panel average)", benignSum / float64(len(panel))},
+	}, nil
+}
+
+// FormatTableV renders the rows like the paper's Table V.
+func FormatTableV(rows []TableVRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-34s %7s\n", "No.", "Scenario", "Score")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s %-34s %6.2f%%\n", r.No, r.Scenario, r.Score*100)
+	}
+	return b.String()
+}

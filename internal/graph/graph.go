@@ -1,0 +1,308 @@
+// Package graph provides the directed-graph algorithms behind SCAGuard's
+// attack-relevant graph construction (Algorithm 1 of the paper): DFS
+// back-edge elimination, simple-path enumeration that avoids a set of
+// excluded interior nodes, and Prim's algorithm for maximum spanning
+// trees over a weighted undirected view of the path graph.
+//
+// Nodes are identified by uint64 keys (the pipeline uses basic-block
+// leader addresses). All algorithms are deterministic: neighbor lists
+// keep insertion order and ties break on the smaller node id.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is a directed graph over uint64 node ids. The zero value is an
+// empty graph ready to use.
+type Digraph struct {
+	nodes map[uint64]struct{}
+	succ  map[uint64][]uint64
+	pred  map[uint64][]uint64
+	order []uint64 // node insertion order, for deterministic iteration
+}
+
+// New returns an empty directed graph.
+func New() *Digraph {
+	return &Digraph{
+		nodes: make(map[uint64]struct{}),
+		succ:  make(map[uint64][]uint64),
+		pred:  make(map[uint64][]uint64),
+	}
+}
+
+// AddNode inserts a node; inserting an existing node is a no-op.
+func (g *Digraph) AddNode(n uint64) {
+	if _, ok := g.nodes[n]; ok {
+		return
+	}
+	g.nodes[n] = struct{}{}
+	g.order = append(g.order, n)
+}
+
+// AddEdge inserts the directed edge from -> to, adding missing endpoints.
+// Duplicate edges are ignored.
+func (g *Digraph) AddEdge(from, to uint64) {
+	g.AddNode(from)
+	g.AddNode(to)
+	for _, s := range g.succ[from] {
+		if s == to {
+			return
+		}
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+}
+
+// RemoveEdge deletes the directed edge from -> to if present.
+func (g *Digraph) RemoveEdge(from, to uint64) {
+	g.succ[from] = removeOne(g.succ[from], to)
+	g.pred[to] = removeOne(g.pred[to], from)
+}
+
+func removeOne(s []uint64, v uint64) []uint64 {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// HasNode reports whether n is in the graph.
+func (g *Digraph) HasNode(n uint64) bool {
+	_, ok := g.nodes[n]
+	return ok
+}
+
+// HasEdge reports whether the edge from -> to exists.
+func (g *Digraph) HasEdge(from, to uint64) bool {
+	for _, s := range g.succ[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Succs returns the successor list of n (do not mutate).
+func (g *Digraph) Succs(n uint64) []uint64 { return g.succ[n] }
+
+// Preds returns the predecessor list of n (do not mutate).
+func (g *Digraph) Preds(n uint64) []uint64 { return g.pred[n] }
+
+// Nodes returns all node ids in insertion order.
+func (g *Digraph) Nodes() []uint64 {
+	out := make([]uint64, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// NumNodes returns the node count.
+func (g *Digraph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Digraph) NumEdges() int {
+	n := 0
+	for _, s := range g.succ {
+		n += len(s)
+	}
+	return n
+}
+
+// Edge is a directed edge.
+type Edge struct{ From, To uint64 }
+
+// Edges returns every edge, ordered by (From, To) for determinism.
+func (g *Digraph) Edges() []Edge {
+	var out []Edge
+	for _, from := range g.order {
+		for _, to := range g.succ[from] {
+			out = append(out, Edge{from, to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Digraph) Clone() *Digraph {
+	c := New()
+	for _, n := range g.order {
+		c.AddNode(n)
+	}
+	for _, from := range g.order {
+		for _, to := range g.succ[from] {
+			c.AddEdge(from, to)
+		}
+	}
+	return c
+}
+
+// String summarizes the graph for debugging.
+func (g *Digraph) String() string {
+	return fmt.Sprintf("digraph{%d nodes, %d edges}", g.NumNodes(), g.NumEdges())
+}
+
+// BackEdges returns the back edges discovered by a DFS from root
+// (edges into a node currently on the DFS stack). Nodes unreachable from
+// root are then explored from the remaining nodes in insertion order, so
+// every edge of the graph is classified. This is the cycle-elimination
+// step of Algorithm 1 line 1.
+func (g *Digraph) BackEdges(root uint64) []Edge {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[uint64]int, len(g.nodes))
+	var back []Edge
+
+	var dfs func(u uint64)
+	dfs = func(u uint64) {
+		color[u] = gray
+		for _, v := range g.succ[u] {
+			switch color[v] {
+			case white:
+				dfs(v)
+			case gray:
+				back = append(back, Edge{u, v})
+			}
+		}
+		color[u] = black
+	}
+
+	if g.HasNode(root) {
+		dfs(root)
+	}
+	for _, n := range g.order {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+	sort.Slice(back, func(i, j int) bool {
+		if back[i].From != back[j].From {
+			return back[i].From < back[j].From
+		}
+		return back[i].To < back[j].To
+	})
+	return back
+}
+
+// RemoveBackEdges returns a copy of g with every DFS back edge (rooted at
+// root) removed. The result is acyclic.
+func (g *Digraph) RemoveBackEdges(root uint64) *Digraph {
+	c := g.Clone()
+	for _, e := range g.BackEdges(root) {
+		c.RemoveEdge(e.From, e.To)
+	}
+	return c
+}
+
+// IsAcyclic reports whether the graph has no directed cycle.
+func (g *Digraph) IsAcyclic() bool {
+	indeg := make(map[uint64]int, len(g.nodes))
+	for _, n := range g.order {
+		indeg[n] = len(g.pred[n])
+	}
+	queue := make([]uint64, 0, len(g.nodes))
+	for _, n := range g.order {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, v := range g.succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	return seen == len(g.nodes)
+}
+
+// Reachable returns the set of nodes reachable from start (including
+// start itself when present in the graph).
+func (g *Digraph) Reachable(start uint64) map[uint64]bool {
+	out := make(map[uint64]bool)
+	if !g.HasNode(start) {
+		return out
+	}
+	stack := []uint64{start}
+	out[start] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.succ[u] {
+			if !out[v] {
+				out[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return out
+}
+
+// SimplePaths enumerates every simple path from src to dst whose interior
+// nodes avoid the excluded set (src and dst themselves may be in it).
+// Paths include both endpoints. maxPaths bounds the enumeration (0 means
+// unlimited); maxLen bounds path length in nodes (0 means unlimited).
+// On an acyclic graph the enumeration always terminates; the bounds
+// guard against combinatorial blowups on dense graphs.
+//
+// This implements the P_{i,j} computation of Algorithm 1 line 4: "all the
+// paths between v_i and v_j in the CFG that do not go through any other
+// attack-relevant BB".
+func (g *Digraph) SimplePaths(src, dst uint64, excluded map[uint64]bool, maxPaths, maxLen int) [][]uint64 {
+	var out [][]uint64
+	if !g.HasNode(src) || !g.HasNode(dst) {
+		return out
+	}
+	onPath := map[uint64]bool{src: true}
+	path := []uint64{src}
+	var walk func(u uint64) bool // returns false when the paths budget is spent
+	walk = func(u uint64) bool {
+		if maxLen > 0 && len(path) > maxLen {
+			return true
+		}
+		for _, v := range g.succ[u] {
+			if v == dst {
+				if len(path) >= 1 && (u != src || v != src) {
+					p := make([]uint64, len(path)+1)
+					copy(p, path)
+					p[len(path)] = v
+					out = append(out, p)
+					if maxPaths > 0 && len(out) >= maxPaths {
+						return false
+					}
+				}
+				continue
+			}
+			if onPath[v] || excluded[v] {
+				continue
+			}
+			onPath[v] = true
+			path = append(path, v)
+			ok := walk(v)
+			path = path[:len(path)-1]
+			delete(onPath, v)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	walk(src)
+	return out
+}

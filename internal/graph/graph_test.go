@@ -1,0 +1,462 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddNodeEdge(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2) // duplicate ignored
+	g.AddEdge(2, 3)
+	g.AddNode(3) // existing node ignored
+	g.AddNode(9)
+	if g.NumNodes() != 4 {
+		t.Errorf("nodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Error("HasEdge wrong")
+	}
+	if !g.HasNode(9) || g.HasNode(10) {
+		t.Error("HasNode wrong")
+	}
+	if got := g.Succs(1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Succs(1) = %v", got)
+	}
+	if got := g.Preds(3); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Preds(3) = %v", got)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.RemoveEdge(1, 2)
+	if g.HasEdge(1, 2) || !g.HasEdge(1, 3) {
+		t.Error("RemoveEdge wrong")
+	}
+	g.RemoveEdge(7, 8) // removing a missing edge is a no-op
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+	if len(g.Preds(2)) != 0 {
+		t.Error("pred list not updated")
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := New()
+	g.AddEdge(5, 1)
+	g.AddEdge(2, 9)
+	g.AddEdge(2, 3)
+	es := g.Edges()
+	want := []Edge{{2, 3}, {2, 9}, {5, 1}}
+	if len(es) != len(want) {
+		t.Fatalf("edges = %v", es)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Errorf("edge[%d] = %v, want %v", i, es[i], want[i])
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	c := g.Clone()
+	c.AddEdge(2, 3)
+	if g.HasNode(3) {
+		t.Error("clone leaked into original")
+	}
+	if !c.HasEdge(1, 2) {
+		t.Error("clone missing edge")
+	}
+}
+
+func TestBackEdgesSimpleLoop(t *testing.T) {
+	// a -> b -> c -> d -> a  (paper Fig 3: back edge d->a removed)
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 1)
+	back := g.BackEdges(1)
+	if len(back) != 1 || back[0] != (Edge{4, 1}) {
+		t.Errorf("back edges = %v, want [{4 1}]", back)
+	}
+	acyc := g.RemoveBackEdges(1)
+	if !acyc.IsAcyclic() {
+		t.Error("RemoveBackEdges left a cycle")
+	}
+	if acyc.NumEdges() != 3 {
+		t.Errorf("edges after removal = %d", acyc.NumEdges())
+	}
+}
+
+func TestBackEdgesNestedLoops(t *testing.T) {
+	// outer: 1->2->3->4->1 ; inner: 2->3->2 ; plus exit 4->5
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 1)
+	g.AddEdge(4, 5)
+	acyc := g.RemoveBackEdges(1)
+	if !acyc.IsAcyclic() {
+		t.Error("nested loops not broken")
+	}
+	// Forward structure must be intact.
+	for _, e := range []Edge{{1, 2}, {2, 3}, {3, 4}, {4, 5}} {
+		if !acyc.HasEdge(e.From, e.To) {
+			t.Errorf("forward edge %v lost", e)
+		}
+	}
+}
+
+func TestBackEdgesUnreachableComponent(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	// Disconnected cycle 10->11->10 must still be classified.
+	g.AddEdge(10, 11)
+	g.AddEdge(11, 10)
+	acyc := g.RemoveBackEdges(1)
+	if !acyc.IsAcyclic() {
+		t.Error("unreachable cycle not broken")
+	}
+}
+
+func TestIsAcyclic(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if !g.IsAcyclic() {
+		t.Error("chain reported cyclic")
+	}
+	g.AddEdge(3, 1)
+	if g.IsAcyclic() {
+		t.Error("cycle reported acyclic")
+	}
+	if !New().IsAcyclic() {
+		t.Error("empty graph should be acyclic")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddNode(4)
+	r := g.Reachable(1)
+	if !r[1] || !r[2] || !r[3] || r[4] {
+		t.Errorf("reachable = %v", r)
+	}
+	if len(g.Reachable(99)) != 0 {
+		t.Error("reachable from missing node should be empty")
+	}
+}
+
+// Property: RemoveBackEdges always yields an acyclic graph on random
+// graphs, and never invents edges.
+func TestRemoveBackEdgesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(uint64(rng.Intn(n)), uint64(rng.Intn(n)))
+		}
+		acyc := g.RemoveBackEdges(0)
+		if !acyc.IsAcyclic() {
+			return false
+		}
+		for _, e := range acyc.Edges() {
+			if !g.HasEdge(e.From, e.To) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplePathsFig3(t *testing.T) {
+	// Paper Fig 3(c): a=1,b=2,c=3,d=4,e=5 with edges a->b,b->c,a->c,c->d,b->e
+	// after back-edge removal. Relevant nodes {a,c,e}. Paths a..c avoiding
+	// other relevant nodes: a->b->c and a->c.
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(2, 5)
+	excl := map[uint64]bool{1: true, 3: true, 5: true}
+	paths := g.SimplePaths(1, 3, excl, 0, 0)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want 2", paths)
+	}
+	// a->e avoiding c: a->b->e only.
+	paths2 := g.SimplePaths(1, 5, excl, 0, 0)
+	if len(paths2) != 1 || len(paths2[0]) != 3 {
+		t.Fatalf("paths a..e = %v", paths2)
+	}
+	// c->e: none (no edge from c to e side without going back).
+	if got := g.SimplePaths(3, 5, excl, 0, 0); len(got) != 0 {
+		t.Errorf("paths c..e = %v, want none", got)
+	}
+}
+
+func TestSimplePathsEndpointsMayBeExcluded(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	excl := map[uint64]bool{1: true, 3: true}
+	paths := g.SimplePaths(1, 3, excl, 0, 0)
+	if len(paths) != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestSimplePathsDirectEdge(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	paths := g.SimplePaths(1, 2, nil, 0, 0)
+	if len(paths) != 1 || len(paths[0]) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestSimplePathsBounds(t *testing.T) {
+	// Diamond ladder with 2^k paths; check maxPaths truncation.
+	g := New()
+	id := uint64(0)
+	cur := id
+	for i := 0; i < 8; i++ {
+		a, b, next := id+1, id+2, id+3
+		g.AddEdge(cur, a)
+		g.AddEdge(cur, b)
+		g.AddEdge(a, next)
+		g.AddEdge(b, next)
+		cur, id = next, next
+	}
+	all := g.SimplePaths(0, cur, nil, 0, 0)
+	if len(all) != 256 {
+		t.Fatalf("paths = %d, want 256", len(all))
+	}
+	capped := g.SimplePaths(0, cur, nil, 10, 0)
+	if len(capped) != 10 {
+		t.Fatalf("capped paths = %d, want 10", len(capped))
+	}
+	short := g.SimplePaths(0, cur, nil, 0, 3)
+	if len(short) != 0 {
+		t.Fatalf("maxLen=3 should find nothing, got %d", len(short))
+	}
+}
+
+func TestSimplePathsMissingNodes(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	if got := g.SimplePaths(1, 99, nil, 0, 0); len(got) != 0 {
+		t.Error("path to missing node")
+	}
+	if got := g.SimplePaths(99, 1, nil, 0, 0); len(got) != 0 {
+		t.Error("path from missing node")
+	}
+}
+
+func TestMSTLine(t *testing.T) {
+	nodes := []uint64{1, 2, 3}
+	edges := []WEdge{
+		{From: 1, To: 2, Weight: 5, Path: []uint64{1, 2}},
+		{From: 2, To: 3, Weight: 3, Path: []uint64{2, 3}},
+		{From: 1, To: 3, Weight: 1, Path: []uint64{1, 9, 3}},
+	}
+	mst := MaximumSpanningForest(nodes, edges)
+	if len(mst) != 2 {
+		t.Fatalf("mst = %v", mst)
+	}
+	if TotalWeight(mst) != 8 {
+		t.Errorf("weight = %v, want 8", TotalWeight(mst))
+	}
+}
+
+func TestMSTPicksHeaviestParallelEdge(t *testing.T) {
+	nodes := []uint64{1, 2}
+	edges := []WEdge{
+		{From: 1, To: 2, Weight: 1, Path: []uint64{1, 7, 2}},
+		{From: 1, To: 2, Weight: 9, Path: []uint64{1, 2}},
+	}
+	mst := MaximumSpanningForest(nodes, edges)
+	if len(mst) != 1 || mst[0].Weight != 9 {
+		t.Fatalf("mst = %v", mst)
+	}
+}
+
+func TestMSTForestOnDisconnected(t *testing.T) {
+	nodes := []uint64{1, 2, 10, 11}
+	edges := []WEdge{
+		{From: 1, To: 2, Weight: 1},
+		{From: 10, To: 11, Weight: 2},
+	}
+	mst := MaximumSpanningForest(nodes, edges)
+	if len(mst) != 2 {
+		t.Fatalf("forest = %v", mst)
+	}
+}
+
+func TestMSTIgnoresSelfLoopsAndForeignEdges(t *testing.T) {
+	nodes := []uint64{1, 2}
+	edges := []WEdge{
+		{From: 1, To: 1, Weight: 100},
+		{From: 5, To: 6, Weight: 100},
+		{From: 1, To: 2, Weight: 1},
+	}
+	mst := MaximumSpanningForest(nodes, edges)
+	if len(mst) != 1 || mst[0].From != 1 || mst[0].To != 2 {
+		t.Fatalf("mst = %v", mst)
+	}
+}
+
+func TestMSTEmpty(t *testing.T) {
+	if got := MaximumSpanningForest(nil, nil); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+	if got := MaximumSpanningForest([]uint64{7}, nil); len(got) != 0 {
+		t.Errorf("singleton = %v", got)
+	}
+}
+
+// Property: the spanning forest has exactly nodes-components edges, never
+// exceeds the densest possible weight, and contains no cycle.
+func TestMSTProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		nodes := make([]uint64, n)
+		for i := range nodes {
+			nodes[i] = uint64(i)
+		}
+		var edges []WEdge
+		for i := 0; i < n*3; i++ {
+			a, b := uint64(rng.Intn(n)), uint64(rng.Intn(n))
+			edges = append(edges, WEdge{From: a, To: b, Weight: float64(rng.Intn(50))})
+		}
+		mst := MaximumSpanningForest(nodes, edges)
+		// Count components of the undirected edge set.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		union := func(a, b int) bool {
+			ra, rb := find(a), find(b)
+			if ra == rb {
+				return false
+			}
+			parent[ra] = rb
+			return true
+		}
+		for _, e := range edges {
+			if e.From != e.To {
+				union(int(e.From), int(e.To))
+			}
+		}
+		comps := 0
+		for i := range parent {
+			if find(i) == i {
+				comps++
+			}
+		}
+		if len(mst) != n-comps {
+			return false
+		}
+		// MST edges must be acyclic (union never sees a duplicate root).
+		for i := range parent {
+			parent[i] = i
+		}
+		for _, e := range mst {
+			if !union(int(e.From), int(e.To)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Prim's result weight matches Kruskal's on random graphs.
+func TestMSTMatchesKruskal(t *testing.T) {
+	kruskal := func(n int, edges []WEdge) float64 {
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		// Sort by descending weight.
+		es := append([]WEdge(nil), edges...)
+		for i := 0; i < len(es); i++ {
+			for j := i + 1; j < len(es); j++ {
+				if es[j].Weight > es[i].Weight {
+					es[i], es[j] = es[j], es[i]
+				}
+			}
+		}
+		total := 0.0
+		for _, e := range es {
+			if e.From == e.To {
+				continue
+			}
+			ra, rb := find(int(e.From)), find(int(e.To))
+			if ra != rb {
+				parent[ra] = rb
+				total += e.Weight
+			}
+		}
+		return total
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		nodes := make([]uint64, n)
+		for i := range nodes {
+			nodes[i] = uint64(i)
+		}
+		var edges []WEdge
+		for i := 0; i < n*4; i++ {
+			edges = append(edges, WEdge{
+				From:   uint64(rng.Intn(n)),
+				To:     uint64(rng.Intn(n)),
+				Weight: float64(rng.Intn(30)),
+			})
+		}
+		return TotalWeight(MaximumSpanningForest(nodes, edges)) == kruskal(n, edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package graph
+
+import "sort"
+
+// WEdge is a weighted, labeled edge of the path graph G' built by
+// Algorithm 1: an edge between two attack-relevant basic blocks whose
+// label is the underlying CFG path and whose weight is the path's attack
+// correlation value V_p.
+type WEdge struct {
+	From, To uint64
+	Weight   float64
+	// Path is the underlying CFG path, including both endpoints.
+	Path []uint64
+}
+
+// MaximumSpanningForest runs Prim's algorithm over the undirected view of
+// the weighted edges and returns, for every connected component, the set
+// of chosen edges. Together the returned edges form a maximum spanning
+// forest: within each component the total weight is maximal.
+//
+// When several parallel edges connect the same pair of nodes the heaviest
+// is considered first; ties break deterministically on (From, To) order
+// and then on shorter path, so repeated runs pick identical trees.
+func MaximumSpanningForest(nodes []uint64, edges []WEdge) []WEdge {
+	if len(nodes) == 0 {
+		return nil
+	}
+	// adj[u] lists candidate edges touching u.
+	adj := make(map[uint64][]WEdge, len(nodes))
+	nodeSet := make(map[uint64]bool, len(nodes))
+	for _, n := range nodes {
+		nodeSet[n] = true
+	}
+	for _, e := range edges {
+		if !nodeSet[e.From] || !nodeSet[e.To] {
+			continue // ignore edges outside the node set
+		}
+		if e.From == e.To {
+			continue // self loops never enter a spanning tree
+		}
+		adj[e.From] = append(adj[e.From], e)
+		adj[e.To] = append(adj[e.To], e)
+	}
+	// Deterministic candidate ordering.
+	better := func(a, b WEdge) bool {
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return len(a.Path) < len(b.Path)
+	}
+	for u := range adj {
+		es := adj[u]
+		sort.Slice(es, func(i, j int) bool { return better(es[i], es[j]) })
+	}
+
+	inTree := make(map[uint64]bool, len(nodes))
+	var chosen []WEdge
+
+	// Sorted roots for deterministic component order.
+	roots := make([]uint64, len(nodes))
+	copy(roots, nodes)
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+
+	for _, root := range roots {
+		if inTree[root] {
+			continue
+		}
+		inTree[root] = true
+		// frontier: candidate edges with exactly one endpoint in the tree.
+		frontier := append([]WEdge(nil), adj[root]...)
+		for len(frontier) > 0 {
+			// Pick the best frontier edge that still crosses the cut.
+			bestIdx := -1
+			for i, e := range frontier {
+				if inTree[e.From] == inTree[e.To] {
+					continue // both in or both out: not usable now
+				}
+				if bestIdx < 0 || better(e, frontier[bestIdx]) {
+					bestIdx = i
+				}
+			}
+			if bestIdx < 0 {
+				break
+			}
+			e := frontier[bestIdx]
+			frontier = append(frontier[:bestIdx], frontier[bestIdx+1:]...)
+			newNode := e.To
+			if inTree[newNode] {
+				newNode = e.From
+			}
+			inTree[newNode] = true
+			chosen = append(chosen, e)
+			frontier = append(frontier, adj[newNode]...)
+			// Drop edges fully inside the tree to keep the frontier small.
+			kept := frontier[:0]
+			for _, f := range frontier {
+				if inTree[f.From] != inTree[f.To] {
+					kept = append(kept, f)
+				}
+			}
+			frontier = kept
+		}
+	}
+	sort.Slice(chosen, func(i, j int) bool {
+		if chosen[i].From != chosen[j].From {
+			return chosen[i].From < chosen[j].From
+		}
+		return chosen[i].To < chosen[j].To
+	})
+	return chosen
+}
+
+// TotalWeight sums edge weights; a convenience for tests and ablations.
+func TotalWeight(edges []WEdge) float64 {
+	t := 0.0
+	for _, e := range edges {
+		t += e.Weight
+	}
+	return t
+}

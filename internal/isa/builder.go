@@ -1,0 +1,343 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// instruction sizes are synthetic but stable: every instruction occupies
+// a fixed number of bytes so that mutation passes can insert code without
+// perturbing unrelated addresses in surprising ways.
+const defaultInsnSize = 4
+
+// pendingRef records a branch whose label target is not yet defined.
+type pendingRef struct {
+	insn  int // index into insns
+	label string
+}
+
+// Builder assembles a Program instruction by instruction. It supports
+// forward label references, data segment allocation and ground-truth
+// attack-region marking. The zero Builder is not usable; call NewBuilder.
+//
+// Typical use:
+//
+//	b := isa.NewBuilder("poc", 0x400000)
+//	probe := b.Bytes("probe", 4096, true)
+//	b.Label("loop")
+//	b.Clflush(isa.Mem(isa.R1, 0))
+//	b.Jmp("loop")
+//	prog, err := b.Build()
+type Builder struct {
+	name     string
+	codeBase uint64
+	dataBase uint64
+	nextAddr uint64
+	nextData uint64
+	insns    []Instruction
+	labels   map[string]uint64
+	pending  []pendingRef
+	data     []DataSegment
+	entry    string
+	marking  bool
+	err      error
+}
+
+// DefaultDataBase is where the data region starts when the builder's
+// code base leaves the default gap.
+const DefaultDataBase = 0x10000000
+
+// NewBuilder creates a Builder emitting code at codeBase. Data segments
+// are laid out from DefaultDataBase (override with SetDataBase).
+func NewBuilder(name string, codeBase uint64) *Builder {
+	return &Builder{
+		name:     name,
+		codeBase: codeBase,
+		dataBase: DefaultDataBase,
+		nextAddr: codeBase,
+		nextData: DefaultDataBase,
+		labels:   make(map[string]uint64),
+	}
+}
+
+// SetDataBase relocates the data region; must be called before the first
+// data allocation.
+func (b *Builder) SetDataBase(base uint64) *Builder {
+	if b.nextData != b.dataBase {
+		b.fail("SetDataBase after data was allocated")
+		return b
+	}
+	b.dataBase = base
+	b.nextData = base
+	return b
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("builder %q: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Err returns the first error recorded while building.
+func (b *Builder) Err() error { return b.err }
+
+// PC returns the address the next emitted instruction will receive.
+func (b *Builder) PC() uint64 { return b.nextAddr }
+
+// Name returns the program name.
+func (b *Builder) Name() string { return b.name }
+
+// Label defines a label at the current position. Labels may be referenced
+// by branches before or after their definition.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return b
+	}
+	b.labels[name] = b.nextAddr
+	return b
+}
+
+// Entry declares the label execution starts from; defaults to the first
+// instruction when never called.
+func (b *Builder) Entry(label string) *Builder {
+	b.entry = label
+	return b
+}
+
+// BeginAttack starts a ground-truth attack-relevant region: every
+// instruction emitted until EndAttack carries the Attack mark. The mark
+// is evaluation metadata only (Table IV ground truth).
+func (b *Builder) BeginAttack() *Builder { b.marking = true; return b }
+
+// EndAttack closes the ground-truth attack-relevant region.
+func (b *Builder) EndAttack() *Builder { b.marking = false; return b }
+
+// Bytes reserves a zero-initialized data segment of size bytes and
+// returns its base address. shared marks the segment as shared memory.
+func (b *Builder) Bytes(name string, size uint64, shared bool) uint64 {
+	return b.DataInit(name, size, nil, shared)
+}
+
+// DataInit reserves a data segment with explicit initial contents.
+func (b *Builder) DataInit(name string, size uint64, init []byte, shared bool) uint64 {
+	if size == 0 {
+		b.fail("data segment %q: zero size", name)
+		return 0
+	}
+	addr := b.nextData
+	if !b.addSegment(DataSegment{Name: name, Addr: addr, Size: size, Init: init, Shared: shared}) {
+		return 0
+	}
+	// Keep segments line-disjoint: round the cursor up to the next
+	// 64-byte boundary so two segments never share a cache line.
+	b.nextData = (addr + size + 63) &^ 63
+	return addr
+}
+
+// DataAt places a data segment at an explicit address outside the
+// builder's automatic data region (e.g. the shared-library region a
+// Flush+Reload PoC monitors). The address is the caller's business; it
+// must not overlap other segments.
+func (b *Builder) DataAt(name string, addr, size uint64, init []byte, shared bool) uint64 {
+	if size == 0 {
+		b.fail("data segment %q: zero size", name)
+		return 0
+	}
+	b.addSegment(DataSegment{Name: name, Addr: addr, Size: size, Init: init, Shared: shared})
+	return addr
+}
+
+func (b *Builder) addSegment(seg DataSegment) bool {
+	for _, d := range b.data {
+		if d.Name == seg.Name {
+			b.fail("duplicate data segment %q", seg.Name)
+			return false
+		}
+	}
+	b.data = append(b.data, seg)
+	return true
+}
+
+// emit appends one instruction.
+func (b *Builder) emit(op Opcode, dst, src Operand) *Builder {
+	in := Instruction{
+		Addr:   b.nextAddr,
+		Size:   defaultInsnSize,
+		Op:     op,
+		Dst:    dst,
+		Src:    src,
+		Attack: b.marking,
+	}
+	b.insns = append(b.insns, in)
+	b.nextAddr += uint64(in.Size)
+	return b
+}
+
+// branch emits a branch to a label, recording a fixup if the label is
+// still undefined.
+func (b *Builder) branch(op Opcode, label string) *Builder {
+	b.emit(op, Imm(0), None())
+	b.pending = append(b.pending, pendingRef{insn: len(b.insns) - 1, label: label})
+	return b
+}
+
+// --- instruction helpers ------------------------------------------------
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(NOP, None(), None()) }
+
+// Mov emits dst <- src (register move, load, or store).
+func (b *Builder) Mov(dst, src Operand) *Builder { return b.emit(MOV, dst, src) }
+
+// Lea emits dst <- effective address of src (src must be a memory operand).
+func (b *Builder) Lea(dst Reg, src Operand) *Builder { return b.emit(LEA, R(dst), src) }
+
+// Add emits dst <- dst + src.
+func (b *Builder) Add(dst, src Operand) *Builder { return b.emit(ADD, dst, src) }
+
+// Sub emits dst <- dst - src.
+func (b *Builder) Sub(dst, src Operand) *Builder { return b.emit(SUB, dst, src) }
+
+// Inc emits dst <- dst + 1.
+func (b *Builder) Inc(dst Operand) *Builder { return b.emit(INC, dst, None()) }
+
+// Dec emits dst <- dst - 1.
+func (b *Builder) Dec(dst Operand) *Builder { return b.emit(DEC, dst, None()) }
+
+// Mul emits dst <- dst * src (low 64 bits).
+func (b *Builder) Mul(dst, src Operand) *Builder { return b.emit(MUL, dst, src) }
+
+// Xor emits dst <- dst ^ src.
+func (b *Builder) Xor(dst, src Operand) *Builder { return b.emit(XOR, dst, src) }
+
+// And emits dst <- dst & src.
+func (b *Builder) And(dst, src Operand) *Builder { return b.emit(AND, dst, src) }
+
+// Or emits dst <- dst | src.
+func (b *Builder) Or(dst, src Operand) *Builder { return b.emit(OR, dst, src) }
+
+// Shl emits dst <- dst << src.
+func (b *Builder) Shl(dst, src Operand) *Builder { return b.emit(SHL, dst, src) }
+
+// Shr emits dst <- dst >> src (logical).
+func (b *Builder) Shr(dst, src Operand) *Builder { return b.emit(SHR, dst, src) }
+
+// Cmp emits flags <- compare(a, b).
+func (b *Builder) Cmp(a, bb Operand) *Builder { return b.emit(CMP, a, bb) }
+
+// Test emits flags <- a & b (sets ZF/SF, discards result).
+func (b *Builder) Test(a, bb Operand) *Builder { return b.emit(TEST, a, bb) }
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder { return b.branch(JMP, label) }
+
+// Je emits jump-if-equal (ZF set).
+func (b *Builder) Je(label string) *Builder { return b.branch(JE, label) }
+
+// Jne emits jump-if-not-equal.
+func (b *Builder) Jne(label string) *Builder { return b.branch(JNE, label) }
+
+// Jl emits jump-if-less (signed).
+func (b *Builder) Jl(label string) *Builder { return b.branch(JL, label) }
+
+// Jle emits jump-if-less-or-equal (signed).
+func (b *Builder) Jle(label string) *Builder { return b.branch(JLE, label) }
+
+// Jg emits jump-if-greater (signed).
+func (b *Builder) Jg(label string) *Builder { return b.branch(JG, label) }
+
+// Jge emits jump-if-greater-or-equal (signed).
+func (b *Builder) Jge(label string) *Builder { return b.branch(JGE, label) }
+
+// Jb emits jump-if-below (unsigned).
+func (b *Builder) Jb(label string) *Builder { return b.branch(JB, label) }
+
+// Jae emits jump-if-above-or-equal (unsigned).
+func (b *Builder) Jae(label string) *Builder { return b.branch(JAE, label) }
+
+// Call emits a call to label (return address pushed on the stack).
+func (b *Builder) Call(label string) *Builder { return b.branch(CALL, label) }
+
+// Ret emits a return.
+func (b *Builder) Ret() *Builder { return b.emit(RET, None(), None()) }
+
+// Push emits a stack push of src.
+func (b *Builder) Push(src Operand) *Builder { return b.emit(PUSH, src, None()) }
+
+// Pop emits a stack pop into dst.
+func (b *Builder) Pop(dst Operand) *Builder { return b.emit(POP, dst, None()) }
+
+// Clflush emits a cache-line flush of the address named by mem.
+func (b *Builder) Clflush(mem Operand) *Builder { return b.emit(CLFLUSH, mem, None()) }
+
+// Rdtscp emits a serialized timestamp read into dst.
+func (b *Builder) Rdtscp(dst Reg) *Builder { return b.emit(RDTSCP, R(dst), None()) }
+
+// Lfence emits a load fence (serializes speculation).
+func (b *Builder) Lfence() *Builder { return b.emit(LFENCE, None(), None()) }
+
+// Mfence emits a full memory fence.
+func (b *Builder) Mfence() *Builder { return b.emit(MFENCE, None(), None()) }
+
+// Hlt emits the halt instruction that terminates the process.
+func (b *Builder) Hlt() *Builder { return b.emit(HLT, None(), None()) }
+
+// Raw appends a pre-built instruction body (opcode and operands) at the
+// current address; used by the mutation engine.
+func (b *Builder) Raw(op Opcode, dst, src Operand) *Builder { return b.emit(op, dst, src) }
+
+// --- finalization -------------------------------------------------------
+
+// Build resolves label references, validates and returns the Program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.insns) == 0 {
+		return nil, fmt.Errorf("builder %q: empty program", b.name)
+	}
+	for _, ref := range b.pending {
+		addr, ok := b.labels[ref.label]
+		if !ok {
+			return nil, fmt.Errorf("builder %q: undefined label %q", b.name, ref.label)
+		}
+		b.insns[ref.insn].Dst = Imm(int64(addr))
+	}
+	entry := b.insns[0].Addr
+	if b.entry != "" {
+		a, ok := b.labels[b.entry]
+		if !ok {
+			return nil, fmt.Errorf("builder %q: undefined entry label %q", b.name, b.entry)
+		}
+		entry = a
+	}
+	labels := make(map[string]uint64, len(b.labels))
+	for k, v := range b.labels {
+		labels[k] = v
+	}
+	data := make([]DataSegment, len(b.data))
+	copy(data, b.data)
+	sort.Slice(data, func(i, j int) bool { return data[i].Addr < data[j].Addr })
+	p := &Program{
+		Name:   b.name,
+		Entry:  entry,
+		Insns:  append([]Instruction(nil), b.insns...),
+		Data:   data,
+		Labels: labels,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; for use in tests and in the
+// static attack corpus where programs are compile-time constants.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,51 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Building a program with the fluent builder API.
+func ExampleBuilder() {
+	b := isa.NewBuilder("demo", 0x1000)
+	buf := b.Bytes("buf", 64, false)
+	b.Mov(isa.R(isa.R0), isa.Imm(int64(buf))).
+		Clflush(isa.Mem(isa.R0, 0)).
+		Rdtscp(isa.R1).
+		Mov(isa.R(isa.R2), isa.Mem(isa.R0, 0)).
+		Rdtscp(isa.R3).
+		Hlt()
+	p := b.MustBuild()
+	fmt.Println(len(p.Insns), "instructions at", fmt.Sprintf("%#x", p.Entry))
+	// Output: 6 instructions at 0x1000
+}
+
+// Assembling the same program from text.
+func ExampleParse() {
+	p, err := isa.Parse("demo", `
+		.data buf 64
+		  mov r0, $buf
+		  clflush [r0]
+		  rdtscp r1
+		  mov r2, [r0]
+		  rdtscp r3
+		  hlt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Insns[1].String())
+	// Output: clflush [r0]
+}
+
+// The normalization rules the similarity metric relies on.
+func ExampleNormalize() {
+	in := isa.Instruction{
+		Op:  isa.MOV,
+		Dst: isa.Mem(isa.R5, -0x18),
+		Src: isa.R(isa.R0),
+	}
+	fmt.Println(isa.Normalize(in))
+	// Output: mov mem, reg
+}

@@ -1,0 +1,56 @@
+package isa
+
+import "strings"
+
+// Normalization implements the three rewrite rules of Section III-B1 of
+// the paper (following SPAIN's instruction normalization): immediates
+// become "imm", memory references become "mem" and registers become
+// "reg". The normalized text strips the syntactic differences a compiler
+// (or a mutation/obfuscation pass) introduces, leaving only the operation
+// shape that the Levenshtein distance compares.
+
+// NormalizeOperand returns the normalized token for one operand.
+func NormalizeOperand(o Operand) string {
+	switch o.Kind {
+	case OpReg:
+		return "reg"
+	case OpImm:
+		return "imm"
+	case OpMem:
+		return "mem"
+	}
+	return ""
+}
+
+// Normalize returns the normalized form of a single instruction, e.g.
+// "mov mem, reg" for `mov -0x18(rbp), rax`.
+func Normalize(in Instruction) string {
+	// Branch targets are immediates syntactically but their concrete
+	// values are layout noise; they normalize to "imm" like any other
+	// immediate, which is exactly what the paper's rule (1) prescribes.
+	d := NormalizeOperand(in.Dst)
+	s := NormalizeOperand(in.Src)
+	switch {
+	case d == "":
+		return in.Op.String()
+	case s == "":
+		return in.Op.String() + " " + d
+	default:
+		return in.Op.String() + " " + d + ", " + s
+	}
+}
+
+// NormalizeSeq normalizes every instruction of a sequence in order.
+func NormalizeSeq(ins []Instruction) []string {
+	out := make([]string, len(ins))
+	for i, in := range ins {
+		out[i] = Normalize(in)
+	}
+	return out
+}
+
+// NormalizedKey joins a normalized sequence into a single comparable
+// string. Useful as a map key when deduplicating basic-block bodies.
+func NormalizedKey(ins []Instruction) string {
+	return strings.Join(NormalizeSeq(ins), "; ")
+}

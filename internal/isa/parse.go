@@ -1,0 +1,475 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse assembles a textual program. The syntax mirrors Disassemble's
+// output plus a few directives:
+//
+//	; comment                       (also "#")
+//	.code 0x400000                  code base (default 0x400000)
+//	.database 0x10000000            automatic data region base
+//	.entry main                     entry label (default: first insn)
+//	.data buf 256                   reserved data segment
+//	.data tab 1024 shared           shared segment (FR-style library page)
+//	.data io 64 @0x20000000         explicitly placed segment
+//	main:
+//	  mov r0, 42                    immediates: decimal, 0x hex, negative
+//	  mov r1, $buf                  $name = address of a data segment
+//	  mov r2, [r1+8]                memory: [base + index*scale + disp]
+//	  mov [buf], r2                 bare segment names inside [] resolve
+//	  lea r3, [r1+r2*4+16]
+//	  clflush [r1]
+//	  rdtscp r4
+//	  cmp r0, 10
+//	  jl main
+//	  hlt
+//
+// Two-operand forms are "op dst, src"; branches take one label operand.
+func Parse(name, src string) (*Program, error) {
+	var b *Builder
+	codeBase := uint64(0x40_0000)
+	dataBase := uint64(0)
+	entry := ""
+	type dataDecl struct {
+		name   string
+		size   uint64
+		shared bool
+		addr   uint64
+		hasAt  bool
+		line   int
+	}
+	var datas []dataDecl
+
+	lines := strings.Split(src, "\n")
+	errf := func(ln int, format string, args ...any) error {
+		return fmt.Errorf("%s:%d: %s", name, ln+1, fmt.Sprintf(format, args...))
+	}
+
+	// Pass 1: directives (so .code/.database anywhere in the file apply
+	// before instructions are emitted).
+	for i, raw := range lines {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".code":
+			if len(fields) != 2 {
+				return nil, errf(i, ".code wants one address")
+			}
+			v, err := parseUint(fields[1])
+			if err != nil {
+				return nil, errf(i, "bad .code address %q", fields[1])
+			}
+			codeBase = v
+		case ".database":
+			if len(fields) != 2 {
+				return nil, errf(i, ".database wants one address")
+			}
+			v, err := parseUint(fields[1])
+			if err != nil {
+				return nil, errf(i, "bad .database address %q", fields[1])
+			}
+			dataBase = v
+		case ".entry":
+			if len(fields) != 2 {
+				return nil, errf(i, ".entry wants one label")
+			}
+			entry = fields[1]
+		case ".data":
+			d := dataDecl{line: i}
+			rest := fields[1:]
+			if len(rest) < 2 {
+				return nil, errf(i, ".data wants: name size [shared] [@addr]")
+			}
+			d.name = rest[0]
+			sz, err := parseUint(rest[1])
+			if err != nil {
+				return nil, errf(i, "bad .data size %q", rest[1])
+			}
+			d.size = sz
+			for _, f := range rest[2:] {
+				switch {
+				case f == "shared":
+					d.shared = true
+				case strings.HasPrefix(f, "@"):
+					a, err := parseUint(f[1:])
+					if err != nil {
+						return nil, errf(i, "bad .data address %q", f)
+					}
+					d.addr, d.hasAt = a, true
+				default:
+					return nil, errf(i, "unknown .data attribute %q", f)
+				}
+			}
+			datas = append(datas, d)
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				return nil, errf(i, "unknown directive %s", fields[0])
+			}
+		}
+	}
+
+	b = NewBuilder(name, codeBase)
+	if dataBase != 0 {
+		b.SetDataBase(dataBase)
+	}
+	symbols := make(map[string]uint64)
+	for _, d := range datas {
+		var addr uint64
+		if d.hasAt {
+			addr = b.DataAt(d.name, d.addr, d.size, nil, d.shared)
+		} else {
+			addr = b.Bytes(d.name, d.size, d.shared)
+		}
+		symbols[d.name] = addr
+	}
+	if entry != "" {
+		b.Entry(entry)
+	}
+
+	// Pass 2: labels and instructions.
+	for i, raw := range lines {
+		line := stripComment(raw)
+		if line == "" || strings.HasPrefix(line, ".") {
+			continue
+		}
+		// Leading labels (possibly several, "a: b: insn").
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 {
+				break
+			}
+			head := strings.TrimSpace(line[:idx])
+			if head == "" || strings.ContainsAny(head, " \t,[]") {
+				break
+			}
+			b.Label(head)
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := parseInsn(b, line, symbols); err != nil {
+			return nil, errf(i, "%v", err)
+		}
+	}
+	if b.Err() != nil {
+		return nil, fmt.Errorf("%s: %w", name, b.Err())
+	}
+	return b.Build()
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+func parseUint(s string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimPrefix(strings.ToLower(s), "+"), 0, 64)
+}
+
+var branchOps = map[string]Opcode{
+	"jmp": JMP, "je": JE, "jne": JNE, "jl": JL, "jle": JLE,
+	"jg": JG, "jge": JGE, "jb": JB, "jae": JAE, "call": CALL,
+}
+
+var plainOps = map[string]Opcode{
+	"mov": MOV, "lea": LEA, "add": ADD, "sub": SUB, "mul": MUL,
+	"xor": XOR, "and": AND, "or": OR, "shl": SHL, "shr": SHR,
+	"cmp": CMP, "test": TEST, "inc": INC, "dec": DEC,
+	"push": PUSH, "pop": POP, "clflush": CLFLUSH, "rdtscp": RDTSCP,
+}
+
+// parseInsn assembles one instruction line onto the builder.
+func parseInsn(b *Builder, line string, symbols map[string]uint64) error {
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mnemonic = strings.ToLower(mnemonic)
+
+	switch mnemonic {
+	case "nop":
+		b.Nop()
+		return expectNoOperands(mnemonic, rest)
+	case "ret":
+		b.Ret()
+		return expectNoOperands(mnemonic, rest)
+	case "hlt":
+		b.Hlt()
+		return expectNoOperands(mnemonic, rest)
+	case "lfence":
+		b.Lfence()
+		return expectNoOperands(mnemonic, rest)
+	case "mfence":
+		b.Mfence()
+		return expectNoOperands(mnemonic, rest)
+	}
+
+	if op, ok := branchOps[mnemonic]; ok {
+		label := strings.TrimSpace(rest)
+		if label == "" || strings.ContainsAny(label, " ,[]") {
+			return fmt.Errorf("%s wants one label operand, got %q", mnemonic, rest)
+		}
+		// Builder's branch helpers resolve labels at Build time.
+		switch op {
+		case JMP:
+			b.Jmp(label)
+		case JE:
+			b.Je(label)
+		case JNE:
+			b.Jne(label)
+		case JL:
+			b.Jl(label)
+		case JLE:
+			b.Jle(label)
+		case JG:
+			b.Jg(label)
+		case JGE:
+			b.Jge(label)
+		case JB:
+			b.Jb(label)
+		case JAE:
+			b.Jae(label)
+		case CALL:
+			b.Call(label)
+		}
+		return nil
+	}
+
+	op, ok := plainOps[mnemonic]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	ops, err := splitOperands(rest)
+	if err != nil {
+		return err
+	}
+	parsed := make([]Operand, len(ops))
+	for i, o := range ops {
+		p, err := parseOperand(o, symbols)
+		if err != nil {
+			return err
+		}
+		parsed[i] = p
+	}
+	switch op {
+	case INC, DEC, PUSH, POP, CLFLUSH, RDTSCP:
+		if len(parsed) != 1 {
+			return fmt.Errorf("%s wants one operand", mnemonic)
+		}
+		if op == RDTSCP {
+			if parsed[0].Kind != OpReg {
+				return fmt.Errorf("rdtscp wants a register")
+			}
+			b.Rdtscp(parsed[0].Base)
+			return nil
+		}
+		b.Raw(op, parsed[0], None())
+		return nil
+	default:
+		if len(parsed) != 2 {
+			return fmt.Errorf("%s wants two operands", mnemonic)
+		}
+		if op == LEA {
+			if parsed[0].Kind != OpReg || parsed[1].Kind != OpMem {
+				return fmt.Errorf("lea wants: lea reg, [mem]")
+			}
+			b.Lea(parsed[0].Base, parsed[1])
+			return nil
+		}
+		b.Raw(op, parsed[0], parsed[1])
+		return nil
+	}
+}
+
+func expectNoOperands(m, rest string) error {
+	if strings.TrimSpace(rest) != "" {
+		return fmt.Errorf("%s takes no operands", m)
+	}
+	return nil
+}
+
+func splitOperands(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	// Split on the top-level comma (none occur inside brackets in this
+	// syntax, but guard anyway).
+	depth := 0
+	var out []string
+	cur := strings.Builder{}
+	for _, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(cur.String()))
+				cur.Reset()
+				continue
+			}
+		}
+		cur.WriteRune(r)
+	}
+	out = append(out, strings.TrimSpace(cur.String()))
+	for _, o := range out {
+		if o == "" {
+			return nil, fmt.Errorf("empty operand in %q", s)
+		}
+	}
+	return out, nil
+}
+
+func parseReg(s string) (Reg, bool) {
+	s = strings.ToLower(s)
+	if !strings.HasPrefix(s, "r") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, false
+	}
+	return Reg(n), true
+}
+
+// parseOperand parses a register, immediate, $symbol or memory operand.
+func parseOperand(s string, symbols map[string]uint64) (Operand, error) {
+	s = strings.TrimSpace(s)
+	if r, ok := parseReg(s); ok {
+		return R(r), nil
+	}
+	if strings.HasPrefix(s, "$") {
+		addr, ok := symbols[s[1:]]
+		if !ok {
+			return Operand{}, fmt.Errorf("unknown data symbol %q", s[1:])
+		}
+		return Imm(int64(addr)), nil
+	}
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return Operand{}, fmt.Errorf("unterminated memory operand %q", s)
+		}
+		return parseMem(s[1:len(s)-1], symbols)
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return Operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	return Imm(v), nil
+}
+
+// parseMem parses the inside of [...]: terms joined by +/- where each
+// term is a register, reg*scale, a symbol, or a displacement.
+func parseMem(s string, symbols map[string]uint64) (Operand, error) {
+	out := Operand{Kind: OpMem, Base: RegNone, Index: RegNone, Scale: 1}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Operand{}, fmt.Errorf("empty memory operand")
+	}
+	// Tokenize into signed terms.
+	var terms []string
+	var signs []int64
+	cur := strings.Builder{}
+	sign := int64(1)
+	flush := func() error {
+		t := strings.TrimSpace(cur.String())
+		if t == "" {
+			return fmt.Errorf("malformed memory operand %q", s)
+		}
+		terms = append(terms, t)
+		signs = append(signs, sign)
+		cur.Reset()
+		return nil
+	}
+	for i, r := range s {
+		switch r {
+		case '+':
+			if err := flush(); err != nil {
+				return Operand{}, err
+			}
+			sign = 1
+		case '-':
+			if i == 0 {
+				sign = -1
+				continue
+			}
+			if err := flush(); err != nil {
+				return Operand{}, err
+			}
+			sign = -1
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if err := flush(); err != nil {
+		return Operand{}, err
+	}
+
+	for i, t := range terms {
+		neg := signs[i] < 0
+		switch {
+		case strings.Contains(t, "*"):
+			parts := strings.SplitN(t, "*", 2)
+			r, ok := parseReg(strings.TrimSpace(parts[0]))
+			if !ok {
+				return Operand{}, fmt.Errorf("bad index register in %q", t)
+			}
+			sc, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+			if err != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+				return Operand{}, fmt.Errorf("bad scale in %q", t)
+			}
+			if neg {
+				return Operand{}, fmt.Errorf("negative index term %q", t)
+			}
+			if out.Index != RegNone {
+				return Operand{}, fmt.Errorf("two index terms in %q", s)
+			}
+			out.Index, out.Scale = r, uint8(sc)
+		default:
+			if r, ok := parseReg(t); ok {
+				if neg {
+					return Operand{}, fmt.Errorf("negative register term %q", t)
+				}
+				switch {
+				case out.Base == RegNone:
+					out.Base = r
+				case out.Index == RegNone:
+					out.Index, out.Scale = r, 1
+				default:
+					return Operand{}, fmt.Errorf("too many registers in %q", s)
+				}
+				continue
+			}
+			if addr, ok := symbols[t]; ok {
+				d := int64(addr)
+				if neg {
+					d = -d
+				}
+				out.Disp += d
+				continue
+			}
+			v, err := strconv.ParseInt(t, 0, 64)
+			if err != nil {
+				return Operand{}, fmt.Errorf("bad term %q in memory operand", t)
+			}
+			if neg {
+				v = -v
+			}
+			out.Disp += v
+		}
+	}
+	return out, nil
+}

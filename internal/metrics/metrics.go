@@ -1,0 +1,192 @@
+// Package metrics provides the evaluation arithmetic of Section IV:
+// multi-class confusion matrices, per-class and macro-averaged
+// precision/recall/F1 (the quantities of Table VI and Fig. 5), and
+// deterministic k-fold splits for the learning baselines' cross
+// validation.
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Confusion is a multi-class confusion matrix keyed by label strings.
+type Confusion struct {
+	counts map[string]map[string]int // truth -> predicted -> count
+	labels map[string]bool
+}
+
+// NewConfusion returns an empty matrix.
+func NewConfusion() *Confusion {
+	return &Confusion{
+		counts: make(map[string]map[string]int),
+		labels: make(map[string]bool),
+	}
+}
+
+// Add records one classification outcome.
+func (c *Confusion) Add(truth, predicted string) {
+	row := c.counts[truth]
+	if row == nil {
+		row = make(map[string]int)
+		c.counts[truth] = row
+	}
+	row[predicted]++
+	c.labels[truth] = true
+	c.labels[predicted] = true
+}
+
+// Labels returns every label seen, sorted.
+func (c *Confusion) Labels() []string {
+	out := make([]string, 0, len(c.labels))
+	for l := range c.labels {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of samples with the given truth predicted as
+// the given label.
+func (c *Confusion) Count(truth, predicted string) int {
+	return c.counts[truth][predicted]
+}
+
+// Total returns the number of recorded outcomes.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Scores holds precision, recall and F1.
+type Scores struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// String formats the scores as percentages.
+func (s Scores) String() string {
+	return fmt.Sprintf("P=%.2f%% R=%.2f%% F1=%.2f%%",
+		s.Precision*100, s.Recall*100, s.F1*100)
+}
+
+// PerClass computes the one-vs-rest scores of a label. A class with no
+// predicted (resp. actual) samples has precision (resp. recall) 0.
+func (c *Confusion) PerClass(label string) Scores {
+	var tp, fp, fn int
+	for truth, row := range c.counts {
+		for pred, n := range row {
+			switch {
+			case truth == label && pred == label:
+				tp += n
+			case truth != label && pred == label:
+				fp += n
+			case truth == label && pred != label:
+				fn += n
+			}
+		}
+	}
+	return scoresFromCounts(tp, fp, fn)
+}
+
+func scoresFromCounts(tp, fp, fn int) Scores {
+	var s Scores
+	if tp+fp > 0 {
+		s.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		s.Recall = float64(tp) / float64(tp+fn)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s
+}
+
+// Macro computes the macro average of the per-class scores over the
+// classes that actually occur as ground truth. This is the averaging the
+// paper's Table VI uses (classification over attack families).
+func (c *Confusion) Macro() Scores {
+	var sum Scores
+	n := 0
+	for truth := range c.counts {
+		s := c.PerClass(truth)
+		sum.Precision += s.Precision
+		sum.Recall += s.Recall
+		sum.F1 += s.F1
+		n++
+	}
+	if n == 0 {
+		return Scores{}
+	}
+	return Scores{
+		Precision: sum.Precision / float64(n),
+		Recall:    sum.Recall / float64(n),
+		F1:        sum.F1 / float64(n),
+	}
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for truth, row := range c.counts {
+		correct += row[truth]
+	}
+	return float64(correct) / float64(total)
+}
+
+// String renders the matrix as a table.
+func (c *Confusion) String() string {
+	labels := c.Labels()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "truth\\pred")
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%10s", l)
+	}
+	b.WriteByte('\n')
+	for _, t := range labels {
+		fmt.Fprintf(&b, "%-12s", t)
+		for _, p := range labels {
+			fmt.Fprintf(&b, "%10d", c.Count(t, p))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// KFold deterministically splits indices 0..n-1 into k folds after a
+// seeded shuffle; fold i is returned as (train, test). Fold sizes differ
+// by at most one.
+func KFold(n, k int, seed int64) [][2][]int {
+	if k <= 1 || n < k {
+		return [][2][]int{{nil, nil}}
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([][]int, k)
+	for i, v := range idx {
+		folds[i%k] = append(folds[i%k], v)
+	}
+	out := make([][2][]int, k)
+	for i := 0; i < k; i++ {
+		var train []int
+		for j := 0; j < k; j++ {
+			if j != i {
+				train = append(train, folds[j]...)
+			}
+		}
+		out[i] = [2][]int{train, folds[i]}
+	}
+	return out
+}

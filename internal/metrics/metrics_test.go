@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	c := NewConfusion()
+	c.Add("a", "a")
+	c.Add("a", "b")
+	c.Add("b", "b")
+	c.Add("b", "b")
+	if c.Total() != 4 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if c.Count("a", "b") != 1 || c.Count("b", "a") != 0 {
+		t.Error("counts wrong")
+	}
+	if got := c.Labels(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("labels = %v", got)
+	}
+	if acc := c.Accuracy(); acc != 0.75 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestPerClassScores(t *testing.T) {
+	c := NewConfusion()
+	// class a: tp=2, fp=1 (b predicted as a), fn=1 (a predicted as b)
+	c.Add("a", "a")
+	c.Add("a", "a")
+	c.Add("a", "b")
+	c.Add("b", "a")
+	s := c.PerClass("a")
+	if math.Abs(s.Precision-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", s.Precision)
+	}
+	if math.Abs(s.Recall-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v", s.Recall)
+	}
+	if math.Abs(s.F1-2.0/3) > 1e-12 {
+		t.Errorf("f1 = %v", s.F1)
+	}
+}
+
+func TestPerfectAndZeroScores(t *testing.T) {
+	c := NewConfusion()
+	c.Add("x", "x")
+	s := c.PerClass("x")
+	if s.Precision != 1 || s.Recall != 1 || s.F1 != 1 {
+		t.Errorf("perfect class = %+v", s)
+	}
+	// A label never predicted and never true scores zero.
+	z := c.PerClass("zzz")
+	if z.Precision != 0 || z.Recall != 0 || z.F1 != 0 {
+		t.Errorf("absent class = %+v", z)
+	}
+	if NewConfusion().Macro() != (Scores{}) {
+		t.Error("empty macro must be zero")
+	}
+	if NewConfusion().Accuracy() != 0 {
+		t.Error("empty accuracy must be zero")
+	}
+}
+
+func TestMacroAveragesOverTruthClasses(t *testing.T) {
+	c := NewConfusion()
+	c.Add("a", "a") // a perfect
+	c.Add("b", "c") // b always wrong
+	m := c.Macro()
+	if math.Abs(m.Precision-0.5) > 1e-12 || math.Abs(m.Recall-0.5) > 1e-12 {
+		t.Errorf("macro = %+v", m)
+	}
+}
+
+func TestScoresString(t *testing.T) {
+	s := Scores{Precision: 0.9664, Recall: 0.965, F1: 0.9652}
+	out := s.String()
+	if !strings.Contains(out, "96.64%") || !strings.Contains(out, "96.50%") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := NewConfusion()
+	c.Add("atk", "ben")
+	out := c.String()
+	if !strings.Contains(out, "atk") || !strings.Contains(out, "ben") {
+		t.Errorf("matrix render = %q", out)
+	}
+}
+
+func TestKFold(t *testing.T) {
+	folds := KFold(10, 3, 42)
+	if len(folds) != 3 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := make(map[int]int)
+	for _, f := range folds {
+		train, test := f[0], f[1]
+		if len(train)+len(test) != 10 {
+			t.Errorf("fold sizes %d+%d != 10", len(train), len(test))
+		}
+		for _, i := range test {
+			seen[i]++
+		}
+		// No overlap between train and test.
+		inTest := make(map[int]bool)
+		for _, i := range test {
+			inTest[i] = true
+		}
+		for _, i := range train {
+			if inTest[i] {
+				t.Error("train/test overlap")
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if seen[i] != 1 {
+			t.Errorf("index %d appears %d times as test", i, seen[i])
+		}
+	}
+}
+
+func TestKFoldDegenerate(t *testing.T) {
+	if got := KFold(3, 1, 0); len(got) != 1 || got[0][0] != nil {
+		t.Error("k<=1 must degenerate")
+	}
+	if got := KFold(2, 5, 0); len(got) != 1 {
+		t.Error("n<k must degenerate")
+	}
+}
+
+func TestKFoldDeterministic(t *testing.T) {
+	a := KFold(20, 4, 7)
+	b := KFold(20, 4, 7)
+	for i := range a {
+		if len(a[i][1]) != len(b[i][1]) {
+			t.Fatal("nondeterministic folds")
+		}
+		for j := range a[i][1] {
+			if a[i][1][j] != b[i][1][j] {
+				t.Fatal("nondeterministic fold content")
+			}
+		}
+	}
+}
+
+// Property: accuracy and all per-class scores stay in [0,1].
+func TestScoreBounds(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		c := NewConfusion()
+		labels := []string{"a", "b", "c", "d"}
+		for _, p := range pairs {
+			c.Add(labels[p[0]%4], labels[p[1]%4])
+		}
+		if acc := c.Accuracy(); acc < 0 || acc > 1 {
+			return false
+		}
+		for _, l := range c.Labels() {
+			s := c.PerClass(l)
+			if s.Precision < 0 || s.Precision > 1 || s.Recall < 0 || s.Recall > 1 || s.F1 < 0 || s.F1 > 1 {
+				return false
+			}
+		}
+		m := c.Macro()
+		return m.Precision >= 0 && m.Precision <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+package model
+
+import "repro/internal/cache"
+
+// MeasureCST measures the cache state transition of one basic block in
+// the dedicated cache simulator, reproducing the scenario of
+// Section III-A3: initially the cache is completely full of non-attack
+// data (IO=1, AO=0); the block's recorded memory accesses are then fed
+// as the attack program and the resulting occupancy change observed.
+//
+// lines are the line addresses the block loaded or stored; flushLines
+// are the lines it flushed (fed as clflush operations). Lines the block
+// will touch are installed as victim-owned data first, so a reload turns
+// IO-occupancy into AO-occupancy and a flush empties lines — the two
+// signatures that distinguish flush-style, evict-style and probe-style
+// blocks.
+//
+// The simulator cache is reset before measurement; the same cache value
+// may be reused across calls.
+func MeasureCST(sim *cache.Cache, lines, flushLines []uint64) CST {
+	const (
+		attacker cache.Owner = 0
+		other    cache.Owner = 1
+	)
+	sim.InvalidateAll()
+	sim.FillAll(other)
+	// Install the block's working set as present, other-owned lines so
+	// flush/reload semantics act on real occupants.
+	for _, l := range lines {
+		sim.Access(l, other)
+	}
+	for _, l := range flushLines {
+		sim.Access(l, other)
+	}
+
+	before := sim.Occupancy(attacker)
+	for _, l := range lines {
+		sim.Access(l, attacker)
+	}
+	for _, l := range flushLines {
+		sim.Flush(l)
+	}
+	after := sim.Occupancy(attacker)
+	return CST{Before: before, After: after}
+}

@@ -1,0 +1,296 @@
+// Package mutate implements the code-mutation and polymorphic
+// obfuscation passes used to expand the corpus (Table II: 400 mutated
+// variants per attack type; evaluation E4: obfuscated variants with
+// ~70% more basic blocks).
+//
+// All transformations are semantics-preserving for the programs in this
+// repository:
+//
+//   - register renaming permutes R0..R13 consistently (R14 is the stack
+//     pointer, R15 is reserved as the junk-code scratch register);
+//   - instruction substitution swaps equivalent encodings (inc/add 1,
+//     mov 0/xor, shl 1/add self, test self/cmp 0);
+//   - NOP insertion pads blocks without touching flags;
+//   - junk-block insertion (obfuscation) adds opaque always-taken
+//     branches over dead payloads, splitting basic blocks; insertion
+//     points are chosen so inserted flag writes never clobber live
+//     flags.
+//
+// Because instructions move, the mutated program is reassembled: every
+// instruction gets a fresh address and direct branch targets, labels and
+// the entry point are remapped. The corpus contains no indirect jumps to
+// code constants, so the remap is complete.
+package mutate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// Config selects mutation intensity.
+type Config struct {
+	Seed int64
+	// RegRename permutes general-purpose registers.
+	RegRename bool
+	// SubstituteRate is the probability an eligible instruction is
+	// replaced by an equivalent form.
+	SubstituteRate float64
+	// NopRate is the probability of inserting a NOP before an
+	// instruction.
+	NopRate float64
+	// JunkRate is the probability of inserting an opaque junk block
+	// before an instruction (at flag-safe positions only).
+	JunkRate float64
+}
+
+// LightConfig returns the mutation used to build the 400-variant corpus:
+// diversifying but conservative, keeping program size similar.
+func LightConfig(seed int64) Config {
+	return Config{Seed: seed, RegRename: true, SubstituteRate: 0.35, NopRate: 0.08}
+}
+
+// ObfuscationConfig returns the polymorphic configuration of evaluation
+// E4: heavy junk-code insertion targeting roughly 70% more basic blocks.
+func ObfuscationConfig(seed int64) Config {
+	return Config{Seed: seed, RegRename: true, SubstituteRate: 0.3, NopRate: 0.25, JunkRate: 0.16}
+}
+
+// junkReg is reserved for dead junk computations; no corpus program uses
+// it for real work.
+const junkReg = isa.R15
+
+// Mutate applies the configured transformation and returns a new
+// program named "<name>#m<seed>".
+func Mutate(p *isa.Program, cfg Config) (*isa.Program, error) {
+	if p == nil {
+		return nil, fmt.Errorf("mutate: nil program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("mutate: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Pass 1: per-instruction rewrite (rename + substitution).
+	var perm [isa.NumRegs]isa.Reg
+	for i := range perm {
+		perm[i] = isa.Reg(i)
+	}
+	if cfg.RegRename {
+		// Permute R0..R13, keep R14 (SP) and R15 (junk) fixed.
+		idx := rng.Perm(14)
+		for i := 0; i < 14; i++ {
+			perm[i] = isa.Reg(idx[i])
+		}
+	}
+	rewritten := make([]isa.Instruction, 0, len(p.Insns))
+	for _, in := range p.Insns {
+		out := in
+		out.Dst = renameOperand(out.Dst, &perm)
+		out.Src = renameOperand(out.Src, &perm)
+		if cfg.SubstituteRate > 0 && rng.Float64() < cfg.SubstituteRate {
+			out = substitute(out, rng)
+		}
+		rewritten = append(rewritten, out)
+	}
+
+	// Pass 2: insertion (NOPs and junk blocks). We work with a list of
+	// "cells": each original instruction may gain a prefix of inserted
+	// instructions. Inserted branches use placeholder targets fixed
+	// during reassembly via the jumpToNext marker.
+	flagSafe := flagSafePositions(rewritten)
+	type cell struct {
+		prefix []isa.Instruction // inserted; jumpToNext markers allowed
+		insn   isa.Instruction
+	}
+	cells := make([]cell, len(rewritten))
+	for i, in := range rewritten {
+		var prefix []isa.Instruction
+		if cfg.NopRate > 0 && rng.Float64() < cfg.NopRate {
+			prefix = append(prefix, isa.Instruction{Op: isa.NOP, Size: 4})
+		}
+		if cfg.JunkRate > 0 && flagSafe[i] && rng.Float64() < cfg.JunkRate {
+			prefix = append(prefix, junkBlock(rng)...)
+		}
+		cells[i] = cell{prefix: prefix, insn: in}
+	}
+
+	// Pass 3: reassembly. Assign new addresses, then remap branch
+	// targets through oldAddr -> newAddr.
+	base := p.MinAddr()
+	newAddr := make(map[uint64]uint64, len(p.Insns))
+	var flat []isa.Instruction
+	addr := base
+	junkBranch := make(map[int]bool) // indices in flat already resolved
+	for _, c := range cells {
+		// The cell's real instruction lands after the whole prefix; junk
+		// branches inside the prefix jump directly to it, skipping their
+		// dead payloads.
+		prefixSize := uint64(0)
+		for _, pin := range c.prefix {
+			prefixSize += uint64(pin.Size)
+		}
+		mainAddr := addr + prefixSize
+		for _, pin := range c.prefix {
+			pin.Addr = addr
+			if pin.Op.IsBranch() && pin.Dst.Kind == isa.OpImm &&
+				uint64(pin.Dst.Disp) == jumpToNextMarker {
+				pin.Dst = isa.Imm(int64(mainAddr))
+				junkBranch[len(flat)] = true
+			}
+			flat = append(flat, pin)
+			addr += uint64(pin.Size)
+		}
+		newAddr[c.insn.Addr] = mainAddr
+		c.insn.Addr = mainAddr
+		flat = append(flat, c.insn)
+		addr = mainAddr + uint64(c.insn.Size)
+	}
+	// Remap the original branches through oldAddr -> newAddr.
+	for i := range flat {
+		in := &flat[i]
+		if junkBranch[i] {
+			continue
+		}
+		if in.Op.IsBranch() && in.Dst.Kind == isa.OpImm {
+			old := uint64(in.Dst.Disp)
+			na, ok := newAddr[old]
+			if !ok {
+				return nil, fmt.Errorf("mutate: branch at %#x targets unknown address %#x", in.Addr, old)
+			}
+			in.Dst = isa.Imm(int64(na))
+		}
+	}
+
+	labels := make(map[string]uint64, len(p.Labels))
+	for name, a := range p.Labels {
+		if na, ok := newAddr[a]; ok {
+			labels[name] = na
+		}
+	}
+	entry, ok := newAddr[p.Entry]
+	if !ok {
+		return nil, fmt.Errorf("mutate: entry %#x vanished", p.Entry)
+	}
+	data := make([]isa.DataSegment, len(p.Data))
+	copy(data, p.Data)
+	out := &isa.Program{
+		Name:   fmt.Sprintf("%s#m%d", p.Name, cfg.Seed),
+		Entry:  entry,
+		Insns:  flat,
+		Data:   data,
+		Labels: labels,
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("mutate: produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+// jumpToNextMarker is an impossible code address used as a placeholder
+// target for inserted always-taken junk branches.
+const jumpToNextMarker = ^uint64(0) >> 1
+
+func renameOperand(o isa.Operand, perm *[isa.NumRegs]isa.Reg) isa.Operand {
+	switch o.Kind {
+	case isa.OpReg:
+		o.Base = perm[o.Base]
+	case isa.OpMem:
+		if o.Base != isa.RegNone {
+			o.Base = perm[o.Base]
+		}
+		if o.Index != isa.RegNone {
+			o.Index = perm[o.Index]
+		}
+	}
+	return o
+}
+
+// substitute replaces an instruction with an equivalent form when one
+// applies; otherwise it returns the instruction unchanged.
+func substitute(in isa.Instruction, _ *rand.Rand) isa.Instruction {
+	isReg := func(o isa.Operand) bool { return o.Kind == isa.OpReg }
+	switch {
+	case in.Op == isa.INC && isReg(in.Dst):
+		in.Op, in.Src = isa.ADD, isa.Imm(1)
+	case in.Op == isa.DEC && isReg(in.Dst):
+		in.Op, in.Src = isa.SUB, isa.Imm(1)
+	case in.Op == isa.ADD && isReg(in.Dst) && in.Src.Kind == isa.OpImm && in.Src.Disp == 1:
+		in.Op, in.Src = isa.INC, isa.None()
+	case in.Op == isa.SUB && isReg(in.Dst) && in.Src.Kind == isa.OpImm && in.Src.Disp == 1:
+		in.Op, in.Src = isa.DEC, isa.None()
+	case in.Op == isa.SHL && isReg(in.Dst) && in.Src.Kind == isa.OpImm && in.Src.Disp == 1:
+		in.Op, in.Src = isa.ADD, isa.R(in.Dst.Base)
+	case in.Op == isa.TEST && isReg(in.Dst) && isReg(in.Src) && in.Dst.Base == in.Src.Base:
+		in.Op, in.Src = isa.CMP, isa.Imm(0)
+	}
+	return in
+}
+
+// flagSafePositions reports, per instruction index, whether inserting a
+// flag-writing junk block BEFORE the instruction is safe: scanning
+// forward from the instruction, a flag writer is reached before any flag
+// reader.
+func flagSafePositions(ins []isa.Instruction) []bool {
+	// safeAfter[i]: flags are dead entering instruction i.
+	n := len(ins)
+	safe := make([]bool, n)
+	// Walk backwards: track whether flags are live at entry of i.
+	live := false
+	for i := n - 1; i >= 0; i-- {
+		in := ins[i]
+		switch {
+		case in.Op.IsCondBranch():
+			live = true
+		case writesFlags(in.Op):
+			live = false
+		case in.Op == isa.JMP || in.Op == isa.CALL || in.Op == isa.RET || in.Op == isa.HLT:
+			// Control transfer: the target's needs are unknown; be
+			// conservative and treat flags as live across it only if a
+			// conditional branch could be the target's first use. Our
+			// generators never branch to a conditional consumer without
+			// a preceding setter, so flags are dead here.
+			live = false
+		}
+		safe[i] = !live
+	}
+	return safe
+}
+
+func writesFlags(op isa.Opcode) bool {
+	switch op {
+	case isa.ADD, isa.SUB, isa.MUL, isa.XOR, isa.AND, isa.OR,
+		isa.SHL, isa.SHR, isa.INC, isa.DEC, isa.CMP, isa.TEST:
+		return true
+	}
+	return false
+}
+
+// junkBlock emits an opaque always-taken branch over a dead payload:
+//
+//	cmp r15, r15      ; sets ZF
+//	je  <next>        ; always taken -> payload is dead
+//	mul r15, imm      ; dead payload
+//	xor r15, imm
+//
+// The branch splits the enclosing basic block in two and the payload
+// forms a third (unreachable) block, which is how the obfuscated
+// variants gain ~70% more blocks.
+func junkBlock(rng *rand.Rand) []isa.Instruction {
+	payloadLen := 1 + rng.Intn(3)
+	out := []isa.Instruction{
+		{Op: isa.CMP, Dst: isa.R(junkReg), Src: isa.R(junkReg), Size: 4},
+		{Op: isa.JE, Dst: isa.Imm(int64(jumpToNextMarker)), Size: 4},
+	}
+	ops := []isa.Opcode{isa.MUL, isa.XOR, isa.ADD, isa.OR}
+	for i := 0; i < payloadLen; i++ {
+		out = append(out, isa.Instruction{
+			Op:   ops[rng.Intn(len(ops))],
+			Dst:  isa.R(junkReg),
+			Src:  isa.Imm(int64(rng.Intn(1 << 16))),
+			Size: 4,
+		})
+	}
+	return out
+}

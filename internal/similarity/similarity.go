@@ -1,0 +1,127 @@
+// Package similarity implements SCAGuard's similarity comparison
+// (Section III-B of the paper): the per-CST distance combining a
+// normalized-instruction Levenshtein term (D_IS) with a cache-state-pair
+// term (D_CSP), the DTW alignment of two CST-BBSes, and the conversion
+// of the DTW distance into a similarity score 1/(D+1).
+package similarity
+
+import (
+	"repro/internal/dtw"
+	"repro/internal/model"
+	"repro/internal/textdist"
+)
+
+// Options tunes the comparison.
+type Options struct {
+	// Window is the Sakoe-Chiba band half-width for the DTW alignment;
+	// 0 aligns without a band.
+	Window int
+	// ISWeight and CSPWeight weight the two distance terms; both default
+	// to 0.5 (the paper's arithmetic mean). They are exposed for the
+	// ablation benchmarks.
+	ISWeight  float64
+	CSPWeight float64
+}
+
+// DefaultOptions returns the paper's configuration: equal term weights
+// and a Sakoe-Chiba band of 3 — attack variants align near the diagonal
+// while unrelated programs would need the extreme warps the band forbids.
+func DefaultOptions() Options {
+	return Options{ISWeight: 0.5, CSPWeight: 0.5, Window: 3}
+}
+
+func (o Options) withDefaults() Options {
+	if o.ISWeight == 0 && o.CSPWeight == 0 {
+		o.ISWeight, o.CSPWeight = 0.5, 0.5
+	}
+	return o
+}
+
+// DIS returns the normalized Levenshtein distance between the
+// (normalized) instruction sequences of two CSTs.
+func DIS(a, b model.CST) float64 {
+	return textdist.Normalized(a.NormInsns, b.NormInsns)
+}
+
+// DCSP returns |P2 - P1| where Pi = (|AO-AO'| + |IO-IO'|)/2 measures the
+// magnitude of cache change of CST i.
+func DCSP(a, b model.CST) float64 {
+	d := a.Delta() - b.Delta()
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Distance returns the combined CST distance
+// (D_IS + D_CSP)/2 under the default weights.
+func Distance(a, b model.CST) float64 {
+	return DistanceOpts(a, b, DefaultOptions())
+}
+
+// DistanceOpts returns the weighted CST distance.
+func DistanceOpts(a, b model.CST, opts Options) float64 {
+	opts = opts.withDefaults()
+	return opts.ISWeight*DIS(a, b) + opts.CSPWeight*DCSP(a, b)
+}
+
+// BBSDistance aligns two CST-BBSes with DTW using Distance as the point
+// metric and returns the accumulated cost normalized by the warping
+// path's length, in [0, 1] (or +Inf when exactly one model is empty).
+//
+// The normalization is our one calibration of the paper's algorithm:
+// raw DTW sums grow with model size, so a fixed similarity threshold
+// would mean different things for a 10-block and a 30-block model, and
+// longer repository models would systematically attract targets.
+// Dividing by the optimal path's length makes the distance a mean
+// per-aligned-pair cost: a true variant pair sits near 0.1, an
+// attack/benign pair near 0.5, reproducing the paper's score bands
+// (S1 high … S5 low) and its 30%-60% threshold plateau with no length
+// bias. Two empty models are identical (distance 0); an empty model
+// against a non-empty one is infinitely distant.
+func BBSDistance(a, b *model.CSTBBS, opts Options) float64 {
+	opts = opts.withDefaults()
+	d := func(i, j int) float64 { return DistanceOpts(a.Seq[i], b.Seq[j], opts) }
+	sum, path := dtw.Path(a.Len(), b.Len(), d, dtw.Options{Window: opts.Window})
+	if len(path) == 0 {
+		return sum // 0 for both empty, +Inf for one empty
+	}
+	return sum / float64(len(path))
+}
+
+// Score converts two CST-BBSes directly into the paper's similarity
+// score 1/(D+1) in [0,1]; larger means more similar.
+func Score(a, b *model.CSTBBS, opts Options) float64 {
+	return dtw.Similarity(BBSDistance(a, b, opts))
+}
+
+// ScoreModels is a convenience over the models' BBSes.
+func ScoreModels(a, b *model.Model, opts Options) float64 {
+	return Score(a.BBS, b.BBS, opts)
+}
+
+// AlignedPair is one step of the optimal DTW warping path between two
+// CST-BBSes: model block a.Seq[I] aligned with b.Seq[J] at the given
+// point cost. Low-cost pairs are the matching attack phases; high-cost
+// pairs are where the behaviors diverge — the explanation a security
+// analyst reads.
+type AlignedPair struct {
+	I, J int
+	Cost float64
+}
+
+// Align returns the normalized distance together with the full warping
+// path, for explainability (e.g. `scaguard compare -explain`).
+func Align(a, b *model.CSTBBS, opts Options) (float64, []AlignedPair) {
+	opts = opts.withDefaults()
+	d := func(i, j int) float64 { return DistanceOpts(a.Seq[i], b.Seq[j], opts) }
+	sum, path := dtw.Path(a.Len(), b.Len(), d, dtw.Options{Window: opts.Window})
+	if len(path) == 0 {
+		return sum, nil
+	}
+	pairs := make([]AlignedPair, len(path))
+	for k, p := range path {
+		pairs[k] = AlignedPair{I: p[0], J: p[1], Cost: d(p[0], p[1])}
+	}
+	return sum / float64(len(path)), pairs
+}

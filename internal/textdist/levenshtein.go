@@ -1,0 +1,57 @@
+// Package textdist implements the edit-distance machinery used to
+// compare normalized instruction sequences (Section III-B1 of the
+// paper): plain Levenshtein distance over token sequences and the
+// normalized variant D_IS = lev(a,b) / max(len(a), len(b)).
+package textdist
+
+// Levenshtein returns the edit distance (insert/delete/substitute, all
+// cost 1) between two token sequences. It runs in O(len(a)*len(b)) time
+// and O(min) space.
+func Levenshtein(a, b []string) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Normalized returns the normalized Levenshtein distance in [0,1]:
+// lev(a,b) / max(len(a), len(b)). Two empty sequences have distance 0.
+func Normalized(a, b []string) float64 {
+	m := len(a)
+	if len(b) > m {
+		m = len(b)
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(Levenshtein(a, b)) / float64(m)
+}

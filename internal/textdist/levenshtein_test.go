@@ -1,0 +1,101 @@
+package textdist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinBasic(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want int
+	}{
+		{nil, nil, 0},
+		{[]string{"a"}, nil, 1},
+		{nil, []string{"a", "b"}, 2},
+		{[]string{"a"}, []string{"a"}, 0},
+		{[]string{"a"}, []string{"b"}, 1},
+		{[]string{"mov reg, imm", "add reg, reg"}, []string{"mov reg, imm", "add reg, reg"}, 0},
+		{[]string{"mov", "add", "sub"}, []string{"mov", "sub"}, 1},
+		{[]string{"k", "i", "t", "t", "e", "n"}, []string{"s", "i", "t", "t", "i", "n", "g"}, 3},
+		{[]string{"a", "b", "c"}, []string{"c", "b", "a"}, 2},
+	}
+	for i, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("case %d: lev(%v,%v) = %d, want %d", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	if got := Normalized(nil, nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := Normalized([]string{"a", "b"}, nil); got != 1 {
+		t.Errorf("vs empty = %v", got)
+	}
+	if got := Normalized([]string{"a", "b"}, []string{"a", "b"}); got != 0 {
+		t.Errorf("equal = %v", got)
+	}
+	if got := Normalized([]string{"a", "b"}, []string{"a", "c"}); got != 0.5 {
+		t.Errorf("half = %v", got)
+	}
+}
+
+func randSeq(rng *rand.Rand, n int) []string {
+	alphabet := []string{"mov", "add", "sub", "cmp", "jmp"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return out
+}
+
+// Metric properties: identity, symmetry, triangle inequality, and the
+// normalized distance staying in [0,1].
+func TestLevenshteinMetricProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, rng.Intn(12))
+		b := randSeq(rng, rng.Intn(12))
+		c := randSeq(rng, rng.Intn(12))
+		dab, dba := Levenshtein(a, b), Levenshtein(b, a)
+		if dab != dba {
+			return false
+		}
+		if Levenshtein(a, a) != 0 {
+			return false
+		}
+		if Levenshtein(a, c) > dab+Levenshtein(b, c) {
+			return false
+		}
+		n := Normalized(a, b)
+		return n >= 0 && n <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Distance is bounded by max length and at least the length difference.
+func TestLevenshteinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, rng.Intn(15))
+		b := randSeq(rng, rng.Intn(15))
+		d := Levenshtein(a, b)
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		diff := len(a) - len(b)
+		if diff < 0 {
+			diff = -diff
+		}
+		return d <= maxLen && d >= diff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package trigger
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attacks"
+	"repro/internal/isa"
+)
+
+// gateCodeBase places the disguise prologue below the attack's code.
+const gateCodeBase uint64 = 0x3f_0000
+
+// gateDataBase keeps the decoy's data away from everything else.
+const gateDataBase uint64 = 0x0e00_0000
+
+// Disguise wraps an attack PoC behind an input gate: the program reads
+// the 64-bit input at InputAddr and compares it byte-by-byte against
+// magic's low magicBytes bytes. Only a full match falls through into the
+// original attack; any mismatch diverts into a benign decoy loop and
+// halts. The byte-by-byte structure is what gives a coverage-guided
+// explorer a gradient to climb — exactly the disguised-malware shape the
+// paper's Limitation section describes.
+func Disguise(poc attacks.PoC, magic uint64, magicBytes int) (attacks.PoC, error) {
+	if poc.Program == nil {
+		return attacks.PoC{}, fmt.Errorf("trigger: nil PoC program")
+	}
+	if magicBytes < 1 || magicBytes > 8 {
+		return attacks.PoC{}, fmt.Errorf("trigger: magicBytes %d out of range [1,8]", magicBytes)
+	}
+	if gateCodeBase+0x10000 > poc.Program.MinAddr() {
+		return attacks.PoC{}, fmt.Errorf("trigger: gate region overlaps attack code at %#x", poc.Program.MinAddr())
+	}
+
+	b := isa.NewBuilder(poc.Name+"-disguised", gateCodeBase)
+	b.SetDataBase(gateDataBase)
+	decoyBuf := b.Bytes("decoy", 256, false)
+
+	// Gate: one compare block per magic byte.
+	b.Mov(isa.R(isa.R0), isa.Mem(isa.RegNone, int64(InputAddr)))
+	for i := 0; i < magicBytes; i++ {
+		want := int64((magic >> (uint(i) * 8)) & 0xff)
+		b.Mov(isa.R(isa.R1), isa.R(isa.R0)).
+			Shr(isa.R(isa.R1), isa.Imm(int64(i*8))).
+			And(isa.R(isa.R1), isa.Imm(0xff)).
+			Cmp(isa.R(isa.R1), isa.Imm(want)).
+			Jne("decoy")
+	}
+	// Full match: hand over to the hidden attack. The branch target is
+	// patched after merging since the label lives in the other program.
+	b.Label("unlock").
+		Jmp("unlock_patch")
+	b.Label("unlock_patch") // placeholder fallthrough, patched below
+
+	// Decoy: an innocuous checksum loop.
+	b.Label("decoy").
+		Mov(isa.R(isa.R2), isa.Imm(0)).
+		Mov(isa.R(isa.R3), isa.Imm(0)).
+		Label("dloop").
+		Lea(isa.R4, isa.MemIdx(isa.RegNone, isa.R2, 8, int64(decoyBuf))).
+		Mov(isa.R(isa.R5), isa.Mem(isa.R4, 0)).
+		Add(isa.R(isa.R3), isa.R(isa.R5)).
+		Inc(isa.R(isa.R2)).
+		Cmp(isa.R(isa.R2), isa.Imm(24)).
+		Jl("dloop").
+		Hlt()
+
+	gate, err := b.Build()
+	if err != nil {
+		return attacks.PoC{}, err
+	}
+	// Patch the unlock jump to the attack's entry.
+	patched := 0
+	for i := range gate.Insns {
+		in := &gate.Insns[i]
+		if t, ok := in.BranchTarget(); ok && t == gate.Labels["unlock_patch"] && in.Addr == gate.Labels["unlock"] {
+			in.Dst = isa.Imm(int64(poc.Program.Entry))
+			patched++
+		}
+	}
+	if patched != 1 {
+		return attacks.PoC{}, fmt.Errorf("trigger: unlock patch applied %d times, want 1", patched)
+	}
+
+	merged := &isa.Program{
+		Name:   gate.Name,
+		Entry:  gate.Entry,
+		Insns:  append(append([]isa.Instruction{}, gate.Insns...), poc.Program.Insns...),
+		Labels: map[string]uint64{},
+	}
+	for k, v := range gate.Labels {
+		merged.Labels["gate_"+k] = v
+	}
+	for k, v := range poc.Program.Labels {
+		merged.Labels[k] = v
+	}
+	merged.Data = append(append([]isa.DataSegment{}, gate.Data...), poc.Program.Data...)
+	sort.Slice(merged.Insns, func(i, j int) bool { return merged.Insns[i].Addr < merged.Insns[j].Addr })
+	if err := merged.Validate(); err != nil {
+		return attacks.PoC{}, fmt.Errorf("trigger: merged program invalid: %w", err)
+	}
+	return attacks.PoC{
+		Name:    merged.Name,
+		Family:  poc.Family,
+		Program: merged,
+		Victim:  poc.Victim,
+	}, nil
+}

@@ -1,0 +1,196 @@
+// Package scaguard is the public facade of the SCAGuard reproduction —
+// detection and classification of cache side-channel attacks via attack
+// behavior modeling and similarity comparison (Wang, Bu, Song; DAC 2023).
+//
+// The library models a target binary's attack behavior as a cache state
+// transition enhanced basic block sequence (CST-BBS) and compares it
+// against a repository of models built from proof-of-concept attacks
+// using an adapted Dynamic Time Warping similarity. Everything runs on a
+// built-in machine simulator (ISA interpreter + multi-level cache +
+// branch predictor with transient execution), so the full pipeline —
+// including genuinely working Flush+Reload, Prime+Probe and Spectre
+// PoCs — is reproducible on any host.
+//
+// Typical use:
+//
+//	det, _ := scaguard.NewDetector()
+//	poc := scaguard.MustAttack("FR-Mastik")   // an "unknown" variant
+//	res, _, _ := det.Classify(poc.Program, poc.Victim)
+//	fmt.Println(res.Predicted, res.Best.Score)
+package scaguard
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/attacks"
+	"repro/internal/benign"
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/isa"
+	"repro/internal/model"
+	"repro/internal/mutate"
+	"repro/internal/similarity"
+)
+
+// Core re-exported types. Program is the binary representation every
+// pipeline stage consumes; Model/CSTBBS are the attack behavior model;
+// Result is a classification outcome.
+type (
+	Program    = isa.Program
+	Model      = model.Model
+	CSTBBS     = model.CSTBBS
+	Result     = detect.Result
+	Repository = detect.Repository
+	Detector   = detect.Detector
+	Family     = attacks.Family
+	PoC        = attacks.PoC
+)
+
+// Attack family labels.
+const (
+	FamilyFlushReload  = attacks.FamilyFR
+	FamilyPrimeProbe   = attacks.FamilyPP
+	FamilySpectreFR    = attacks.FamilySFR
+	FamilySpectrePP    = attacks.FamilySPP
+	FamilyBenign       = attacks.FamilyBenign
+	DefaultThreshold   = detect.DefaultThreshold
+	MinimumModelLength = detect.MinModelLen
+)
+
+// BuildModel models the attack behavior of a program; victim may be nil.
+func BuildModel(prog, victim *Program) (*Model, error) {
+	return model.Build(prog, victim, model.DefaultConfig())
+}
+
+// Score compares two behavior models and returns the similarity score
+// 1/(D+1) in [0,1].
+func Score(a, b *CSTBBS) float64 {
+	return similarity.Score(a, b, similarity.DefaultOptions())
+}
+
+// AlignedPair re-exports the warping-path step type for explanations.
+type AlignedPair = similarity.AlignedPair
+
+// Align returns the normalized distance between two models together
+// with the optimal block alignment — which blocks of a matched which
+// blocks of b at what cost.
+func Align(a, b *CSTBBS) (float64, []AlignedPair) {
+	return similarity.Align(a, b, similarity.DefaultOptions())
+}
+
+// NewDetector builds a detector whose repository holds one canonical PoC
+// model per attack family — the paper's deployment configuration.
+func NewDetector() (*Detector, error) {
+	pocs := []attacks.PoC{}
+	for _, name := range []string{"FR-IAIK", "PP-IAIK", "S-FR-Idea", "S-PP-Trippel"} {
+		poc, err := attacks.ByName(name, attacks.DefaultParams())
+		if err != nil {
+			return nil, err
+		}
+		pocs = append(pocs, poc)
+	}
+	repo, err := detect.BuildRepository(pocs, model.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return detect.NewDetector(repo), nil
+}
+
+// NewDetectorFromPoCs builds a detector from caller-selected PoCs.
+func NewDetectorFromPoCs(pocs []PoC) (*Detector, error) {
+	repo, err := detect.BuildRepository(pocs, model.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return detect.NewDetector(repo), nil
+}
+
+// AttackNames lists the canonical PoCs of Table II.
+func AttackNames() []string { return attacks.Names() }
+
+// ExtensionNames lists the beyond-Table-II PoCs (Meltdown-type,
+// Evict+Time), addressable through Attack like the canonical corpus.
+func ExtensionNames() []string { return attacks.ExtensionNames() }
+
+// Attack builds a canonical PoC by name with default parameters.
+func Attack(name string) (PoC, error) {
+	return attacks.ByName(name, attacks.DefaultParams())
+}
+
+// MustAttack is Attack that panics on unknown names.
+func MustAttack(name string) PoC {
+	poc, err := Attack(name)
+	if err != nil {
+		panic(err)
+	}
+	return poc
+}
+
+// Families lists the four attack families.
+func Families() []Family { return attacks.Families() }
+
+// BenignKinds lists the Table III benign families.
+func BenignKinds() []string {
+	kinds := benign.Kinds()
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = string(k)
+	}
+	return out
+}
+
+// BenignTemplates lists the templates of one benign kind.
+func BenignTemplates(kind string) []string {
+	return benign.Templates(benign.Kind(kind))
+}
+
+// GenerateBenign builds a benign program from kind, template and seed.
+func GenerateBenign(kind, template string, seed int64) (*Program, error) {
+	return benign.Generate(benign.Spec{Kind: benign.Kind(kind), Template: template, Seed: seed})
+}
+
+// RandomBenign draws a random benign program of a kind.
+func RandomBenign(kind string, seed int64) (*Program, error) {
+	return benign.Random(benign.Kind(kind), rand.New(rand.NewSource(seed)))
+}
+
+// MutateVariant produces a semantics-preserving mutated variant of a
+// program (the corpus-expansion transformation of Table II).
+func MutateVariant(p *Program, seed int64) (*Program, error) {
+	return mutate.Mutate(p, mutate.LightConfig(seed))
+}
+
+// ObfuscateVariant produces a polymorphic junk-code-obfuscated variant
+// (the E4 robustness transformation).
+func ObfuscateVariant(p *Program, seed int64) (*Program, error) {
+	return mutate.Mutate(p, mutate.ObfuscationConfig(seed))
+}
+
+// StandardDataset assembles the Tables II+III corpus with n samples per
+// class under the given seed.
+func StandardDataset(n int, seed int64) (*dataset.Dataset, error) {
+	return dataset.Standard(dataset.Config{PerClass: n, Seed: seed})
+}
+
+// SaveRepository writes a detector's model repository as JSON, the
+// deployment artefact of Section III-B3.
+func SaveRepository(repo *Repository, w io.Writer) error { return repo.Save(w) }
+
+// LoadRepository reads a repository saved with SaveRepository.
+func LoadRepository(r io.Reader) (*Repository, error) { return detect.LoadRepository(r) }
+
+// NewDetectorFromRepository wraps a (possibly loaded) repository with
+// default detector settings.
+func NewDetectorFromRepository(repo *Repository) *Detector {
+	return detect.NewDetector(repo)
+}
+
+// ParseProgram assembles a textual ISA program (see internal/isa.Parse
+// for the syntax) so downstream users can classify their own programs:
+//
+//	prog, _ := scaguard.ParseProgram("mine", src)
+//	res, _, _ := det.Classify(prog, nil)
+func ParseProgram(name, src string) (*Program, error) {
+	return isa.Parse(name, src)
+}

@@ -1,0 +1,15 @@
+; A hand-written benign kernel (array sum) in the reproduction's
+; assembly syntax — the negative control for handwritten-fr.s:
+;
+;   go run ./cmd/scaguard classify -file testdata/handwritten-benign.s
+.data buf 512
+
+  mov r0, 0          ; sum
+  mov r1, 0          ; index
+sum:
+  mov r2, [buf+r1*8]
+  add r0, r2
+  inc r1
+  cmp r1, 64
+  jl sum
+  hlt

@@ -1,0 +1,39 @@
+; A minimal hand-written Flush+Reload attack in the reproduction's
+; assembly syntax. Classify it with:
+;
+;   go run ./cmd/scaguard classify -file testdata/handwritten-fr.s
+;
+; (The CLI runs it without a victim; flush/reload behavior is still
+; modeled and the detector recognizes the family.)
+.data shared 1024 shared @0x20000000
+.data hits 128
+
+  mov r7, 4          ; monitoring rounds
+round:
+  mov r2, 0          ; line index
+lines:
+  mov r1, r2
+  shl r1, 6
+  add r1, $shared
+  clflush [r1]       ; flush phase
+  mov r3, 30
+wait:
+  dec r3
+  jne wait
+  rdtscp r4          ; timed reload phase
+  mov r0, [r1]
+  rdtscp r5
+  sub r5, r4
+  cmp r5, 100
+  jae miss
+  lea r6, [hits+r2*8]
+  mov r8, [r6]
+  inc r8
+  mov [r6], r8
+miss:
+  inc r2
+  cmp r2, 12
+  jl lines
+  dec r7
+  jne round
+  hlt
