@@ -1,0 +1,30 @@
+# Developer entry points. Everything is stdlib-only Go; no tools beyond
+# the toolchain are required.
+
+GO ?= go
+
+.PHONY: all build test race vet bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race pass over the concurrent packages (the scan engine and the
+# detector/repository wiring around it).
+race:
+	$(GO) test -race ./internal/detect ./internal/scan
+
+vet:
+	$(GO) vet ./...
+
+# The repository-scan benchmark plus the per-stage detection costs;
+# see docs/PERFORMANCE.md for how to read them. Use
+# `go test -bench=. -benchmem` for the full table/figure harness.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkRepositoryScan|DetectionCost|SimilarityDTW' -benchmem .
+
+ci: build vet test race

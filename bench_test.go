@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/model"
+	"repro/internal/scan"
 	"repro/internal/similarity"
 )
 
@@ -340,6 +341,76 @@ func BenchmarkAblationNaiveUnion(b *testing.B) {
 	}
 	b.ReportMetric(float64(withMST), "mst_blocks")
 	b.ReportMetric(float64(naive), "naive_blocks")
+}
+
+// scanCorpus builds a realistically sized repository (every canonical
+// PoC plus mutated variants) and a set of distinct scan targets.
+func scanCorpus(b *testing.B) (entries, targets []*model.CSTBBS) {
+	b.Helper()
+	build := func(prog, victim *Program) *model.CSTBBS {
+		m, err := BuildModel(prog, victim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m.BBS
+	}
+	for _, name := range AttackNames() {
+		poc := MustAttack(name)
+		entries = append(entries, build(poc.Program, poc.Victim))
+		for seed := int64(0); seed < 2; seed++ {
+			mut, err := MutateVariant(poc.Program, seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			entries = append(entries, build(mut, poc.Victim))
+		}
+	}
+	for _, name := range []string{"FR-Mastik", "ER-IAIK", "PP-Jzhang", "S-FR-Good"} {
+		poc := MustAttack(name)
+		mut, err := MutateVariant(poc.Program, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		targets = append(targets, build(mut, poc.Victim))
+	}
+	return entries, targets
+}
+
+// BenchmarkRepositoryScan measures one full repository scan per
+// iteration — the similarity-comparison stage that dominates detection
+// latency (Section V) — under the three engine configurations:
+//
+//	Serial   — the reference loop (similarity.Score per entry)
+//	Engine   — exact scan: worker pool + memoized Levenshtein + O(m) DTW
+//	Pruned   — Engine plus lower-bound and early-abandon pruning
+//
+// Targets round-robin across distinct models so the cache is exercised
+// the way a deployment stream exercises it (recurring blocks, varying
+// targets). The measured speedups are recorded in docs/PERFORMANCE.md.
+func BenchmarkRepositoryScan(b *testing.B) {
+	entries, targets := scanCorpus(b)
+	run := func(b *testing.B, scanOne func(eng *scan.Engine, t *model.CSTBBS)) {
+		eng := scan.New(entries, scan.Config{Sim: similarity.DefaultOptions()})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scanOne(eng, targets[i%len(targets)])
+		}
+		b.ReportMetric(float64(len(entries)), "entries")
+	}
+	b.Run("Serial", func(b *testing.B) {
+		run(b, func(eng *scan.Engine, t *model.CSTBBS) { eng.ScanSerial(t) })
+	})
+	b.Run("Engine", func(b *testing.B) {
+		run(b, func(eng *scan.Engine, t *model.CSTBBS) { eng.Scan(t) })
+	})
+	b.Run("Pruned", func(b *testing.B) {
+		eng := scan.New(entries, scan.Config{Prune: true, Sim: similarity.DefaultOptions()})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Scan(targets[i%len(targets)])
+		}
+		b.ReportMetric(float64(len(entries)), "entries")
+	})
 }
 
 // BenchmarkEndToEndAttack measures a full simulated Flush+Reload attack

@@ -10,6 +10,7 @@
 //	scaguard classify -target ER-IAIK
 //	scaguard classify -benign crypto/aes-ttable/7
 //	scaguard classify -target FR-IAIK -obfuscate 3
+//	scaguard classify -target ER-IAIK -fast -workers 4
 package main
 
 import (
@@ -239,13 +240,15 @@ func cmdRepoSave(args []string) error {
 	if err := scaguard.SaveRepository(det.Repo, f); err != nil {
 		return err
 	}
-	fmt.Printf("repository (%d models) written to %s\n", len(det.Repo.Entries), *out)
+	fmt.Printf("repository (%d models) written to %s\n", det.Repo.Len(), *out)
 	return nil
 }
 
 func cmdClassify(args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
 	repoPath := fs.String("repo", "", "classify against a saved repository instead of the default")
+	workers := fs.Int("workers", 0, "scan worker-pool size (0 = GOMAXPROCS)")
+	fast := fs.Bool("fast", false, "early-abandoning scan: the verdict and best match stay exact, other scores may be upper bounds (marked ~)")
 	prog, victim, err := loadTarget(fs, args)
 	if err != nil {
 		return err
@@ -268,6 +271,7 @@ func cmdClassify(args []string) error {
 			return err
 		}
 	}
+	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast}
 	res, m, err := det.Classify(prog, victim)
 	if err != nil {
 		return err
@@ -279,7 +283,11 @@ func cmdClassify(args []string) error {
 		if match.Score >= det.Threshold {
 			marker = "*"
 		}
-		fmt.Printf("  %s %-14s %-5s %6.2f%%\n", marker, match.Name, match.Family, match.Score*100)
+		bound := " "
+		if match.Pruned {
+			bound = "~" // early-abandoned: score is an upper bound
+		}
+		fmt.Printf("  %s %-14s %-5s %s%6.2f%%\n", marker, match.Name, match.Family, bound, match.Score*100)
 	}
 	return nil
 }

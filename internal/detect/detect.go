@@ -5,15 +5,26 @@
 // similarity, and classifies it as the family of the best match — or as
 // benign when every score falls below the threshold (45% by default,
 // the optimum of Fig. 5).
+//
+// Classification runs on the repository scan engine (internal/scan):
+// per-entry scoring fans out across a worker pool and the Levenshtein
+// term is memoized in a cache owned by the Repository, so every
+// detector sharing a repository shares the warm cache. The default
+// configuration is exact — bit-identical to the serial reference loop —
+// while Detector.Scan.Prune opts into early-abandoning scans that keep
+// the best match (and hence the classification) exact but may skip
+// provably losing entries. See docs/PERFORMANCE.md.
 package detect
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/attacks"
 	"repro/internal/isa"
 	"repro/internal/model"
+	"repro/internal/scan"
 	"repro/internal/similarity"
 )
 
@@ -38,18 +49,63 @@ type Entry struct {
 	BBS    *model.CSTBBS
 }
 
-// Repository holds the known-attack models.
+// Repository holds the known-attack models. The zero value is an empty
+// repository ready for use.
+//
+// A Repository is safe for concurrent use as long as all mutation goes
+// through Add: Add may race freely with classification (detectors scan
+// a snapshot and pick up additions on their next call). The exported
+// Entries field remains for read access by reporting code; appending to
+// it directly bypasses the lock and the change tracking and must not be
+// done concurrently with anything else.
 type Repository struct {
+	mu      sync.RWMutex
+	version uint64
+	cache   *scan.DistCache
+
 	Entries []Entry
 }
 
 // Add inserts a model.
 func (r *Repository) Add(name string, family attacks.Family, bbs *model.CSTBBS) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.Entries = append(r.Entries, Entry{Name: name, Family: family, BBS: bbs})
+	r.version++
+}
+
+// Len returns the number of models.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.Entries)
+}
+
+// snapshot returns a stable copy of the entries plus the version that
+// produced it, so detectors can scan while Add keeps inserting.
+func (r *Repository) snapshot() ([]Entry, uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]Entry(nil), r.Entries...), r.version
+}
+
+// distCache returns the repository's shared Levenshtein memo, creating
+// it on first use. The cache stores unweighted D_IS values only, so one
+// cache serves every detector and similarity configuration built over
+// this repository.
+func (r *Repository) distCache() *scan.DistCache {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cache == nil {
+		r.cache = scan.NewDistCache()
+	}
+	return r.cache
 }
 
 // Families returns the distinct families represented, sorted.
 func (r *Repository) Families() []attacks.Family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	seen := make(map[attacks.Family]bool)
 	for _, e := range r.Entries {
 		seen[e.Family] = true
@@ -82,6 +138,10 @@ type Match struct {
 	Name   string
 	Family attacks.Family
 	Score  float64
+	// Pruned marks entries skipped by an early-abandoning scan
+	// (Detector.Scan.Prune); their Score is an upper bound on the true
+	// score. The best match is never pruned.
+	Pruned bool
 }
 
 // Result is a classification outcome.
@@ -96,6 +156,12 @@ type Result struct {
 }
 
 // Detector classifies target programs against a repository.
+//
+// A Detector is safe for concurrent use: Classify and ClassifyBBS may
+// be called from many goroutines, and the repository may keep growing
+// through Add while they run (each call scans a snapshot). Mutating the
+// configuration fields concurrently with classification is not
+// supported.
 type Detector struct {
 	Repo      *Repository
 	Threshold float64
@@ -106,6 +172,53 @@ type Detector struct {
 	// differences by definition, so a timer-free program is benign
 	// regardless of its cache-access shape. Disable for ablations.
 	RequireTimer bool
+	// Scan tunes the repository scan engine (worker count, early
+	// abandoning). Scan.Sim and Scan.Cache are ignored: the engine
+	// always uses SimOpts and the repository's shared distance cache.
+	Scan scan.Config
+
+	// engine cache, rebuilt when the repository or the configuration
+	// it was built under changes.
+	mu         sync.Mutex
+	eng        *scan.Engine
+	engEntries []Entry
+	engVer     uint64
+	engKey     engineKey
+}
+
+// engineKey captures the configuration an engine was built under.
+type engineKey struct {
+	workers int
+	prune   bool
+	sim     similarity.Options
+}
+
+func (d *Detector) key() engineKey {
+	return engineKey{workers: d.Scan.Workers, prune: d.Scan.Prune, sim: d.SimOpts}
+}
+
+// engine returns a scan engine over the current repository snapshot,
+// rebuilding it only when the repository version or the detector
+// configuration has changed since the last call. The returned entry
+// slice is the snapshot the engine indexes into.
+func (d *Detector) engine() (*scan.Engine, []Entry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entries, ver := d.Repo.snapshot()
+	k := d.key()
+	if d.eng != nil && d.engVer == ver && d.engKey == k && len(d.engEntries) == len(entries) {
+		return d.eng, d.engEntries
+	}
+	models := make([]*model.CSTBBS, len(entries))
+	for i, e := range entries {
+		models[i] = e.BBS
+	}
+	cfg := d.Scan
+	cfg.Sim = d.SimOpts
+	cfg.Cache = d.Repo.distCache()
+	d.eng = scan.New(models, cfg)
+	d.engEntries, d.engVer, d.engKey = entries, ver, k
+	return d.eng, d.engEntries
 }
 
 // NewDetector returns a detector with the paper's defaults.
@@ -119,29 +232,86 @@ func NewDetector(repo *Repository) *Detector {
 	}
 }
 
-// ClassifyBBS scores a pre-built behavior model against the repository.
-func (d *Detector) ClassifyBBS(bbs *model.CSTBBS) Result {
-	res := Result{Predicted: attacks.FamilyBenign}
+// benignResult is the explicit outcome for targets that never reach the
+// similarity comparison: gated-out models and scans of an empty
+// repository. Best names the benign family directly so callers reading
+// Best.Family without checking Matches still get a truthful answer.
+func benignResult() Result {
+	return Result{
+		Predicted: attacks.FamilyBenign,
+		Best:      Match{Family: attacks.FamilyBenign},
+	}
+}
+
+// gated reports whether the target is benign by construction, before
+// any repository comparison.
+func (d *Detector) gated(bbs *model.CSTBBS) bool {
 	if bbs.Len() < MinModelLen {
+		return true
+	}
+	return d.RequireTimer && bbs.TimerReads == 0
+}
+
+// assemble turns the positional scan matches into a Result: named,
+// sorted best-first (stable, so equal scores keep repository order) and
+// thresholded.
+func (d *Detector) assemble(entries []Entry, ms []scan.Match) Result {
+	res := benignResult()
+	if len(ms) == 0 {
 		return res
 	}
-	if d.RequireTimer && bbs.TimerReads == 0 {
-		return res
-	}
-	for _, e := range d.Repo.Entries {
-		s := similarity.Score(bbs, e.BBS, d.SimOpts)
-		res.Matches = append(res.Matches, Match{Name: e.Name, Family: e.Family, Score: s})
+	res.Matches = make([]Match, len(ms))
+	for i, m := range ms {
+		e := entries[m.Index]
+		res.Matches[i] = Match{Name: e.Name, Family: e.Family, Score: m.Score, Pruned: m.Pruned}
 	}
 	sort.SliceStable(res.Matches, func(i, j int) bool {
 		return res.Matches[i].Score > res.Matches[j].Score
 	})
-	if len(res.Matches) > 0 {
-		res.Best = res.Matches[0]
-		if res.Best.Score >= d.Threshold {
-			res.Predicted = res.Best.Family
-		}
+	res.Best = res.Matches[0]
+	if res.Best.Score >= d.Threshold {
+		res.Predicted = res.Best.Family
 	}
 	return res
+}
+
+// ClassifyBBS scores a pre-built behavior model against the repository.
+// An empty repository, like a gated-out target, yields an explicitly
+// benign result with no matches.
+func (d *Detector) ClassifyBBS(bbs *model.CSTBBS) Result {
+	if d.gated(bbs) {
+		return benignResult()
+	}
+	eng, entries := d.engine()
+	return d.assemble(entries, eng.Scan(bbs))
+}
+
+// ClassifyBatch classifies many pre-built behavior models in one scan
+// pass, sharing the worker pool and warm distance cache across all of
+// them. results[i] corresponds to targets[i]; gated-out targets get the
+// same explicit benign result ClassifyBBS would give them, without
+// occupying the scan.
+func (d *Detector) ClassifyBatch(targets []*model.CSTBBS) []Result {
+	results := make([]Result, len(targets))
+	live := make([]*model.CSTBBS, 0, len(targets))
+	liveIdx := make([]int, 0, len(targets))
+	for i, bbs := range targets {
+		if d.gated(bbs) {
+			results[i] = benignResult()
+			continue
+		}
+		live = append(live, bbs)
+		liveIdx = append(liveIdx, i)
+	}
+	if len(live) == 0 {
+		return results
+	}
+	eng, entries := d.engine()
+	batch := eng.ScanBatch(live)
+	for k, ms := range batch {
+		results[liveIdx[k]] = d.assemble(entries, ms)
+	}
+	return results
 }
 
 // Classify models the target program (optionally alongside a victim

@@ -39,8 +39,11 @@ type cstFile struct {
 
 const repoFormatVersion = 1
 
-// Save writes the repository as JSON.
+// Save writes the repository as JSON. It holds the repository read lock
+// for the duration, so it may run concurrently with classification.
 func (r *Repository) Save(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := repoFile{Version: repoFormatVersion}
 	for _, e := range r.Entries {
 		ef := entryFile{Name: e.Name, Family: string(e.Family), TimerReads: e.BBS.TimerReads}

@@ -3,6 +3,25 @@
 // (Section III-B2 of the paper). It is generic over the element type via
 // a caller-provided point distance function and supports an optional
 // Sakoe-Chiba band to bound warping.
+//
+// Three evaluation strategies are offered, all computing the same
+// banded sum-of-costs optimum:
+//
+//   - Path keeps the full O(n*m) cost matrix and returns one optimal
+//     warping path — used when the alignment itself is the product
+//     (explanations, `scaguard compare -explain`).
+//   - DistanceWithPathLen runs in O(m) memory and additionally returns
+//     the length of exactly the path Path's backtracking would choose,
+//     which is what the normalized CST-BBS distance divides by.
+//   - DistanceAbandon adds early abandoning for repository scans: given
+//     an upper bound on the acceptable total cost, it stops as soon as
+//     every reachable cell of a row exceeds the bound, i.e. as soon as
+//     it holds a proof that the final sum must exceed the bound.
+//
+// The early-abandon contract requires the point distance to be
+// non-negative; every row of the matrix is crossed by every admissible
+// warping path, so a row whose cheapest prefix already exceeds the
+// cutoff can only be completed at a higher cost.
 package dtw
 
 import "math"
@@ -77,6 +96,111 @@ func Distance(n, m int, d DistFunc, opts Options) float64 {
 		prev, cur = cur, prev
 	}
 	return prev[m]
+}
+
+// DistanceWithPathLen computes the DTW distance like Distance and
+// additionally returns the length of the optimal warping path that
+// Path's backtracking would reconstruct (same tie-breaking: diagonal
+// first, then insertion, then deletion), without materializing the
+// O(n*m) cost matrix. The pair (sum, pathLen) therefore exactly matches
+// Path's (sum, len(path)); callers that only need the normalized
+// distance sum/pathLen can use this O(m)-memory form.
+//
+// Two empty sequences yield (0, 0); an empty vs non-empty alignment
+// yields (+Inf, 0).
+func DistanceWithPathLen(n, m int, d DistFunc, opts Options) (float64, int) {
+	sum, pathLen, _ := distanceAbandon(n, m, d, opts, math.Inf(1))
+	return sum, pathLen
+}
+
+// DistanceAbandon is DistanceWithPathLen with early abandoning: it
+// stops — returning abandoned=true — as soon as the cheapest reachable
+// cell of a row exceeds cutoff, which proves that the final sum-of-costs
+// must exceed cutoff. The point distance must be non-negative for the
+// proof to hold (all CST distances are).
+//
+// When abandoned, the returned sum is the cheapest cost of the row that
+// triggered the abandon — a lower bound on the true DTW sum, strictly
+// greater than cutoff — and pathLen is 0. When the alignment completes,
+// the exact (sum, pathLen) pair is returned exactly as from
+// DistanceWithPathLen; a cutoff of +Inf never abandons.
+func DistanceAbandon(n, m int, d DistFunc, opts Options, cutoff float64) (sum float64, pathLen int, abandoned bool) {
+	return distanceAbandon(n, m, d, opts, cutoff)
+}
+
+func distanceAbandon(n, m int, d DistFunc, opts Options, cutoff float64) (float64, int, bool) {
+	switch {
+	case n == 0 && m == 0:
+		return 0, 0, false
+	case n == 0 || m == 0:
+		return math.Inf(1), 0, false
+	}
+	w := opts.Window
+	if w > 0 {
+		diff := n - m
+		if diff < 0 {
+			diff = -diff
+		}
+		if w < diff {
+			w = diff
+		}
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	prevLen := make([]int, m+1)
+	curLen := make([]int, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo, hi := 1, m
+		if w > 0 {
+			lo = i - w
+			if lo < 1 {
+				lo = 1
+			}
+			hi = i + w
+			if hi > m {
+				hi = m
+			}
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			cost := d(i-1, j-1)
+			diag, up, left := prev[j-1], prev[j], cur[j-1]
+			// Predecessor choice mirrors Path's backtracking exactly so
+			// the tracked path length matches len(Path(...)).
+			var best float64
+			var blen int
+			switch {
+			case diag <= up && diag <= left:
+				best, blen = diag, prevLen[j-1]
+			case up <= left:
+				best, blen = up, prevLen[j]
+			default:
+				best, blen = left, curLen[j-1]
+			}
+			cur[j] = cost + best
+			curLen[j] = blen + 1
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > cutoff {
+			// Every admissible path crosses row i at one of these cells
+			// and point costs are non-negative, so the final sum is at
+			// least rowMin > cutoff: abandon with the proof in hand.
+			return rowMin, 0, true
+		}
+		prev, cur = cur, prev
+		prevLen, curLen = curLen, prevLen
+	}
+	return prev[m], prevLen[m], false
 }
 
 // Path additionally returns one optimal warping path as (i,j) index

@@ -165,6 +165,94 @@ func TestDTWProperties(t *testing.T) {
 	}
 }
 
+// DistanceWithPathLen must reproduce Path's (sum, len(path)) pair
+// exactly — including on tie-heavy integer costs, where the tracked
+// length is only correct if the forward predecessor choice mirrors the
+// backtracking tie-break.
+func TestDistanceWithPathLenMatchesPath(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(12), 1+rng.Intn(12)
+		a := make([]float64, n)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = float64(rng.Intn(4)) // small ints force frequent ties
+		}
+		for j := range b {
+			b[j] = float64(rng.Intn(4))
+		}
+		for _, w := range []int{0, 1, 3} {
+			opts := Options{Window: w}
+			ps, path := Path(n, m, absDist(a, b), opts)
+			ds, plen := DistanceWithPathLen(n, m, absDist(a, b), opts)
+			if ds != ps || plen != len(path) {
+				t.Logf("seed=%d n=%d m=%d w=%d: Path=(%v,%d) DistanceWithPathLen=(%v,%d)",
+					seed, n, m, w, ps, len(path), ds, plen)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceWithPathLenEmpty(t *testing.T) {
+	if s, l := DistanceWithPathLen(0, 0, nil, Options{}); s != 0 || l != 0 {
+		t.Errorf("both empty = (%v,%d)", s, l)
+	}
+	a := []float64{1}
+	if s, l := DistanceWithPathLen(1, 0, absDist(a, nil), Options{}); !math.IsInf(s, 1) || l != 0 {
+		t.Errorf("vs empty = (%v,%d), want (+Inf,0)", s, l)
+	}
+}
+
+// An infinite cutoff must never abandon and must return the exact
+// result; a finite cutoff may only abandon when the true sum exceeds it,
+// and the abandoned sum must be a valid lower bound.
+func TestDistanceAbandonContract(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(10), 1+rng.Intn(10)
+		a := make([]float64, n)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = rng.Float64() * 4
+		}
+		for j := range b {
+			b[j] = rng.Float64() * 4
+		}
+		opts := Options{Window: rng.Intn(3)}
+		exact, plen := DistanceWithPathLen(n, m, absDist(a, b), opts)
+
+		if s, l, ab := DistanceAbandon(n, m, absDist(a, b), opts, math.Inf(1)); ab || s != exact || l != plen {
+			return false
+		}
+		cutoff := rng.Float64() * exact * 1.5
+		s, _, ab := DistanceAbandon(n, m, absDist(a, b), opts, cutoff)
+		if ab {
+			// Abandoning requires a proof: exact > cutoff, and the
+			// returned sum is a lower bound on the exact sum.
+			return exact > cutoff && s > cutoff && s <= exact
+		}
+		return s == exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceAbandonTriggers(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{5, 5, 5, 5}
+	// Exact sum is 20; a cutoff of 1 must abandon on the first row.
+	s, l, ab := DistanceAbandon(4, 4, absDist(a, b), Options{}, 1)
+	if !ab || l != 0 || s <= 1 {
+		t.Errorf("abandon = (%v,%d,%v)", s, l, ab)
+	}
+}
+
 func TestPathWithWindow(t *testing.T) {
 	a := []float64{0, 1, 2, 3, 4}
 	b := []float64{0, 1, 2, 3, 4}

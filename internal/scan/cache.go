@@ -1,0 +1,127 @@
+package scan
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/textdist"
+)
+
+// noID marks a basic block that could not be interned (cache full); its
+// distances are computed directly and never memoized.
+const noID = ^uint32(0)
+
+// Interning and memoization caps. Both are far above anything the
+// repository corpus produces; they exist so a pathological stream of
+// unique targets cannot grow the cache without bound. Once a cap is
+// reached the cache degrades to pass-through computation.
+const (
+	maxInterned = 1 << 20 // distinct basic-block instruction sequences
+	maxMemoized = 1 << 22 // distinct block pairs
+)
+
+// DistCache memoizes the normalized-instruction Levenshtein distances
+// (D_IS) that dominate CST-BBS comparison. Basic blocks repeat heavily —
+// a probe loop appears in every Prime+Probe variant, a flush block in
+// every Flush+Reload mutant — so the same Levenshtein computation would
+// otherwise run once per DTW cell, per repository entry, per scan.
+//
+// Blocks are interned to dense uint32 ids keyed on a collision-free
+// (length-prefixed) join of the normalized instruction strings; pair
+// distances are then memoized under the canonical (min,max) id pair,
+// exploiting the symmetry of the Levenshtein distance. All methods are
+// safe for concurrent use; values are pure functions of their inputs, so
+// a racing double-compute is harmless.
+//
+// The cache is deliberately independent of the similarity Options: it
+// stores raw D_IS values only, never weighted sums, so one cache serves
+// every detector and every weight configuration sharing a repository.
+type DistCache struct {
+	mu    sync.RWMutex
+	ids   map[string]uint32
+	dists map[uint64]float64
+}
+
+// NewDistCache returns an empty cache.
+func NewDistCache() *DistCache {
+	return &DistCache{
+		ids:   make(map[string]uint32),
+		dists: make(map[uint64]float64),
+	}
+}
+
+// blockKey builds a collision-free string key for a normalized
+// instruction sequence: each token is length-prefixed, so no choice of
+// token contents can make two distinct sequences collide.
+func blockKey(seq []string) string {
+	var b strings.Builder
+	for _, s := range seq {
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// intern maps a normalized instruction sequence to a stable dense id,
+// creating one if needed. Equal sequences always receive equal ids;
+// returns noID when the intern table is full.
+func (c *DistCache) intern(seq []string) uint32 {
+	k := blockKey(seq)
+	c.mu.RLock()
+	id, ok := c.ids[k]
+	c.mu.RUnlock()
+	if ok {
+		return id
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.ids[k]; ok {
+		return id
+	}
+	if len(c.ids) >= maxInterned {
+		return noID
+	}
+	id = uint32(len(c.ids))
+	c.ids[k] = id
+	return id
+}
+
+// normalized returns textdist.Normalized(sa, sb), memoized under the
+// interned ids when both blocks are interned. Identical ids short-cut to
+// 0 (the distance of a sequence to itself).
+func (c *DistCache) normalized(ia uint32, sa []string, ib uint32, sb []string) float64 {
+	if ia == noID || ib == noID {
+		return textdist.Normalized(sa, sb)
+	}
+	if ia == ib {
+		return 0
+	}
+	lo, hi := ia, ib
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	k := uint64(lo)<<32 | uint64(hi)
+	c.mu.RLock()
+	v, ok := c.dists[k]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = textdist.Normalized(sa, sb)
+	c.mu.Lock()
+	if len(c.dists) < maxMemoized {
+		c.dists[k] = v
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// Stats reports the number of interned blocks and memoized pair
+// distances, for diagnostics and tests.
+func (c *DistCache) Stats() (blocks, pairs int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.ids), len(c.dists)
+}

@@ -1,0 +1,305 @@
+// Package scan implements SCAGuard's repository scan engine: the hot
+// path of the deployment layer (paper Section III-B3), where a target's
+// CST-BBS is compared against every attack behavior model in the
+// repository. The paper's time-cost table shows this similarity
+// comparison dominating end-to-end detection latency, so the engine
+// attacks it on three axes (design rationale and measured numbers in
+// docs/PERFORMANCE.md):
+//
+//   - Parallelism. Per-entry scoring fans out across a worker pool
+//     (Config.Workers, default GOMAXPROCS), for one target (Scan) or
+//     many (ScanBatch). Results are collected positionally, so the
+//     output is deterministic regardless of scheduling.
+//   - Memoization. The normalized-instruction Levenshtein term is the
+//     dominant cost inside every DTW cell, and the same basic blocks
+//     recur across repository entries, scans and targets (crypto loops,
+//     probe loops). A DistCache shared safely across workers computes
+//     each distinct block pair once.
+//   - Early abandoning (Config.Prune). A cheap O(n+m)-style lower bound
+//     (similarity.LowerBound) skips entries that provably cannot beat
+//     the best score found so far, and the banded DTW itself abandons
+//     row-wise (dtw.DistanceAbandon) once every cell exceeds the bound
+//     implied by the running best. Pruned entries report an upper-bound
+//     score and Pruned=true; the best match is always computed exactly,
+//     so classification decisions and explanations are unaffected.
+//
+// In exact mode (Prune=false, the default) the engine is bit-identical
+// to the serial reference path (ScanSerial): same comparisons, same
+// float operations, same scores. The differential tests in this package
+// and in internal/detect enforce that equivalence on real corpora.
+//
+// An Engine is immutable after New and safe for concurrent use; it
+// snapshots the model slice it is given, so the caller may keep
+// appending to a repository while older engines scan.
+package scan
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dtw"
+	"repro/internal/model"
+	"repro/internal/similarity"
+)
+
+// Config tunes a scan engine.
+type Config struct {
+	// Workers is the worker-pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Prune enables early abandoning. The best match (and therefore the
+	// classification) stays exact; non-best entries may be skipped once
+	// they provably cannot win, reporting an upper-bound score with
+	// Pruned=true. Which entries get pruned depends on scheduling, so
+	// full match lists are only reproducible with Prune=false.
+	Prune bool
+	// Sim is the similarity configuration shared by every comparison.
+	Sim similarity.Options
+	// Cache optionally shares a Levenshtein memo across engines (e.g.
+	// across detectors built over one repository); nil creates a
+	// private cache.
+	Cache *DistCache
+}
+
+// Match is one repository comparison result.
+type Match struct {
+	// Index identifies the repository entry (position in the model
+	// slice the engine was built from).
+	Index int
+	// Score is the similarity score 1/(D+1). For pruned entries it is
+	// an upper bound on the true score, derived from the lower bound
+	// that justified skipping the full comparison.
+	Score float64
+	// Pruned marks entries skipped by early abandoning.
+	Pruned bool
+}
+
+// Engine scans targets against a fixed set of repository models.
+type Engine struct {
+	cfg    Config
+	sim    similarity.Options // cfg.Sim with defaults applied
+	models []*model.CSTBBS
+	profs  []*similarity.Profile
+	ids    [][]uint32
+	cache  *DistCache
+}
+
+// New builds an engine over a snapshot of models. Construction interns
+// every repository block into the cache and precomputes the per-entry
+// profiles the lower bound needs; it is cheap (linear in total blocks)
+// next to a single repository scan.
+func New(models []*model.CSTBBS, cfg Config) *Engine {
+	e := &Engine{
+		cfg:    cfg,
+		sim:    cfg.Sim.WithDefaults(),
+		models: append([]*model.CSTBBS(nil), models...),
+		cache:  cfg.Cache,
+	}
+	if e.cache == nil {
+		e.cache = NewDistCache()
+	}
+	e.profs = make([]*similarity.Profile, len(e.models))
+	e.ids = make([][]uint32, len(e.models))
+	for i, m := range e.models {
+		e.profs[i] = similarity.NewProfile(m)
+		e.ids[i] = e.internBlocks(m)
+	}
+	return e
+}
+
+// Len returns the number of repository models scanned per target.
+func (e *Engine) Len() int { return len(e.models) }
+
+// Cache returns the engine's Levenshtein memo (for sharing and stats).
+func (e *Engine) Cache() *DistCache { return e.cache }
+
+func (e *Engine) internBlocks(m *model.CSTBBS) []uint32 {
+	ids := make([]uint32, m.Len())
+	for i, c := range m.Seq {
+		ids[i] = e.cache.intern(c.NormInsns)
+	}
+	return ids
+}
+
+// target carries the per-scan precomputation for one CST-BBS.
+type target struct {
+	bbs  *model.CSTBBS
+	prof *similarity.Profile
+	ids  []uint32
+}
+
+func (e *Engine) newTarget(bbs *model.CSTBBS) *target {
+	return &target{bbs: bbs, prof: similarity.NewProfile(bbs), ids: e.internBlocks(bbs)}
+}
+
+// Scan scores one target against every repository model. The result is
+// ordered by entry index. In exact mode the scores are bit-identical to
+// ScanSerial's.
+func (e *Engine) Scan(bbs *model.CSTBBS) []Match {
+	return e.ScanBatch([]*model.CSTBBS{bbs})[0]
+}
+
+// ScanSerial is the reference implementation the engine is verified
+// against: the pre-engine serial loop calling similarity.Score per
+// entry, with no parallelism, memoization or pruning.
+func (e *Engine) ScanSerial(bbs *model.CSTBBS) []Match {
+	out := make([]Match, len(e.models))
+	for i, m := range e.models {
+		out[i] = Match{Index: i, Score: similarity.Score(bbs, m, e.sim)}
+	}
+	return out
+}
+
+// ScanBatch scores many targets in one worker-pool pass, sharing the
+// pool across all (target, entry) pairs so small targets cannot strand
+// workers. results[t][i] is target t against entry i.
+func (e *Engine) ScanBatch(targets []*model.CSTBBS) [][]Match {
+	nE := len(e.models)
+	results := make([][]Match, len(targets))
+	ts := make([]*target, len(targets))
+	orders := make([][]int, len(targets))
+	bounds := make([][]float64, len(targets))
+	bestBits := make([]uint64, len(targets))
+	inf := math.Float64bits(math.Inf(1))
+	for ti, bbs := range targets {
+		results[ti] = make([]Match, nE)
+		ts[ti] = e.newTarget(bbs)
+		bestBits[ti] = inf
+		if e.cfg.Prune {
+			// Cheap lower bounds, and a most-promising-first order so
+			// the shared best tightens as early as possible.
+			lbs := make([]float64, nE)
+			for ei := range e.models {
+				lbs[ei] = similarity.LowerBound(ts[ti].prof, e.profs[ei], e.sim)
+			}
+			order := make([]int, nE)
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool { return lbs[order[a]] < lbs[order[b]] })
+			bounds[ti], orders[ti] = lbs, order
+		}
+	}
+	total := len(targets) * nE
+	if total == 0 {
+		return results
+	}
+	entryAt := func(ti, k int) int {
+		if orders[ti] != nil {
+			return orders[ti][k]
+		}
+		return k
+	}
+	run := func(k int) {
+		ti, ei := k/nE, entryAt(k/nE, k%nE)
+		results[ti][ei] = e.scoreOne(ts[ti], ei, bounds[ti], &bestBits[ti])
+	}
+	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for k := 0; k < total; k++ {
+			run(k)
+		}
+		return results
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := atomic.AddInt64(&next, 1)
+				if k >= int64(total) {
+					return
+				}
+				run(int(k))
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// scoreOne scores a single (target, entry) pair, consulting and
+// updating the target's shared best distance when pruning.
+func (e *Engine) scoreOne(t *target, ei int, lbs []float64, bestBits *uint64) Match {
+	if !e.cfg.Prune {
+		d, _ := e.compare(t, ei, math.Inf(1))
+		return Match{Index: ei, Score: dtw.Similarity(d)}
+	}
+	cutoff := pruneCutoff(math.Float64frombits(atomic.LoadUint64(bestBits)))
+	if lbs[ei] > cutoff {
+		return Match{Index: ei, Score: dtw.Similarity(lbs[ei]), Pruned: true}
+	}
+	d, abandoned := e.compare(t, ei, cutoff)
+	if abandoned {
+		return Match{Index: ei, Score: dtw.Similarity(d), Pruned: true}
+	}
+	updateBest(bestBits, d)
+	return Match{Index: ei, Score: dtw.Similarity(d)}
+}
+
+// pruneCutoff converts the best distance seen so far into the cutoff an
+// entry must provably exceed before it may be skipped. The margin keeps
+// pruning conservative under floating-point rounding: an entry whose
+// true distance ties the best is never pruned, so the exact winner (and
+// deterministic index tie-breaking) is preserved.
+func pruneCutoff(best float64) float64 {
+	if math.IsInf(best, 1) {
+		return best
+	}
+	return best + best*1e-9 + 1e-15
+}
+
+// updateBest lowers the shared best distance to d if d is smaller.
+func updateBest(bits *uint64, d float64) {
+	for {
+		old := atomic.LoadUint64(bits)
+		if math.Float64frombits(old) <= d {
+			return
+		}
+		if atomic.CompareAndSwapUint64(bits, old, math.Float64bits(d)) {
+			return
+		}
+	}
+}
+
+// compare computes the normalized CST-BBS distance of target vs entry
+// ei, mirroring similarity.BBSDistanceAbandon operation-for-operation
+// (same float expressions, same DTW) but with the Levenshtein term
+// served from the shared cache. A +Inf cutoff yields the exact
+// distance; a finite cutoff may return (lower bound, true) instead.
+func (e *Engine) compare(t *target, ei int, cutoff float64) (float64, bool) {
+	eb := e.models[ei]
+	n, m := t.bbs.Len(), eb.Len()
+	switch {
+	case n == 0 && m == 0:
+		return 0, false
+	case n == 0 || m == 0:
+		return math.Inf(1), false
+	}
+	o := e.sim
+	eids, eprof := e.ids[ei], e.profs[ei]
+	d := func(i, j int) float64 {
+		dis := e.cache.normalized(t.ids[i], t.bbs.Seq[i].NormInsns, eids[j], eb.Seq[j].NormInsns)
+		dcsp := t.prof.Deltas[i] - eprof.Deltas[j]
+		if dcsp < 0 {
+			dcsp = -dcsp
+		}
+		return o.ISWeight*dis + o.CSPWeight*dcsp
+	}
+	rawCutoff := cutoff * float64(n+m-1)
+	sum, pathLen, abandoned := dtw.DistanceAbandon(n, m, d, dtw.Options{Window: o.Window}, rawCutoff)
+	if abandoned {
+		return sum / float64(n+m-1), true
+	}
+	return sum / float64(pathLen), false
+}

@@ -3,9 +3,26 @@
 // normalized-instruction Levenshtein term (D_IS) with a cache-state-pair
 // term (D_CSP), the DTW alignment of two CST-BBSes, and the conversion
 // of the DTW distance into a similarity score 1/(D+1).
+//
+// For repository scans (internal/scan) the package additionally exposes
+// the pruning primitives documented in docs/PERFORMANCE.md:
+//
+//   - LowerBound computes a cheap O((n+m)·w) lower bound on BBSDistance
+//     from per-block cache deltas and instruction counts alone, without
+//     running DTW or Levenshtein. The contract is LowerBound(a,b) ≤
+//     BBSDistance(a,b) for every pair, so an entry whose bound already
+//     exceeds the best distance found so far can be skipped outright.
+//   - BBSDistanceAbandon is BBSDistance with a cutoff: it stops mid-DTW
+//     as soon as the normalized distance provably exceeds the cutoff,
+//     returning a lower bound instead of the exact value.
+//
+// Both primitives are conservative: they may fail to prune, but they
+// never misreport a distance below the true one.
 package similarity
 
 import (
+	"math"
+
 	"repro/internal/dtw"
 	"repro/internal/model"
 	"repro/internal/textdist"
@@ -30,12 +47,19 @@ func DefaultOptions() Options {
 	return Options{ISWeight: 0.5, CSPWeight: 0.5, Window: 3}
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults fills the zero value in: when BOTH weights are zero they
+// fall back to the paper's 0.5/0.5 mean. A single zero weight is left
+// alone on purpose — Options{ISWeight: 0, CSPWeight: 1} means "cache
+// semantics only" (and symmetrically for the instruction term), the
+// configuration the ablation benchmarks rely on.
+func (o Options) WithDefaults() Options {
 	if o.ISWeight == 0 && o.CSPWeight == 0 {
 		o.ISWeight, o.CSPWeight = 0.5, 0.5
 	}
 	return o
 }
+
+func (o Options) withDefaults() Options { return o.WithDefaults() }
 
 // DIS returns the normalized Levenshtein distance between the
 // (normalized) instruction sequences of two CSTs.
@@ -82,11 +106,151 @@ func DistanceOpts(a, b model.CST, opts Options) float64 {
 func BBSDistance(a, b *model.CSTBBS, opts Options) float64 {
 	opts = opts.withDefaults()
 	d := func(i, j int) float64 { return DistanceOpts(a.Seq[i], b.Seq[j], opts) }
-	sum, path := dtw.Path(a.Len(), b.Len(), d, dtw.Options{Window: opts.Window})
-	if len(path) == 0 {
+	// O(min-row) memory: DistanceWithPathLen reproduces dtw.Path's
+	// (sum, path length) pair exactly without the full cost matrix.
+	sum, pathLen := dtw.DistanceWithPathLen(a.Len(), b.Len(), d, dtw.Options{Window: opts.Window})
+	if pathLen == 0 {
 		return sum // 0 for both empty, +Inf for one empty
 	}
-	return sum / float64(len(path))
+	return sum / float64(pathLen)
+}
+
+// BBSDistanceAbandon is BBSDistance with early abandoning: when the
+// normalized distance provably exceeds cutoff it stops mid-alignment and
+// returns (bound, true), where bound is a lower bound on the true
+// distance with bound > cutoff. Otherwise it returns the exact
+// BBSDistance value and false. A cutoff of +Inf never abandons.
+//
+// The proof obligation is discharged by scaling: an optimal warping path
+// has at most n+m-1 steps, so a raw DTW sum above cutoff·(n+m-1)
+// normalizes to a distance above cutoff whatever the true path length.
+func BBSDistanceAbandon(a, b *model.CSTBBS, opts Options, cutoff float64) (float64, bool) {
+	opts = opts.withDefaults()
+	n, m := a.Len(), b.Len()
+	switch {
+	case n == 0 && m == 0:
+		return 0, false
+	case n == 0 || m == 0:
+		return math.Inf(1), false
+	}
+	d := func(i, j int) float64 { return DistanceOpts(a.Seq[i], b.Seq[j], opts) }
+	rawCutoff := cutoff * float64(n+m-1)
+	sum, pathLen, abandoned := dtw.DistanceAbandon(n, m, d, dtw.Options{Window: opts.Window}, rawCutoff)
+	if abandoned {
+		return sum / float64(n+m-1), true
+	}
+	return sum / float64(pathLen), false
+}
+
+// Profile caches the per-block scalars LowerBound consumes: the cache
+// deltas and the normalized-instruction counts of each CST-BBS entry.
+// Profiles are immutable and safe to share across goroutines.
+type Profile struct {
+	Deltas []float64
+	Lens   []int
+}
+
+// NewProfile extracts a Profile from a behavior model.
+func NewProfile(s *model.CSTBBS) *Profile {
+	p := &Profile{
+		Deltas: make([]float64, s.Len()),
+		Lens:   make([]int, s.Len()),
+	}
+	for i, c := range s.Seq {
+		p.Deltas[i] = c.Delta()
+		p.Lens[i] = len(c.NormInsns)
+	}
+	return p
+}
+
+// LowerBound returns a cheap lower bound on BBSDistance for the models
+// the profiles were extracted from, under the same Options. It costs
+// O((n+m)·w) for a Sakoe-Chiba band of half-width w — no DTW matrix, no
+// Levenshtein — and underestimates every per-cell cost:
+//
+//   - D_CSP(i,j) = |Δi − Δj| is computed exactly from the profiles;
+//   - D_IS(i,j) ≥ |len_i − len_j| / max(len_i, len_j), because an edit
+//     script must at least insert or delete the length difference.
+//
+// Every admissible warping path visits each row (and each column) at
+// least once, so the sum of per-row minima over the band cells bounds
+// the raw DTW sum from below; dividing by the maximal path length n+m-1
+// bounds the normalized distance. The bound is +Inf when exactly one
+// model is empty and 0 when both are.
+func LowerBound(a, b *Profile, opts Options) float64 {
+	opts = opts.withDefaults()
+	n, m := len(a.Deltas), len(b.Deltas)
+	switch {
+	case n == 0 && m == 0:
+		return 0
+	case n == 0 || m == 0:
+		return math.Inf(1)
+	}
+	w := opts.Window
+	if w > 0 {
+		diff := n - m
+		if diff < 0 {
+			diff = -diff
+		}
+		if w < diff {
+			w = diff
+		}
+	}
+	sum := rowEnvelope(a, b, opts, w)
+	if s := rowEnvelope(b, a, opts, w); s > sum {
+		sum = s // the column-wise bound is equally valid; keep the tighter
+	}
+	return sum / float64(n+m-1)
+}
+
+// rowEnvelope sums, over each row of the (banded) cost matrix, the
+// cheapest possible cell cost derivable from the profiles alone. w <= 0
+// means no band: every column is admissible for every row.
+func rowEnvelope(a, b *Profile, opts Options, w int) float64 {
+	n, m := len(a.Deltas), len(b.Deltas)
+	var sum float64
+	for i := 1; i <= n; i++ {
+		lo, hi := 1, m
+		if w > 0 {
+			lo = i - w
+			if lo < 1 {
+				lo = 1
+			}
+			hi = i + w
+			if hi > m {
+				hi = m
+			}
+		}
+		best := math.Inf(1)
+		for j := lo; j <= hi; j++ {
+			c := opts.ISWeight*lenBound(a.Lens[i-1], b.Lens[j-1]) + opts.CSPWeight*absDelta(a.Deltas[i-1], b.Deltas[j-1])
+			if c < best {
+				best = c
+			}
+		}
+		sum += best
+	}
+	return sum
+}
+
+// lenBound is the length-difference lower bound on the normalized
+// Levenshtein distance: lev(a,b) ≥ ||a|-|b||, so D_IS ≥ ||a|-|b||/max.
+func lenBound(la, lb int) float64 {
+	if la < lb {
+		la, lb = lb, la
+	}
+	if la == 0 {
+		return 0
+	}
+	return float64(la-lb) / float64(la)
+}
+
+func absDelta(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d
 }
 
 // Score converts two CST-BBSes directly into the paper's similarity

@@ -181,6 +181,138 @@ func TestScoreProperties(t *testing.T) {
 	}
 }
 
+// WithDefaults must only rewrite the both-zero case: a deliberately
+// one-sided configuration like ISWeight=0, CSPWeight=1 ("cache semantics
+// only") is an ablation setting and must survive untouched. These tests
+// lock in that contract.
+func TestWithDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Options
+		want Options
+	}{
+		{"both zero -> paper mean", Options{}, Options{ISWeight: 0.5, CSPWeight: 0.5}},
+		{"window preserved", Options{Window: 7}, Options{ISWeight: 0.5, CSPWeight: 0.5, Window: 7}},
+		{"CSP-only ablation kept", Options{ISWeight: 0, CSPWeight: 1}, Options{ISWeight: 0, CSPWeight: 1}},
+		{"IS-only ablation kept", Options{ISWeight: 1, CSPWeight: 0}, Options{ISWeight: 1, CSPWeight: 0}},
+		{"explicit weights kept", Options{ISWeight: 0.3, CSPWeight: 0.7}, Options{ISWeight: 0.3, CSPWeight: 0.7}},
+	}
+	for _, c := range cases {
+		if got := c.in.WithDefaults(); got != c.want {
+			t.Errorf("%s: WithDefaults(%+v) = %+v, want %+v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// The one-sided weight configurations must flow through the whole
+// distance, not just the option struct: with ISWeight=0 a pure syntax
+// change is invisible, with CSPWeight=0 a pure cache change is.
+func TestOneSidedWeightsEndToEnd(t *testing.T) {
+	syntaxOnly := cst([]string{"a", "b"}, 0.2, 0.2)
+	syntaxOther := cst([]string{"x", "y"}, 0.2, 0.2)
+	if got := DistanceOpts(syntaxOnly, syntaxOther, Options{ISWeight: 0, CSPWeight: 1}); got != 0 {
+		t.Errorf("CSP-only distance sees syntax: %v", got)
+	}
+	cacheOnly := cst([]string{"a", "b"}, 0.4, 0.4)
+	if got := DistanceOpts(syntaxOnly, cacheOnly, Options{ISWeight: 1, CSPWeight: 0}); got != 0 {
+		t.Errorf("IS-only distance sees cache state: %v", got)
+	}
+}
+
+func randomBBS(rng *rand.Rand, maxLen int) *model.CSTBBS {
+	n := rng.Intn(maxLen + 1)
+	s := &model.CSTBBS{Name: "r"}
+	words := []string{"mov reg, mem", "clflush mem", "add reg, imm", "rdtscp reg", "jmp imm"}
+	for i := 0; i < n; i++ {
+		var norm []string
+		for k := 0; k < rng.Intn(5); k++ {
+			norm = append(norm, words[rng.Intn(len(words))])
+		}
+		d := float64(rng.Intn(12)) / 16
+		s.Seq = append(s.Seq, cst(norm, d, d))
+	}
+	return s
+}
+
+// LowerBound must never exceed the exact BBSDistance, for any window and
+// weight mix, including empty models.
+func TestLowerBoundNeverExceedsDistance(t *testing.T) {
+	optsList := []Options{
+		DefaultOptions(),
+		{Window: 1, ISWeight: 0.5, CSPWeight: 0.5},
+		{ISWeight: 1, CSPWeight: 1e-9},
+		{ISWeight: 1e-9, CSPWeight: 1},
+		{ISWeight: 0, CSPWeight: 1},
+		{Window: 2, ISWeight: 0.25, CSPWeight: 0.75},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomBBS(rng, 8), randomBBS(rng, 8)
+		pa, pb := NewProfile(a), NewProfile(b)
+		for _, opts := range optsList {
+			lb := LowerBound(pa, pb, opts)
+			d := BBSDistance(a, b, opts)
+			if math.IsInf(d, 1) {
+				if !math.IsInf(lb, 1) && a.Len()+b.Len() > 0 {
+					// one-empty case: bound must also be +Inf
+					t.Logf("seed=%d: d=+Inf but lb=%v", seed, lb)
+					return false
+				}
+				continue
+			}
+			if lb > d {
+				t.Logf("seed=%d opts=%+v: LowerBound %v > BBSDistance %v", seed, opts, lb, d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BBSDistanceAbandon with +Inf cutoff is exact; with a finite cutoff it
+// either returns the exact distance or a valid lower bound above the
+// cutoff.
+func TestBBSDistanceAbandon(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomBBS(rng, 8), randomBBS(rng, 8)
+		opts := DefaultOptions()
+		exact := BBSDistance(a, b, opts)
+
+		d, ab := BBSDistanceAbandon(a, b, opts, math.Inf(1))
+		if ab || d != exact && !(math.IsInf(d, 1) && math.IsInf(exact, 1)) {
+			t.Logf("seed=%d: inf cutoff gave (%v,%v), exact %v", seed, d, ab, exact)
+			return false
+		}
+		if math.IsInf(exact, 1) || a.Len() == 0 || b.Len() == 0 {
+			return true
+		}
+		cutoff := exact * rng.Float64() * 1.5
+		d, ab = BBSDistanceAbandon(a, b, opts, cutoff)
+		if ab {
+			return exact > cutoff && d > cutoff && d <= exact
+		}
+		return d == exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowerBoundEmpty(t *testing.T) {
+	empty := NewProfile(seq("e"))
+	full := NewProfile(seq("a", cst([]string{"x"}, 0.1, 0.1)))
+	if got := LowerBound(empty, empty, DefaultOptions()); got != 0 {
+		t.Errorf("both empty = %v", got)
+	}
+	if got := LowerBound(empty, full, DefaultOptions()); !math.IsInf(got, 1) {
+		t.Errorf("empty vs full = %v, want +Inf", got)
+	}
+}
+
 func TestAlign(t *testing.T) {
 	a := seq("a",
 		cst([]string{"clflush mem"}, 0, 0.1),

@@ -30,19 +30,24 @@ import (
 	"repro/internal/isa"
 	"repro/internal/model"
 	"repro/internal/mutate"
+	"repro/internal/scan"
 	"repro/internal/similarity"
 )
 
 // Core re-exported types. Program is the binary representation every
 // pipeline stage consumes; Model/CSTBBS are the attack behavior model;
-// Result is a classification outcome.
+// Result is a classification outcome. ScanConfig tunes the repository
+// scan engine behind Detector.Scan — worker-pool size and early
+// abandoning (see docs/PERFORMANCE.md).
 type (
 	Program    = isa.Program
 	Model      = model.Model
 	CSTBBS     = model.CSTBBS
 	Result     = detect.Result
+	Match      = detect.Match
 	Repository = detect.Repository
 	Detector   = detect.Detector
+	ScanConfig = scan.Config
 	Family     = attacks.Family
 	PoC        = attacks.PoC
 )
