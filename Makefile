@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench ci
+.PHONY: all build test race vet bench fuzz-short cover ci
 
 all: build
 
@@ -27,4 +27,15 @@ vet:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkRepositoryScan|DetectionCost|SimilarityDTW' -benchmem .
 
-ci: build vet test race
+# Short fuzzing pass over the assembler parser: ten seconds of
+# coverage-guided input plus the checked-in seed corpus. Crashers land
+# in internal/isa/testdata/fuzz/ as regression inputs.
+fuzz-short:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/isa
+
+# Coverage over every package, with the per-function summary printed.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+ci: build vet test race fuzz-short cover

@@ -413,6 +413,29 @@ func BenchmarkRepositoryScan(b *testing.B) {
 	})
 }
 
+// BenchmarkTelemetryOverhead measures the cost of instrumentation on
+// the pruned repository scan — the hottest instrumented path. "Off" is
+// the nil-collector fast path every production scan without -stats
+// takes; "On" attaches a live collector. The acceptance bar is an
+// Off-vs-baseline regression under 2%; Off and On should also be close,
+// since the per-entry work is a handful of uncontended atomic adds.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	entries, targets := scanCorpus(b)
+	run := func(b *testing.B, tel *Telemetry) {
+		eng := scan.New(entries, scan.Config{
+			Prune:     true,
+			Sim:       similarity.DefaultOptions(),
+			Telemetry: tel,
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Scan(targets[i%len(targets)])
+		}
+	}
+	b.Run("Off", func(b *testing.B) { run(b, nil) })
+	b.Run("On", func(b *testing.B) { run(b, NewTelemetry()) })
+}
+
 // BenchmarkEndToEndAttack measures a full simulated Flush+Reload attack
 // run (the substrate's speed).
 func BenchmarkEndToEndAttack(b *testing.B) {

@@ -11,14 +11,18 @@
 //	scaguard classify -benign crypto/aes-ttable/7
 //	scaguard classify -target FR-IAIK -obfuscate 3
 //	scaguard classify -target ER-IAIK -fast -workers 4
+//	scaguard classify -target FR-Mastik -fast -stats
+//	scaguard classify -target FR-Mastik -metrics-addr :8080
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	scaguard "repro"
 )
@@ -249,6 +253,8 @@ func cmdClassify(args []string) error {
 	repoPath := fs.String("repo", "", "classify against a saved repository instead of the default")
 	workers := fs.Int("workers", 0, "scan worker-pool size (0 = GOMAXPROCS)")
 	fast := fs.Bool("fast", false, "early-abandoning scan: the verdict and best match stay exact, other scores may be upper bounds (marked ~)")
+	stats := fs.Bool("stats", false, "print a telemetry report after the run (pruning rate, DistCache hit rate, stage latencies)")
+	metricsAddr := fs.String("metrics-addr", "", "serve the live telemetry snapshot as JSON over HTTP on this address (e.g. :8080); blocks after the run until interrupted")
 	prog, victim, err := loadTarget(fs, args)
 	if err != nil {
 		return err
@@ -272,6 +278,21 @@ func cmdClassify(args []string) error {
 		}
 	}
 	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast}
+	var tel *scaguard.Telemetry
+	if *stats || *metricsAddr != "" {
+		tel = scaguard.NewTelemetry()
+		det.Telemetry = tel
+	}
+	var metricsURL string
+	if *metricsAddr != "" {
+		bound, shutdown, err := scaguard.ServeTelemetry(*metricsAddr, tel)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		metricsURL = "http://" + bound + "/metrics"
+		fmt.Fprintf(os.Stderr, "serving telemetry on %s\n", metricsURL)
+	}
 	res, m, err := det.Classify(prog, victim)
 	if err != nil {
 		return err
@@ -288,6 +309,15 @@ func cmdClassify(args []string) error {
 			bound = "~" // early-abandoned: score is an upper bound
 		}
 		fmt.Printf("  %s %-14s %-5s %s%6.2f%%\n", marker, match.Name, match.Family, bound, match.Score*100)
+	}
+	if *stats {
+		tel.Flush().WriteReport(os.Stdout)
+	}
+	if *metricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "telemetry still served on %s — interrupt to exit\n", metricsURL)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
 	}
 	return nil
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/scan"
 	"repro/internal/similarity"
+	"repro/internal/telemetry"
 )
 
 // DefaultThreshold is the paper's operating point (the middle of the
@@ -102,7 +103,12 @@ func (r *Repository) distCache() *scan.DistCache {
 	return r.cache
 }
 
-// Families returns the distinct families represented, sorted.
+// Families returns the distinct families represented in the
+// repository. The result is guaranteed deterministic: each family
+// appears exactly once regardless of how many entries carry it or in
+// what order they were added, and the slice is sorted in ascending
+// lexicographic order of the family label. Callers may rely on this
+// ordering (reports, golden files, cross-process comparisons).
 func (r *Repository) Families() []attacks.Family {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -173,9 +179,18 @@ type Detector struct {
 	// regardless of its cache-access shape. Disable for ablations.
 	RequireTimer bool
 	// Scan tunes the repository scan engine (worker count, early
-	// abandoning). Scan.Sim and Scan.Cache are ignored: the engine
-	// always uses SimOpts and the repository's shared distance cache.
+	// abandoning). Scan.Sim, Scan.Cache and Scan.Telemetry are ignored:
+	// the engine always uses SimOpts, the repository's shared distance
+	// cache and the detector's Telemetry collector.
 	Scan scan.Config
+	// Telemetry optionally collects runtime counters and stage
+	// latencies across the whole detection pipeline: scan pruning
+	// outcomes, engine rebuilds, model-vs-scan wall time and the
+	// repository DistCache hit rates (registered as the "distcache"
+	// gauge source). nil disables instrumentation at zero cost. Like the
+	// other configuration fields, set it before the first
+	// classification.
+	Telemetry *telemetry.Collector
 
 	// engine cache, rebuilt when the repository or the configuration
 	// it was built under changes.
@@ -191,10 +206,11 @@ type engineKey struct {
 	workers int
 	prune   bool
 	sim     similarity.Options
+	tel     *telemetry.Collector
 }
 
 func (d *Detector) key() engineKey {
-	return engineKey{workers: d.Scan.Workers, prune: d.Scan.Prune, sim: d.SimOpts}
+	return engineKey{workers: d.Scan.Workers, prune: d.Scan.Prune, sim: d.SimOpts, tel: d.Telemetry}
 }
 
 // engine returns a scan engine over the current repository snapshot,
@@ -207,8 +223,10 @@ func (d *Detector) engine() (*scan.Engine, []Entry) {
 	entries, ver := d.Repo.snapshot()
 	k := d.key()
 	if d.eng != nil && d.engVer == ver && d.engKey == k && len(d.engEntries) == len(entries) {
+		d.Telemetry.Inc(telemetry.DetectEngineReuses)
 		return d.eng, d.engEntries
 	}
+	d.Telemetry.Inc(telemetry.DetectEngineRebuilds)
 	models := make([]*model.CSTBBS, len(entries))
 	for i, e := range entries {
 		models[i] = e.BBS
@@ -216,6 +234,14 @@ func (d *Detector) engine() (*scan.Engine, []Entry) {
 	cfg := d.Scan
 	cfg.Sim = d.SimOpts
 	cfg.Cache = d.Repo.distCache()
+	cfg.Telemetry = d.Telemetry
+	// The repository cache outlives any one engine, so registering its
+	// gauges on every rebuild is idempotent by name.
+	d.Telemetry.RegisterGauges("distcache", cfg.Cache.TelemetryGauges)
+	repo := d.Repo
+	d.Telemetry.RegisterGauges("repository", func() map[string]uint64 {
+		return map[string]uint64{"entries": uint64(repo.Len())}
+	})
 	d.eng = scan.New(models, cfg)
 	d.engEntries, d.engVer, d.engKey = entries, ver, k
 	return d.eng, d.engEntries
@@ -279,7 +305,9 @@ func (d *Detector) assemble(entries []Entry, ms []scan.Match) Result {
 // An empty repository, like a gated-out target, yields an explicitly
 // benign result with no matches.
 func (d *Detector) ClassifyBBS(bbs *model.CSTBBS) Result {
+	d.Telemetry.Inc(telemetry.DetectClassifications)
 	if d.gated(bbs) {
+		d.Telemetry.Inc(telemetry.DetectGated)
 		return benignResult()
 	}
 	eng, entries := d.engine()
@@ -292,11 +320,14 @@ func (d *Detector) ClassifyBBS(bbs *model.CSTBBS) Result {
 // same explicit benign result ClassifyBBS would give them, without
 // occupying the scan.
 func (d *Detector) ClassifyBatch(targets []*model.CSTBBS) []Result {
+	d.Telemetry.Inc(telemetry.DetectBatches)
+	d.Telemetry.Add(telemetry.DetectClassifications, uint64(len(targets)))
 	results := make([]Result, len(targets))
 	live := make([]*model.CSTBBS, 0, len(targets))
 	liveIdx := make([]int, 0, len(targets))
 	for i, bbs := range targets {
 		if d.gated(bbs) {
+			d.Telemetry.Inc(telemetry.DetectGated)
 			results[i] = benignResult()
 			continue
 		}
@@ -315,9 +346,15 @@ func (d *Detector) ClassifyBatch(targets []*model.CSTBBS) []Result {
 }
 
 // Classify models the target program (optionally alongside a victim
-// workload) and scores it against the repository.
+// workload) and scores it against the repository. When a Telemetry
+// collector is attached, the modeling stage inherits it, so one run
+// yields both the model-side and scan-side wall times.
 func (d *Detector) Classify(prog *isa.Program, victim *isa.Program) (Result, *model.Model, error) {
-	m, err := model.Build(prog, victim, d.ModelCfg)
+	cfg := d.ModelCfg
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = d.Telemetry
+	}
+	m, err := model.Build(prog, victim, cfg)
 	if err != nil {
 		return Result{}, nil, fmt.Errorf("detect: modeling target %s: %w", progName(prog), err)
 	}

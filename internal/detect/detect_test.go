@@ -1,6 +1,8 @@
 package detect
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/attacks"
@@ -205,5 +207,43 @@ func TestEmptyRepository(t *testing.T) {
 	res := d.ClassifyBBS(m.BBS)
 	if res.Predicted != attacks.FamilyBenign || len(res.Matches) != 0 {
 		t.Error("empty repository must yield benign with no matches")
+	}
+}
+
+// Families guarantees deterministic output: deduplicated, sorted
+// ascending, and independent of insertion order. Reports and golden
+// files rely on it.
+func TestFamiliesDeterministicOrder(t *testing.T) {
+	bbs := repo(t).Entries[0].BBS
+	families := []attacks.Family{
+		attacks.FamilySPP, attacks.FamilyFR, attacks.FamilyPP,
+		attacks.FamilyFR, attacks.FamilySFR, attacks.FamilyPP,
+	}
+	build := func(order []attacks.Family) *Repository {
+		r := &Repository{}
+		for i, f := range order {
+			r.Add(fmt.Sprintf("e%d", i), f, bbs)
+		}
+		return r
+	}
+	reversed := make([]attacks.Family, len(families))
+	for i, f := range families {
+		reversed[len(families)-1-i] = f
+	}
+	got := build(families).Families()
+	gotRev := build(reversed).Families()
+	if !reflect.DeepEqual(got, gotRev) {
+		t.Fatalf("insertion order changed Families: %v vs %v", got, gotRev)
+	}
+	want := []attacks.Family{
+		attacks.FamilyFR, attacks.FamilyPP, attacks.FamilySFR, attacks.FamilySPP,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Families = %v, want deduped ascending %v", got, want)
+	}
+	for i := 0; i < 50; i++ { // repeated calls are stable (map iteration inside)
+		if again := build(families).Families(); !reflect.DeepEqual(again, want) {
+			t.Fatalf("run %d: Families = %v, want %v", i, again, want)
+		}
 	}
 }

@@ -153,7 +153,7 @@ func TestClassifyBatch(t *testing.T) {
 	d.Scan.Workers = 3
 	targets := corpusTargets(t)
 	// Interleave targets the gates reject.
-	targets = append(targets, &model.CSTBBS{Name: "tiny"})               // below MinModelLen
+	targets = append(targets, &model.CSTBBS{Name: "tiny"}) // below MinModelLen
 	targets = append(targets, &model.CSTBBS{Name: "short", TimerReads: 1})
 	batch := d.ClassifyBatch(targets)
 	if len(batch) != len(targets) {

@@ -1,0 +1,193 @@
+package isa_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+// FuzzParse feeds arbitrary text through the assembler and asserts the
+// parser's contract: it never panics, every successfully parsed program
+// passes Validate (Build enforces it, so a violation means the two
+// disagree), and a parse→reassemble→parse round trip reproduces the
+// same instruction stream and the same CFG block count.
+//
+// Run the short CI pass with `make fuzz-short`; the seeds double as
+// regression tests under plain `go test`.
+func FuzzParse(f *testing.F) {
+	for _, path := range seedFiles(f) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("mov r0, 42\nhlt\n")
+	f.Add(".data buf 64\n  mov r0, $buf\n  clflush [r0]\n  rdtscp r1\n  mov r2, [r0]\n  rdtscp r3\n  hlt\n")
+	f.Add(".code 0x1000\n.entry main\nmain:\n  lea r3, [r1+r2*4+16]\n  cmp r0, 10\n  jl main\n  hlt\n")
+	f.Add(".data shared 1024 shared @0x20000000\n  mov r1, [shared+8]\n  hlt\n")
+	f.Add("a: b: nop\n  jmp a\n")
+	f.Add("  mov r2, [r1-0x18]\n  push -5\n  ret\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := isa.Parse("fuzz", src) // must not panic
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("parsed program fails Validate: %v", err)
+		}
+		src2, ok := reassemble(p)
+		if !ok {
+			return
+		}
+		p2, err := isa.Parse("fuzz-rt", src2)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\nreassembled:\n%s", err, src2)
+		}
+		if len(p2.Insns) != len(p.Insns) {
+			t.Fatalf("round trip changed instruction count: %d -> %d\nreassembled:\n%s",
+				len(p.Insns), len(p2.Insns), src2)
+		}
+		for i := range p.Insns {
+			a, b := p.Insns[i], p2.Insns[i]
+			if a.Addr != b.Addr || a.Op != b.Op {
+				t.Fatalf("round trip changed insn %d: %v@0x%x -> %v@0x%x\nreassembled:\n%s",
+					i, a.Op, a.Addr, b.Op, b.Addr, src2)
+			}
+		}
+		if p2.Entry != p.Entry {
+			t.Fatalf("round trip changed entry: 0x%x -> 0x%x", p.Entry, p2.Entry)
+		}
+		c1, err1 := cfg.Build(p)
+		c2, err2 := cfg.Build(p2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("round trip changed CFG buildability: %v vs %v", err1, err2)
+		}
+		if err1 == nil && c1.NumBlocks() != c2.NumBlocks() {
+			t.Fatalf("round trip changed block count: %d -> %d\nreassembled:\n%s",
+				c1.NumBlocks(), c2.NumBlocks(), src2)
+		}
+	})
+}
+
+func seedFiles(f *testing.F) []string {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.s"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return paths
+}
+
+// reassemble renders a parsed program back to source the parser
+// accepts: explicit data placement, synthesized labels at every branch
+// target, and operands in canonical text form. It reports ok=false for
+// the few shapes the text syntax cannot express (operand combinations
+// only the programmatic Builder can emit).
+func reassemble(p *isa.Program) (string, bool) {
+	if len(p.Insns) == 0 {
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, ".code 0x%x\n", p.Insns[0].Addr)
+	for _, d := range p.Data {
+		if d.Init != nil || strings.ContainsAny(d.Name, " \t") {
+			return "", false // not expressible in .data syntax
+		}
+		fmt.Fprintf(&b, ".data %s %d", d.Name, d.Size)
+		if d.Shared {
+			b.WriteString(" shared")
+		}
+		fmt.Fprintf(&b, " @0x%x\n", d.Addr)
+	}
+	// Labels: one per branch target plus the entry point. Validate
+	// guarantees both are instruction addresses.
+	labelAt := map[uint64]string{p.Entry: fmt.Sprintf("L%x", p.Entry)}
+	for _, in := range p.Insns {
+		if t, ok := in.BranchTarget(); ok {
+			labelAt[t] = fmt.Sprintf("L%x", t)
+		}
+	}
+	fmt.Fprintf(&b, ".entry L%x\n", p.Entry)
+	for _, in := range p.Insns {
+		if l, ok := labelAt[in.Addr]; ok {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		line, ok := renderInsn(in, labelAt)
+		if !ok {
+			return "", false
+		}
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	return b.String(), true
+}
+
+func renderInsn(in isa.Instruction, labelAt map[uint64]string) (string, bool) {
+	if in.Op.IsBranch() && in.Op != isa.RET {
+		t, ok := in.BranchTarget()
+		if !ok {
+			return "", false // indirect branch: not expressible
+		}
+		return fmt.Sprintf("%s %s", in.Op, labelAt[t]), true
+	}
+	switch {
+	case in.Dst.Kind == isa.OpNone:
+		return in.Op.String(), true
+	case in.Src.Kind == isa.OpNone:
+		o, ok := renderOperand(in.Dst)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("%s %s", in.Op, o), true
+	default:
+		d, ok1 := renderOperand(in.Dst)
+		s, ok2 := renderOperand(in.Src)
+		if !ok1 || !ok2 {
+			return "", false
+		}
+		return fmt.Sprintf("%s %s, %s", in.Op, d, s), true
+	}
+}
+
+// renderOperand prints an operand so the parser reads back the exact
+// Operand value: immediates and displacements in signed decimal (the
+// disassembler's unsigned hex form is not re-parseable for negative
+// values).
+func renderOperand(o isa.Operand) (string, bool) {
+	switch o.Kind {
+	case isa.OpReg:
+		return o.Base.String(), true
+	case isa.OpImm:
+		return fmt.Sprintf("%d", o.Disp), true
+	case isa.OpMem:
+		var parts []string
+		if o.Base != isa.RegNone {
+			parts = append(parts, o.Base.String())
+		}
+		if o.Index != isa.RegNone {
+			scale := o.Scale
+			if scale == 0 {
+				scale = 1
+			}
+			parts = append(parts, fmt.Sprintf("%s*%d", o.Index, scale))
+		}
+		if o.Disp != 0 || len(parts) == 0 {
+			parts = append(parts, fmt.Sprintf("%d", o.Disp))
+		}
+		s := parts[0]
+		for _, p := range parts[1:] {
+			if strings.HasPrefix(p, "-") {
+				s += p
+			} else {
+				s += "+" + p
+			}
+		}
+		return "[" + s + "]", true
+	}
+	return "", false
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hpc"
 	"repro/internal/isa"
+	"repro/internal/telemetry"
 )
 
 // Config tunes attack behavior modeling.
@@ -47,6 +48,10 @@ type Config struct {
 	// MaxWeight is Algorithm 1's MAX constant for directly connected
 	// relevant blocks.
 	MaxWeight float64
+	// Telemetry optionally records modeling counters and stage timings
+	// (trace collection, attack-relevant BB extraction, CST simulation).
+	// nil disables instrumentation at zero cost.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultMeasureCache is the cache simulator configuration used to
@@ -168,6 +173,8 @@ func Build(prog *isa.Program, victim *isa.Program, config Config) (*Model, error
 	if prog == nil {
 		return nil, fmt.Errorf("model: program is nil")
 	}
+	tel := config.Telemetry
+	buildStart := tel.Now()
 	c, err := cfg.Build(prog)
 	if err != nil {
 		return nil, fmt.Errorf("model: cfg: %w", err)
@@ -176,8 +183,15 @@ func Build(prog *isa.Program, victim *isa.Program, config Config) (*Model, error
 	if err != nil {
 		return nil, fmt.Errorf("model: exec: %w", err)
 	}
+	traceStart := tel.Now()
 	trace := machine.Run()
-	return buildFromTrace(prog, c, trace, machine.Hierarchy().LLC().Config(), config)
+	tel.ObserveSince(telemetry.StageTrace, traceStart)
+	m, err := buildFromTrace(prog, c, trace, machine.Hierarchy().LLC().Config(), config)
+	if err == nil {
+		tel.Inc(telemetry.ModelBuilds)
+		tel.ObserveSince(telemetry.StageModel, buildStart)
+	}
+	return m, err
 }
 
 // BuildFromTrace models attack behavior from an existing execution
@@ -203,6 +217,8 @@ func BuildFromTrace(prog *isa.Program, trace *exec.Trace, llc cache.Config, conf
 // buildFromTrace is the deterministic part of the pipeline, split out
 // for targeted testing.
 func buildFromTrace(prog *isa.Program, c *cfg.CFG, trace *exec.Trace, llc cache.Config, config Config) (*Model, error) {
+	tel := config.Telemetry
+	extractStart := tel.Now()
 	m := &Model{
 		Name:         prog.Name,
 		CFG:          c,
@@ -286,6 +302,8 @@ func buildFromTrace(prog *isa.Program, c *cfg.CFG, trace *exec.Trace, llc cache.
 
 	// Step 3: Algorithm 1 — attack-relevant graph construction.
 	m.AttackGraph = BuildAttackGraph(c.G, c.EntryLeader(), m.RelevantBBs, m.HPCByBB, config)
+	tel.ObserveSince(telemetry.StageBBExtract, extractStart)
+	cstStart := tel.Now()
 
 	// Step 4: CST measurement for every node of the attack-relevant
 	// graph, then flattening by first execution time. Blocks pulled in by
@@ -364,6 +382,7 @@ func buildFromTrace(prog *isa.Program, c *cfg.CFG, trace *exec.Trace, llc cache.
 		bbs.Seq = append(bbs.Seq, e.cst)
 	}
 	m.BBS = bbs
+	tel.ObserveSince(telemetry.StageCST, cstStart)
 	return m, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/textdist"
 )
@@ -41,6 +42,14 @@ type DistCache struct {
 	mu    sync.RWMutex
 	ids   map[string]uint32
 	dists map[uint64]float64
+
+	// Hit/miss counters (atomic, always on: two uncontended atomic adds
+	// are noise next to the map lookups they count). A "hit" is a value
+	// served without running the Levenshtein computation — including the
+	// identical-id short-cut; a "miss" is a computed value, whether or
+	// not it could be stored.
+	blockHits, blockMisses atomic.Uint64
+	pairHits, pairMisses   atomic.Uint64
 }
 
 // NewDistCache returns an empty cache.
@@ -73,8 +82,10 @@ func (c *DistCache) intern(seq []string) uint32 {
 	id, ok := c.ids[k]
 	c.mu.RUnlock()
 	if ok {
+		c.blockHits.Add(1)
 		return id
 	}
+	c.blockMisses.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if id, ok := c.ids[k]; ok {
@@ -93,9 +104,11 @@ func (c *DistCache) intern(seq []string) uint32 {
 // 0 (the distance of a sequence to itself).
 func (c *DistCache) normalized(ia uint32, sa []string, ib uint32, sb []string) float64 {
 	if ia == noID || ib == noID {
+		c.pairMisses.Add(1)
 		return textdist.Normalized(sa, sb)
 	}
 	if ia == ib {
+		c.pairHits.Add(1)
 		return 0
 	}
 	lo, hi := ia, ib
@@ -107,8 +120,10 @@ func (c *DistCache) normalized(ia uint32, sa []string, ib uint32, sb []string) f
 	v, ok := c.dists[k]
 	c.mu.RUnlock()
 	if ok {
+		c.pairHits.Add(1)
 		return v
 	}
+	c.pairMisses.Add(1)
 	v = textdist.Normalized(sa, sb)
 	c.mu.Lock()
 	if len(c.dists) < maxMemoized {
@@ -124,4 +139,41 @@ func (c *DistCache) Stats() (blocks, pairs int) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.ids), len(c.dists)
+}
+
+// CacheStats is the detailed view of a DistCache: sizes plus hit/miss
+// counters for both the intern table (blocks) and the pair memo.
+type CacheStats struct {
+	Blocks, Pairs          int
+	BlockHits, BlockMisses uint64
+	PairHits, PairMisses   uint64
+}
+
+// StatsDetail extends Stats with the hit/miss counters the telemetry
+// layer exports as gauges.
+func (c *DistCache) StatsDetail() CacheStats {
+	blocks, pairs := c.Stats()
+	return CacheStats{
+		Blocks:      blocks,
+		Pairs:       pairs,
+		BlockHits:   c.blockHits.Load(),
+		BlockMisses: c.blockMisses.Load(),
+		PairHits:    c.pairHits.Load(),
+		PairMisses:  c.pairMisses.Load(),
+	}
+}
+
+// TelemetryGauges adapts StatsDetail to a telemetry gauge source;
+// register it under the "distcache" name so the derived hit rates and
+// the -stats report pick it up.
+func (c *DistCache) TelemetryGauges() map[string]uint64 {
+	st := c.StatsDetail()
+	return map[string]uint64{
+		"blocks":       uint64(st.Blocks),
+		"pairs":        uint64(st.Pairs),
+		"block_hits":   st.BlockHits,
+		"block_misses": st.BlockMisses,
+		"pair_hits":    st.PairHits,
+		"pair_misses":  st.PairMisses,
+	}
 }

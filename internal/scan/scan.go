@@ -43,6 +43,7 @@ import (
 	"repro/internal/dtw"
 	"repro/internal/model"
 	"repro/internal/similarity"
+	"repro/internal/telemetry"
 )
 
 // Config tunes a scan engine.
@@ -61,6 +62,10 @@ type Config struct {
 	// across detectors built over one repository); nil creates a
 	// private cache.
 	Cache *DistCache
+	// Telemetry optionally records scan counters (comparisons resolved
+	// exactly vs pruned, lower-bound cutoff hits) and per-scan latency.
+	// nil disables instrumentation at zero cost.
+	Telemetry *telemetry.Collector
 }
 
 // Match is one repository comparison result.
@@ -156,6 +161,10 @@ func (e *Engine) ScanSerial(bbs *model.CSTBBS) []Match {
 // pool across all (target, entry) pairs so small targets cannot strand
 // workers. results[t][i] is target t against entry i.
 func (e *Engine) ScanBatch(targets []*model.CSTBBS) [][]Match {
+	tel := e.cfg.Telemetry
+	scanStart := tel.Now()
+	defer tel.ObserveSince(telemetry.StageScan, scanStart)
+	tel.Add(telemetry.ScanTargets, uint64(len(targets)))
 	nE := len(e.models)
 	results := make([][]Match, len(targets))
 	ts := make([]*target, len(targets))
@@ -231,19 +240,24 @@ func (e *Engine) ScanBatch(targets []*model.CSTBBS) [][]Match {
 // scoreOne scores a single (target, entry) pair, consulting and
 // updating the target's shared best distance when pruning.
 func (e *Engine) scoreOne(t *target, ei int, lbs []float64, bestBits *uint64) Match {
+	tel := e.cfg.Telemetry
 	if !e.cfg.Prune {
 		d, _ := e.compare(t, ei, math.Inf(1))
+		tel.Inc(telemetry.ScanEntriesExact)
 		return Match{Index: ei, Score: dtw.Similarity(d)}
 	}
 	cutoff := pruneCutoff(math.Float64frombits(atomic.LoadUint64(bestBits)))
 	if lbs[ei] > cutoff {
+		tel.Inc(telemetry.ScanEntriesLowerBoundSkipped)
 		return Match{Index: ei, Score: dtw.Similarity(lbs[ei]), Pruned: true}
 	}
 	d, abandoned := e.compare(t, ei, cutoff)
 	if abandoned {
+		tel.Inc(telemetry.ScanEntriesAbandoned)
 		return Match{Index: ei, Score: dtw.Similarity(d), Pruned: true}
 	}
 	updateBest(bestBits, d)
+	tel.Inc(telemetry.ScanEntriesExact)
 	return Match{Index: ei, Score: dtw.Similarity(d)}
 }
 

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Sink receives snapshots pushed out of the process by Collector.Flush
+// (end of a CLI run, a periodic exporter tick, a test). Implementations
+// must tolerate concurrent Emit calls.
+type Sink interface {
+	Emit(Snapshot)
+}
+
+// NopSink is the default sink: it drops every snapshot.
+type NopSink struct{}
+
+// Emit discards the snapshot.
+func (NopSink) Emit(Snapshot) {}
+
+// WriterSink JSON-encodes each snapshot (one object per line) to W.
+type WriterSink struct {
+	mu sync.Mutex
+	W  io.Writer
+}
+
+// Emit writes the snapshot as a single JSON line; encoding errors are
+// dropped (a sink must never fail the pipeline).
+func (s *WriterSink) Emit(snap Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := json.NewEncoder(s.W)
+	_ = enc.Encode(snap)
+}
+
+// ExpvarSink publishes the most recent snapshot under an expvar name,
+// so the standard /debug/vars endpoint picks it up.
+type ExpvarSink struct {
+	mu   sync.Mutex
+	last Snapshot
+}
+
+// NewExpvarSink publishes a sink under name. expvar panics on duplicate
+// names, so publish each name once per process.
+func NewExpvarSink(name string) *ExpvarSink {
+	s := &ExpvarSink{}
+	expvar.Publish(name, expvar.Func(func() any {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.last
+	}))
+	return s
+}
+
+// Emit retains the snapshot as the published value.
+func (s *ExpvarSink) Emit(snap Snapshot) {
+	s.mu.Lock()
+	s.last = snap
+	s.mu.Unlock()
+}
+
+// Handler serves the collector's current snapshot as JSON. The snapshot
+// is taken per request, so it is always live — no Flush needed.
+func Handler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c.Snapshot())
+	})
+}
+
+// Serve starts an HTTP server on addr exposing the live JSON snapshot
+// at /metrics (and at /). It returns the bound listener address — so
+// addr may use port 0 — and a shutdown func. Serving happens on a
+// background goroutine; errors after a successful bind are dropped.
+func Serve(addr string, c *Collector) (bound string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(c))
+	mux.Handle("/", Handler(c))
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

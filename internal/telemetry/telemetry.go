@@ -1,0 +1,280 @@
+// Package telemetry is the runtime instrumentation layer of the
+// detection pipeline. The scan engine's pruning decisions, the
+// detector's engine-cache behavior and the per-stage wall times of
+// modeling vs scanning are all invisible from the outside — benchmarks
+// can measure them offline, but a deployment watching live traffic
+// cannot. This package makes them observable at a cost low enough for
+// the hot path:
+//
+//   - Counters are fixed-index atomic uint64s — no maps, no labels, no
+//     allocation on the increment path.
+//   - Latencies go into log2-bucketed histograms (atomic buckets plus
+//     count/sum/min/max), again allocation-free.
+//   - Gauge sources (e.g. the scan DistCache's hit counters) register a
+//     read callback and are polled only when a snapshot is taken.
+//
+// Everything hangs off a *Collector. A nil *Collector is the disabled
+// state: every method nil-checks the receiver and returns immediately,
+// so uninstrumented configurations pay one predictable branch per call
+// site and nothing else. Timing call sites use the Now/ObserveSince
+// pair, which skips the time.Now() syscall entirely when disabled.
+//
+// Snapshot() assembles a consistent-enough view for export: counters
+// are read atomically one by one (each value is exact; sums across
+// counters may be mid-update by design), histograms likewise. Sinks
+// (sink.go) take snapshots out of the process: a no-op default, a JSON
+// writer, an expvar publisher and an HTTP handler.
+package telemetry
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter indexes one atomic event counter. The enum is the schema:
+// adding a counter means adding an index and a name here, nothing else.
+type Counter int
+
+// Pipeline counters. Scan* count (target, entry) comparison outcomes —
+// every comparison resolves to exactly one of Exact, LowerBoundSkipped
+// or Abandoned, so their sum is the number of comparisons and
+// (LowerBoundSkipped+Abandoned)/sum is the pruning rate.
+const (
+	// ScanTargets counts targets scanned against the repository.
+	ScanTargets Counter = iota
+	// ScanEntriesExact counts entry comparisons that ran the full DTW
+	// and produced an exact score.
+	ScanEntriesExact
+	// ScanEntriesLowerBoundSkipped counts lower-bound cutoff hits:
+	// entries skipped before any DTW because the cheap lower bound
+	// already exceeded the running best.
+	ScanEntriesLowerBoundSkipped
+	// ScanEntriesAbandoned counts entries whose DTW was abandoned
+	// row-wise partway through (dtw.DistanceAbandon proved the entry
+	// cannot win).
+	ScanEntriesAbandoned
+	// DetectClassifications counts targets classified (including gated
+	// ones).
+	DetectClassifications
+	// DetectGated counts targets short-circuited as benign by
+	// construction (model too short, or no timer reads).
+	DetectGated
+	// DetectBatches counts ClassifyBatch calls.
+	DetectBatches
+	// DetectEngineRebuilds counts scan-engine rebuilds (repository
+	// version or detector configuration changed).
+	DetectEngineRebuilds
+	// DetectEngineReuses counts classifications served by the cached
+	// engine.
+	DetectEngineReuses
+	// ModelBuilds counts behavior models built.
+	ModelBuilds
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	ScanTargets:                  "scan_targets",
+	ScanEntriesExact:             "scan_entries_exact",
+	ScanEntriesLowerBoundSkipped: "scan_entries_lb_skipped",
+	ScanEntriesAbandoned:         "scan_entries_abandoned",
+	DetectClassifications:        "detect_classifications",
+	DetectGated:                  "detect_gated",
+	DetectBatches:                "detect_batches",
+	DetectEngineRebuilds:         "detect_engine_rebuilds",
+	DetectEngineReuses:           "detect_engine_reuses",
+	ModelBuilds:                  "model_builds",
+}
+
+// String returns the counter's snapshot/export name.
+func (c Counter) String() string {
+	if c >= 0 && c < numCounters {
+		return counterNames[c]
+	}
+	return "counter_unknown"
+}
+
+// Stage indexes one latency histogram.
+type Stage int
+
+// Pipeline stages. StageModel covers a whole model.Build; StageTrace,
+// StageBBExtract and StageCST are its interior phases (simulation run,
+// attack-relevant BB identification, CST measurement + flattening).
+// StageScan is one repository scan pass (Scan or ScanBatch).
+const (
+	StageModel Stage = iota
+	StageTrace
+	StageBBExtract
+	StageCST
+	StageScan
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	StageModel:     "model_build",
+	StageTrace:     "model_trace",
+	StageBBExtract: "model_bb_extract",
+	StageCST:       "model_cst_sim",
+	StageScan:      "scan",
+}
+
+// String returns the stage's snapshot/export name.
+func (s Stage) String() string {
+	if s >= 0 && s < numStages {
+		return stageNames[s]
+	}
+	return "stage_unknown"
+}
+
+// histBuckets is the number of log2 latency buckets. Bucket i counts
+// observations with duration < 2^i microseconds (the last bucket is a
+// catch-all), spanning 1µs .. ~34s — wider than any pipeline stage.
+const histBuckets = 26
+
+// histogram is an allocation-free latency histogram: log2 buckets over
+// microseconds plus count/sum/min/max, all atomics.
+type histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	minNS   atomic.Uint64 // valid only when count > 0
+	maxNS   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d.Nanoseconds())
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	// bits.Len64 of the duration in whole microseconds is its log2
+	// bucket: <1µs lands in bucket 0, [2^(i-1), 2^i) µs in bucket i.
+	b := bits.Len64(ns / 1000)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	for {
+		old := h.maxNS.Load()
+		if ns <= old || h.maxNS.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	for {
+		old := h.minNS.Load()
+		if (old != 0 && ns >= old) || h.minNS.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// GaugeFunc reads a set of named gauge values at snapshot time.
+type GaugeFunc func() map[string]uint64
+
+// Collector accumulates pipeline telemetry. All methods are safe for
+// concurrent use, and all methods are no-ops on a nil receiver — a nil
+// *Collector is how instrumentation is disabled.
+type Collector struct {
+	counters [numCounters]atomic.Uint64
+	stages   [numStages]histogram
+
+	mu     sync.Mutex
+	gauges map[string]GaugeFunc
+	sink   Sink
+}
+
+// NewCollector returns an empty collector with the no-op sink.
+func NewCollector() *Collector { return &Collector{} }
+
+// Inc adds one to a counter.
+func (c *Collector) Inc(k Counter) { c.Add(k, 1) }
+
+// Add adds n to a counter.
+func (c *Collector) Add(k Counter, n uint64) {
+	if c == nil {
+		return
+	}
+	c.counters[k].Add(n)
+}
+
+// Counter returns the current value of a counter.
+func (c *Collector) Counter(k Counter) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.counters[k].Load()
+}
+
+// Now returns the current time, or the zero time on a disabled
+// collector — the Now/ObserveSince pair keeps the time.Now() call off
+// the disabled fast path.
+func (c *Collector) Now() time.Time {
+	if c == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records time.Since(start) into a stage histogram. It is
+// the companion of Now: a zero start (disabled collector, but also any
+// caller that skipped timing) records nothing.
+func (c *Collector) ObserveSince(s Stage, start time.Time) {
+	if c == nil || start.IsZero() {
+		return
+	}
+	c.stages[s].observe(time.Since(start))
+}
+
+// Observe records a duration into a stage histogram directly.
+func (c *Collector) Observe(s Stage, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.stages[s].observe(d)
+}
+
+// RegisterGauges attaches a named gauge source, polled at snapshot
+// time. Registering the same name again replaces the source, so
+// re-wiring (e.g. a detector rebuilding its engine) is idempotent.
+func (c *Collector) RegisterGauges(name string, fn GaugeFunc) {
+	if c == nil || fn == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gauges == nil {
+		c.gauges = make(map[string]GaugeFunc)
+	}
+	c.gauges[name] = fn
+}
+
+// SetSink attaches the sink Flush emits snapshots to. A nil sink
+// restores the no-op default.
+func (c *Collector) SetSink(s Sink) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sink = s
+}
+
+// Flush takes a snapshot and emits it to the attached sink (no-op sink
+// by default). It returns the snapshot so call sites can reuse it.
+func (c *Collector) Flush() Snapshot {
+	snap := c.Snapshot()
+	if c == nil {
+		return snap
+	}
+	c.mu.Lock()
+	sink := c.sink
+	c.mu.Unlock()
+	if sink != nil {
+		sink.Emit(snap)
+	}
+	return snap
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/mutate"
 	"repro/internal/scan"
 	"repro/internal/similarity"
+	"repro/internal/telemetry"
 )
 
 // Core re-exported types. Program is the binary representation every
@@ -51,6 +52,27 @@ type (
 	Family     = attacks.Family
 	PoC        = attacks.PoC
 )
+
+// Telemetry re-exports the runtime instrumentation layer
+// (internal/telemetry): attach a collector to Detector.Telemetry and
+// the whole pipeline — modeling stages, repository scans, pruning
+// decisions, DistCache hit rates — records into it. A nil collector
+// disables instrumentation at zero cost. See docs/OBSERVABILITY.md.
+type (
+	Telemetry         = telemetry.Collector
+	TelemetrySnapshot = telemetry.Snapshot
+	TelemetrySink     = telemetry.Sink
+)
+
+// NewTelemetry returns an empty telemetry collector.
+func NewTelemetry() *Telemetry { return telemetry.NewCollector() }
+
+// ServeTelemetry exposes a collector's live JSON snapshot over HTTP at
+// /metrics; it returns the bound address (addr may use port 0) and a
+// shutdown func.
+func ServeTelemetry(addr string, c *Telemetry) (bound string, shutdown func() error, err error) {
+	return telemetry.Serve(addr, c)
+}
 
 // Attack family labels.
 const (
