@@ -2,8 +2,12 @@
 # the toolchain are required.
 
 GO ?= go
+# Every test target carries a hard timeout so a deadlocked pipeline
+# fails the run instead of hanging it (the robustness suites exercise
+# cancellation and backpressure, where a bug means "stuck forever").
+TEST_TIMEOUT ?= 5m
 
-.PHONY: all build test race vet bench fuzz-short cover ci
+.PHONY: all build test race vet bench fuzz-short faults cover ci
 
 all: build
 
@@ -11,12 +15,12 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) ./...
 
-# Race pass over the concurrent packages (the scan engine and the
-# detector/repository wiring around it).
+# Race pass over the concurrent packages (the scan engine, the
+# detector/repository wiring and the streaming pipeline).
 race:
-	$(GO) test -race ./internal/detect ./internal/scan
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/detect ./internal/scan ./internal/stream
 
 vet:
 	$(GO) vet ./...
@@ -31,11 +35,19 @@ bench:
 # coverage-guided input plus the checked-in seed corpus. Crashers land
 # in internal/isa/testdata/fuzz/ as regression inputs.
 fuzz-short:
-	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/isa
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s -timeout $(TEST_TIMEOUT) ./internal/isa
+
+# Fault-injection suite under the race detector: panic isolation,
+# cancellation promptness and leak freedom across the scan engine, the
+# detector and the streaming pipeline (docs/ROBUSTNESS.md).
+faults:
+	$(GO) test -race -timeout $(TEST_TIMEOUT) \
+		-run 'Panic|Cancel|Fault|Inject|Stream|Timeout|Limit' \
+		./internal/faultinject ./internal/panicsafe ./internal/scan ./internal/detect ./internal/stream ./internal/isa
 
 # Coverage over every package, with the per-function summary printed.
 cover:
-	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) test -coverprofile=coverage.out -timeout $(TEST_TIMEOUT) ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: build vet test race fuzz-short cover
+ci: build vet test race faults fuzz-short cover

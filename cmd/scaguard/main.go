@@ -13,9 +13,13 @@
 //	scaguard classify -target ER-IAIK -fast -workers 4
 //	scaguard classify -target FR-Mastik -fast -stats
 //	scaguard classify -target FR-Mastik -metrics-addr :8080
+//	scaguard classify -target FR-Mastik -timeout 2s
+//	printf 'attack:FR-IAIK\nbenign:crypto/aes-ttable/7\n' | scaguard classify -stream
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -83,68 +87,117 @@ func cmdList() error {
 	return nil
 }
 
-// loadTarget resolves -target/-benign/-mutate/-obfuscate flags into a
-// program plus its victim.
-func loadTarget(fs *flag.FlagSet, args []string) (*scaguard.Program, *scaguard.Program, error) {
-	target := fs.String("target", "", "canonical attack PoC name")
-	benignSpec := fs.String("benign", "", "benign program kind/template/seed")
-	file := fs.String("file", "", "assemble a textual program from this file")
-	mutateSeed := fs.Int64("mutate", -1, "apply light mutation with this seed")
-	obfuscateSeed := fs.Int64("obfuscate", -1, "apply polymorphic obfuscation with this seed")
-	disasm := fs.Bool("disasm", false, "print the target's disassembly")
-	if err := fs.Parse(args); err != nil {
-		return nil, nil, err
+// targetFlags holds the -target/-benign/-file/-mutate/-obfuscate flag
+// values; resolve turns them into a program plus its victim after the
+// flag set has been parsed.
+type targetFlags struct {
+	target, benignSpec, file  *string
+	mutateSeed, obfuscateSeed *int64
+	disasm                    *bool
+}
+
+func registerTargetFlags(fs *flag.FlagSet) *targetFlags {
+	return &targetFlags{
+		target:        fs.String("target", "", "canonical attack PoC name"),
+		benignSpec:    fs.String("benign", "", "benign program kind/template/seed"),
+		file:          fs.String("file", "", "assemble a textual program from this file"),
+		mutateSeed:    fs.Int64("mutate", -1, "apply light mutation with this seed"),
+		obfuscateSeed: fs.Int64("obfuscate", -1, "apply polymorphic obfuscation with this seed"),
+		disasm:        fs.Bool("disasm", false, "print the target's disassembly"),
 	}
+}
+
+func (tf *targetFlags) resolve() (*scaguard.Program, *scaguard.Program, error) {
 	var prog, victim *scaguard.Program
 	switch {
-	case *file != "":
-		src, err := os.ReadFile(*file)
+	case *tf.file != "":
+		p, v, err := loadSpec("file:" + *tf.file)
 		if err != nil {
 			return nil, nil, err
 		}
-		prog, err = scaguard.ParseProgram(*file, string(src))
-		if err != nil {
-			return nil, nil, err
-		}
-	case *target != "":
-		poc, err := scaguard.Attack(*target)
+		prog, victim = p, v
+	case *tf.target != "":
+		poc, err := scaguard.Attack(*tf.target)
 		if err != nil {
 			return nil, nil, err
 		}
 		prog, victim = poc.Program, poc.Victim
-	case *benignSpec != "":
-		parts := strings.Split(*benignSpec, "/")
-		if len(parts) != 3 {
-			return nil, nil, fmt.Errorf("-benign wants kind/template/seed, got %q", *benignSpec)
-		}
-		seed, err := strconv.ParseInt(parts[2], 10, 64)
-		if err != nil {
-			return nil, nil, fmt.Errorf("bad seed in %q: %v", *benignSpec, err)
-		}
-		prog, err = scaguard.GenerateBenign(parts[0], parts[1], seed)
+	case *tf.benignSpec != "":
+		p, _, err := loadSpec("benign:" + *tf.benignSpec)
 		if err != nil {
 			return nil, nil, err
 		}
+		prog = p
 	default:
 		return nil, nil, fmt.Errorf("one of -target, -benign or -file is required")
 	}
 	var err error
-	if *mutateSeed >= 0 {
-		prog, err = scaguard.MutateVariant(prog, *mutateSeed)
+	if *tf.mutateSeed >= 0 {
+		prog, err = scaguard.MutateVariant(prog, *tf.mutateSeed)
 		if err != nil {
 			return nil, nil, err
 		}
 	}
-	if *obfuscateSeed >= 0 {
-		prog, err = scaguard.ObfuscateVariant(prog, *obfuscateSeed)
+	if *tf.obfuscateSeed >= 0 {
+		prog, err = scaguard.ObfuscateVariant(prog, *tf.obfuscateSeed)
 		if err != nil {
 			return nil, nil, err
 		}
 	}
-	if *disasm {
+	if *tf.disasm {
 		fmt.Println(prog.Disassemble())
 	}
 	return prog, victim, nil
+}
+
+// loadTarget resolves -target/-benign/-mutate/-obfuscate flags into a
+// program plus its victim.
+func loadTarget(fs *flag.FlagSet, args []string) (*scaguard.Program, *scaguard.Program, error) {
+	tf := registerTargetFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	return tf.resolve()
+}
+
+// loadSpec resolves one streaming target spec — the line format of
+// `classify -stream` — into a program plus its victim:
+//
+//	attack:FR-IAIK              canonical PoC by name
+//	benign:crypto/aes-ttable/7  generated benign program
+//	file:path/to/prog.s         assembled from a file
+func loadSpec(spec string) (*scaguard.Program, *scaguard.Program, error) {
+	kind, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, nil, fmt.Errorf("target spec %q wants kind:value (attack:, benign:, file:)", spec)
+	}
+	switch kind {
+	case "attack":
+		poc, err := scaguard.Attack(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return poc.Program, poc.Victim, nil
+	case "benign":
+		parts := strings.Split(rest, "/")
+		if len(parts) != 3 {
+			return nil, nil, fmt.Errorf("benign spec wants kind/template/seed, got %q", rest)
+		}
+		seed, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad seed in %q: %v", rest, err)
+		}
+		prog, err := scaguard.GenerateBenign(parts[0], parts[1], seed)
+		return prog, nil, err
+	case "file":
+		src, err := os.ReadFile(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, err := scaguard.ParseProgram(rest, string(src))
+		return prog, nil, err
+	}
+	return nil, nil, fmt.Errorf("unknown target spec kind %q (want attack:, benign:, file:)", kind)
 }
 
 func cmdModel(args []string) error {
@@ -254,9 +307,11 @@ func cmdClassify(args []string) error {
 	workers := fs.Int("workers", 0, "scan worker-pool size (0 = GOMAXPROCS)")
 	fast := fs.Bool("fast", false, "early-abandoning scan: the verdict and best match stay exact, other scores may be upper bounds (marked ~)")
 	stats := fs.Bool("stats", false, "print a telemetry report after the run (pruning rate, DistCache hit rate, stage latencies)")
-	metricsAddr := fs.String("metrics-addr", "", "serve the live telemetry snapshot as JSON over HTTP on this address (e.g. :8080); blocks after the run until interrupted")
-	prog, victim, err := loadTarget(fs, args)
-	if err != nil {
+	metricsAddr := fs.String("metrics-addr", "", "serve the live telemetry snapshot over HTTP on this address (e.g. :8080); JSON by default, Prometheus text via Accept or ?format=prometheus; blocks after the run until interrupted")
+	timeout := fs.Duration("timeout", 0, "per-classification deadline covering modeling and scanning (e.g. 500ms); 0 = none")
+	streamMode := fs.Bool("stream", false, "read target specs (attack:NAME, benign:kind/template/seed, file:PATH) line by line from stdin and classify them as a fault-isolated stream")
+	tf := registerTargetFlags(fs)
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	var det *scaguard.Detector
@@ -272,12 +327,14 @@ func cmdClassify(args []string) error {
 		}
 		det = scaguard.NewDetectorFromRepository(repo)
 	} else {
+		var err error
 		det, err = scaguard.NewDetector()
 		if err != nil {
 			return err
 		}
 	}
 	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast}
+	det.Timeout = *timeout
 	var tel *scaguard.Telemetry
 	if *stats || *metricsAddr != "" {
 		tel = scaguard.NewTelemetry()
@@ -293,23 +350,35 @@ func cmdClassify(args []string) error {
 		metricsURL = "http://" + bound + "/metrics"
 		fmt.Fprintf(os.Stderr, "serving telemetry on %s\n", metricsURL)
 	}
-	res, m, err := det.Classify(prog, victim)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("target:    %s (model length %d)\n", prog.Name, m.BBS.Len())
-	fmt.Printf("verdict:   %s\n", res.Predicted)
-	for _, match := range res.Matches {
-		marker := " "
-		if match.Score >= det.Threshold {
-			marker = "*"
+
+	if *streamMode {
+		if err := runStream(det, *workers); err != nil {
+			return err
 		}
-		bound := " "
-		if match.Pruned {
-			bound = "~" // early-abandoned: score is an upper bound
+	} else {
+		prog, victim, err := tf.resolve()
+		if err != nil {
+			return err
 		}
-		fmt.Printf("  %s %-14s %-5s %s%6.2f%%\n", marker, match.Name, match.Family, bound, match.Score*100)
+		res, m, err := det.ClassifyCtx(context.Background(), prog, victim)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("target:    %s (model length %d)\n", prog.Name, m.BBS.Len())
+		fmt.Printf("verdict:   %s\n", res.Predicted)
+		for _, match := range res.Matches {
+			marker := " "
+			if match.Score >= det.Threshold {
+				marker = "*"
+			}
+			bound := " "
+			if match.Pruned {
+				bound = "~" // early-abandoned: score is an upper bound
+			}
+			fmt.Printf("  %s %-14s %-5s %s%6.2f%%\n", marker, match.Name, match.Family, bound, match.Score*100)
+		}
 	}
+
 	if *stats {
 		tel.Flush().WriteReport(os.Stdout)
 	}
@@ -318,6 +387,57 @@ func cmdClassify(args []string) error {
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		<-ch
+	}
+	return nil
+}
+
+// runStream reads target specs from stdin incrementally and classifies
+// them through the streaming pipeline: verdicts print as each target
+// resolves, a bad spec or a failed target prints an ERROR line without
+// stopping the stream, and an interrupt cancels cleanly (the pipeline
+// flushes error results for accepted targets before the command exits).
+func runStream(det *scaguard.Detector, workers int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	in := make(chan scaguard.StreamTarget)
+	go func() {
+		defer close(in)
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			prog, victim, err := loadSpec(line)
+			if err != nil {
+				fmt.Printf("%-34s ERROR %v\n", line, err)
+				continue
+			}
+			select {
+			case in <- scaguard.StreamTarget{ID: line, Program: prog, Victim: victim}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out := scaguard.ClassifyStream(ctx, det, in, scaguard.StreamConfig{
+		ModelWorkers:  workers,
+		TargetTimeout: det.Timeout,
+	})
+	n, failed := 0, 0
+	for r := range out {
+		n++
+		if r.Err != nil {
+			failed++
+			fmt.Printf("%-34s ERROR %v\n", r.ID, r.Err)
+			continue
+		}
+		fmt.Printf("%-34s %-7s best=%s %.2f%%\n",
+			r.ID, r.Verdict.Predicted, r.Verdict.Best.Name, r.Verdict.Best.Score*100)
+	}
+	fmt.Fprintf(os.Stderr, "stream: %d targets, %d failed\n", n, failed)
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	return nil
 }

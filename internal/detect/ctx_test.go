@@ -1,0 +1,160 @@
+package detect
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/attacks"
+	"repro/internal/faultinject"
+	"repro/internal/model"
+	"repro/internal/panicsafe"
+	"repro/internal/telemetry"
+)
+
+// TestClassifyCtxBackgroundMatchesClassify: the ctx plumbing must not
+// change verdicts on the background fast path.
+func TestClassifyCtxBackgroundMatchesClassify(t *testing.T) {
+	d := NewDetector(repo(t))
+	p := attacks.DefaultParams()
+	poc := attacks.FlushReloadIAIK(p)
+	want, _, err := d.Classify(poc.Program, poc.Victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, m, err := d.ClassifyCtx(context.Background(), poc.Program, poc.Victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("nil model")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ClassifyCtx = %+v, want %+v", got, want)
+	}
+}
+
+func TestClassifyCtxCancelled(t *testing.T) {
+	d := NewDetector(repo(t))
+	d.Telemetry = telemetry.NewCollector()
+	p := attacks.DefaultParams()
+	poc := attacks.FlushReloadIAIK(p)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := d.ClassifyCtx(ctx, poc.Program, poc.Victim); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := d.Telemetry.Counter(telemetry.DetectCancellations); got != 1 {
+		t.Errorf("detect_cancellations = %d, want 1", got)
+	}
+}
+
+// TestClassifyCtxDetectorTimeout: the per-classification deadline from
+// Detector.Timeout expires the call on its own.
+func TestClassifyCtxDetectorTimeout(t *testing.T) {
+	d := NewDetector(repo(t))
+	d.Telemetry = telemetry.NewCollector()
+	d.Timeout = time.Nanosecond
+	p := attacks.DefaultParams()
+	poc := attacks.FlushReloadIAIK(p)
+	if _, _, err := d.ClassifyCtx(context.Background(), poc.Program, poc.Victim); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if got := d.Telemetry.Counter(telemetry.DetectCancellations); got == 0 {
+		t.Error("detect_cancellations not counted")
+	}
+}
+
+// batchTargets repeats the repository's own models as batch input; they
+// all pass gating (attack models read timers and exceed MinModelLen).
+func batchTargets(t *testing.T, n int) []*model.CSTBBS {
+	t.Helper()
+	r := repo(t)
+	out := make([]*model.CSTBBS, n)
+	for i := range out {
+		out[i] = r.Entries[i%len(r.Entries)].BBS
+	}
+	return out
+}
+
+// TestClassifyBatchCtxBackgroundMatchesClassifyBatch: same verdicts on
+// the background fast path, element for element.
+func TestClassifyBatchCtxBackgroundMatchesClassifyBatch(t *testing.T) {
+	d := NewDetector(repo(t))
+	targets := batchTargets(t, 8)
+	want := d.ClassifyBatch(targets)
+	got, err := d.ClassifyBatchCtx(context.Background(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("ClassifyBatchCtx and ClassifyBatch results differ")
+	}
+}
+
+// TestClassifyBatchCtxCancelPrompt cancels a slowed batch mid-scan and
+// asserts the 100ms return budget of the robustness contract.
+func TestClassifyBatchCtxCancelPrompt(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Enable(faultinject.ScanWorker, faultinject.Sleep(time.Millisecond))
+	d := NewDetector(repo(t))
+	d.Telemetry = telemetry.NewCollector()
+	d.Scan.Workers = 2
+	targets := batchTargets(t, 64) // ≥1ms each on 2 workers: long runway
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.ClassifyBatchCtx(ctx, targets)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	start := time.Now()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if dur := time.Since(start); dur > 100*time.Millisecond {
+			t.Fatalf("cancel-to-return took %v, want < 100ms", dur)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("batch did not return after cancel")
+	}
+	if got := d.Telemetry.Counter(telemetry.DetectCancellations); got != 1 {
+		t.Errorf("detect_cancellations = %d, want 1", got)
+	}
+}
+
+// TestClassifyBatchRepanics: the non-ctx batch API keeps its loud-crash
+// contract when a worker panics.
+func TestClassifyBatchRepanics(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Enable(faultinject.ScanWorker, faultinject.OnCall(1, faultinject.Panic("batch crash")))
+	d := NewDetector(repo(t))
+	defer func() {
+		if r := recover(); r != "batch crash" {
+			t.Errorf("recovered %v, want batch crash", r)
+		}
+	}()
+	d.ClassifyBatch(batchTargets(t, 2))
+	t.Error("ClassifyBatch did not re-panic")
+}
+
+// TestClassifyBBSCtxPanicIsErrorNotCrash: the ctx API converts the same
+// worker panic into a *panicsafe.PanicError.
+func TestClassifyBBSCtxPanicIsErrorNotCrash(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Enable(faultinject.ScanWorker, faultinject.OnCall(1, faultinject.Panic("scored crash")))
+	d := NewDetector(repo(t))
+	_, err := d.ClassifyBBSCtx(context.Background(), batchTargets(t, 1)[0])
+	pe, ok := panicsafe.AsPanic(err)
+	if !ok {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "scored crash" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+}

@@ -17,13 +17,17 @@
 package detect
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/attacks"
 	"repro/internal/isa"
 	"repro/internal/model"
+	"repro/internal/panicsafe"
 	"repro/internal/scan"
 	"repro/internal/similarity"
 	"repro/internal/telemetry"
@@ -183,6 +187,13 @@ type Detector struct {
 	// the engine always uses SimOpts, the repository's shared distance
 	// cache and the detector's Telemetry collector.
 	Scan scan.Config
+	// Timeout, when positive, is the per-classification deadline the
+	// context-aware entry points (ClassifyCtx, ClassifyBBSCtx,
+	// ClassifyBatchCtx) apply on top of their caller's context: each
+	// call gets its own deadline covering modeling and scanning, and an
+	// expired deadline surfaces as context.DeadlineExceeded. The
+	// non-context APIs ignore it.
+	Timeout time.Duration
 	// Telemetry optionally collects runtime counters and stage
 	// latencies across the whole detection pipeline: scan pruning
 	// outcomes, engine rebuilds, model-vs-scan wall time and the
@@ -301,17 +312,63 @@ func (d *Detector) assemble(entries []Entry, ms []scan.Match) Result {
 	return res
 }
 
+// withTimeout derives the per-classification deadline context when
+// Timeout is set; the returned cancel is always safe to call.
+func (d *Detector) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if d.Timeout > 0 {
+		return context.WithTimeout(ctx, d.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// noteCtxErr counts context-caused failures so cancellations are
+// visible in telemetry, and passes err through.
+func (d *Detector) noteCtxErr(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		d.Telemetry.Inc(telemetry.DetectCancellations)
+	}
+	return err
+}
+
 // ClassifyBBS scores a pre-built behavior model against the repository.
 // An empty repository, like a gated-out target, yields an explicitly
 // benign result with no matches.
 func (d *Detector) ClassifyBBS(bbs *model.CSTBBS) Result {
+	res, err := d.classifyBBSCtx(context.Background(), bbs)
+	if err != nil {
+		// No cancellation is possible on a background context; the
+		// error is a recovered scan panic and this API's contract is to
+		// crash loudly.
+		_ = panicsafe.Repanic(err)
+		panic(err)
+	}
+	return res
+}
+
+// ClassifyBBSCtx is ClassifyBBS with cooperative cancellation and panic
+// recovery: a cancelled or expired context (including the detector's
+// per-classification Timeout) aborts the scan promptly, and a panic
+// while scoring comes back as a *panicsafe.PanicError instead of
+// crashing the process. On a non-nil error the Result is meaningless.
+func (d *Detector) ClassifyBBSCtx(ctx context.Context, bbs *model.CSTBBS) (Result, error) {
+	ctx, cancel := d.withTimeout(ctx)
+	defer cancel()
+	return d.classifyBBSCtx(ctx, bbs)
+}
+
+// classifyBBSCtx is the shared scan path; it does not reapply Timeout.
+func (d *Detector) classifyBBSCtx(ctx context.Context, bbs *model.CSTBBS) (Result, error) {
 	d.Telemetry.Inc(telemetry.DetectClassifications)
 	if d.gated(bbs) {
 		d.Telemetry.Inc(telemetry.DetectGated)
-		return benignResult()
+		return benignResult(), nil
 	}
 	eng, entries := d.engine()
-	return d.assemble(entries, eng.Scan(bbs))
+	ms, err := eng.ScanCtx(ctx, bbs)
+	if err != nil {
+		return Result{}, d.noteCtxErr(err)
+	}
+	return d.assemble(entries, ms), nil
 }
 
 // ClassifyBatch classifies many pre-built behavior models in one scan
@@ -320,6 +377,29 @@ func (d *Detector) ClassifyBBS(bbs *model.CSTBBS) Result {
 // same explicit benign result ClassifyBBS would give them, without
 // occupying the scan.
 func (d *Detector) ClassifyBatch(targets []*model.CSTBBS) []Result {
+	results, err := d.classifyBatchCtx(context.Background(), targets)
+	if err != nil {
+		_ = panicsafe.Repanic(err)
+		panic(err)
+	}
+	return results
+}
+
+// ClassifyBatchCtx is ClassifyBatch with cooperative cancellation and
+// panic recovery. The detector's Timeout, when set, covers the whole
+// batch. A cancelled or expired context stops the shared scan between
+// work items and returns the context's error; a panic while scoring a
+// target stops the batch and returns as a *panicsafe.PanicError. On a
+// non-nil error the returned results are incomplete and must be
+// discarded — per-target fault isolation is the streaming front end's
+// job (internal/stream).
+func (d *Detector) ClassifyBatchCtx(ctx context.Context, targets []*model.CSTBBS) ([]Result, error) {
+	ctx, cancel := d.withTimeout(ctx)
+	defer cancel()
+	return d.classifyBatchCtx(ctx, targets)
+}
+
+func (d *Detector) classifyBatchCtx(ctx context.Context, targets []*model.CSTBBS) ([]Result, error) {
 	d.Telemetry.Inc(telemetry.DetectBatches)
 	d.Telemetry.Add(telemetry.DetectClassifications, uint64(len(targets)))
 	results := make([]Result, len(targets))
@@ -335,14 +415,17 @@ func (d *Detector) ClassifyBatch(targets []*model.CSTBBS) []Result {
 		liveIdx = append(liveIdx, i)
 	}
 	if len(live) == 0 {
-		return results
+		return results, d.noteCtxErr(ctx.Err())
 	}
 	eng, entries := d.engine()
-	batch := eng.ScanBatch(live)
+	batch, err := eng.ScanBatchCtx(ctx, live)
+	if err != nil {
+		return nil, d.noteCtxErr(err)
+	}
 	for k, ms := range batch {
 		results[liveIdx[k]] = d.assemble(entries, ms)
 	}
-	return results
+	return results, nil
 }
 
 // Classify models the target program (optionally alongside a victim
@@ -359,6 +442,35 @@ func (d *Detector) Classify(prog *isa.Program, victim *isa.Program) (Result, *mo
 		return Result{}, nil, fmt.Errorf("detect: modeling target %s: %w", progName(prog), err)
 	}
 	return d.ClassifyBBS(m.BBS), m, nil
+}
+
+// ClassifyCtx is Classify with cooperative cancellation and a
+// per-classification deadline: when the detector's Timeout is set, each
+// call gets its own deadline covering both the modeling and the scan
+// stage. Cancellation is observed at stage boundaries inside modeling
+// and between work items inside the scan; a recovered scan panic
+// surfaces as a *panicsafe.PanicError. On a non-nil error the Result is
+// meaningless (the Model may still be non-nil when modeling succeeded
+// and the scan failed).
+func (d *Detector) ClassifyCtx(ctx context.Context, prog *isa.Program, victim *isa.Program) (Result, *model.Model, error) {
+	ctx, cancel := d.withTimeout(ctx)
+	defer cancel()
+	cfg := d.ModelCfg
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = d.Telemetry
+	}
+	m, err := model.BuildCtx(ctx, prog, victim, cfg)
+	if err != nil {
+		if cerr := d.noteCtxErr(err); errors.Is(cerr, context.Canceled) || errors.Is(cerr, context.DeadlineExceeded) {
+			return Result{}, nil, cerr
+		}
+		return Result{}, nil, fmt.Errorf("detect: modeling target %s: %w", progName(prog), err)
+	}
+	res, err := d.classifyBBSCtx(ctx, m.BBS)
+	if err != nil {
+		return Result{}, m, err
+	}
+	return res, m, nil
 }
 
 func progName(p *isa.Program) string {

@@ -28,6 +28,33 @@ import (
 //	  jl main
 //	  hlt
 //
+// Parse enforces resource limits so untrusted input (streamed target
+// specs, fuzz corpora) cannot balloon memory before simulation ever
+// starts. Exceeding a limit returns a *LimitError.
+const (
+	// MaxParseInstructions bounds emitted instructions per program. Real
+	// PoCs are a few hundred instructions; 1<<16 leaves two orders of
+	// magnitude of headroom.
+	MaxParseInstructions = 1 << 16
+	// MaxParseLabels bounds label definitions per program.
+	MaxParseLabels = 1 << 12
+	// MaxParseDataSegments bounds .data directives per program.
+	MaxParseDataSegments = 1 << 10
+)
+
+// LimitError reports input that exceeds one of Parse's resource
+// limits. Detect it with errors.As to distinguish "hostile or corrupt
+// input" from a plain syntax error.
+type LimitError struct {
+	Program string // program name passed to Parse
+	What    string // exhausted resource: "instructions", "labels", "data segments"
+	Limit   int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("%s: too many %s (limit %d)", e.Program, e.What, e.Limit)
+}
+
 // Two-operand forms are "op dst, src"; branches take one label operand.
 func Parse(name, src string) (*Program, error) {
 	var b *Builder
@@ -107,6 +134,9 @@ func Parse(name, src string) (*Program, error) {
 					return nil, errf(i, "unknown .data attribute %q", f)
 				}
 			}
+			if len(datas) >= MaxParseDataSegments {
+				return nil, &LimitError{Program: name, What: "data segments", Limit: MaxParseDataSegments}
+			}
 			datas = append(datas, d)
 		default:
 			if strings.HasPrefix(fields[0], ".") {
@@ -134,6 +164,7 @@ func Parse(name, src string) (*Program, error) {
 	}
 
 	// Pass 2: labels and instructions.
+	insns, labels := 0, 0
 	for i, raw := range lines {
 		line := stripComment(raw)
 		if line == "" || strings.HasPrefix(line, ".") {
@@ -149,11 +180,17 @@ func Parse(name, src string) (*Program, error) {
 			if head == "" || strings.ContainsAny(head, " \t,[]") {
 				break
 			}
+			if labels++; labels > MaxParseLabels {
+				return nil, &LimitError{Program: name, What: "labels", Limit: MaxParseLabels}
+			}
 			b.Label(head)
 			line = strings.TrimSpace(line[idx+1:])
 		}
 		if line == "" {
 			continue
+		}
+		if insns++; insns > MaxParseInstructions {
+			return nil, &LimitError{Program: name, What: "instructions", Limit: MaxParseInstructions}
 		}
 		if err := parseInsn(b, line, symbols); err != nil {
 			return nil, errf(i, "%v", err)

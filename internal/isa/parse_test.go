@@ -1,6 +1,8 @@
 package isa
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -197,4 +199,49 @@ func TestParseMultipleLabelsPerLine(t *testing.T) {
 	if p.Labels["a"] != p.Labels["b"] {
 		t.Error("stacked labels must share an address")
 	}
+}
+
+// TestParseLimits: hostile input hits a typed *LimitError instead of
+// ballooning memory; input at the limit still parses.
+func TestParseLimits(t *testing.T) {
+	limitErr := func(t *testing.T, src, what string) {
+		t.Helper()
+		_, err := Parse("hostile", src)
+		var le *LimitError
+		if !errors.As(err, &le) {
+			t.Fatalf("err = %v, want *LimitError", err)
+		}
+		if le.What != what {
+			t.Errorf("What = %q, want %q", le.What, what)
+		}
+		if !strings.Contains(le.Error(), what) {
+			t.Errorf("Error() = %q does not name the resource", le.Error())
+		}
+	}
+
+	t.Run("instructions", func(t *testing.T) {
+		limitErr(t, strings.Repeat("nop\n", MaxParseInstructions+1), "instructions")
+	})
+	t.Run("labels", func(t *testing.T) {
+		var b strings.Builder
+		for i := 0; i <= MaxParseLabels; i++ {
+			fmt.Fprintf(&b, "l%d:\n", i)
+		}
+		b.WriteString("hlt\n")
+		limitErr(t, b.String(), "labels")
+	})
+	t.Run("data-segments", func(t *testing.T) {
+		var b strings.Builder
+		for i := 0; i <= MaxParseDataSegments; i++ {
+			fmt.Fprintf(&b, ".data d%d 8\n", i)
+		}
+		b.WriteString("hlt\n")
+		limitErr(t, b.String(), "data segments")
+	})
+	t.Run("at-the-limit-parses", func(t *testing.T) {
+		src := strings.Repeat("nop\n", MaxParseInstructions-1) + "hlt\n"
+		if _, err := Parse("big", src); err != nil {
+			t.Fatalf("program at the limit rejected: %v", err)
+		}
+	})
 }

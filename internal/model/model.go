@@ -22,12 +22,14 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/cfg"
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/hpc"
 	"repro/internal/isa"
@@ -169,9 +171,26 @@ func (m *Model) IdentifiedBBs() []uint64 {
 // present it runs interleaved with prog on the shared cache (the setting
 // Flush+Reload-style PoCs require).
 func Build(prog *isa.Program, victim *isa.Program, config Config) (*Model, error) {
+	return BuildCtx(context.Background(), prog, victim, config)
+}
+
+// BuildCtx is Build with cooperative cancellation: the context is
+// checked at stage boundaries (before CFG recovery, before and after
+// the simulation run, before CST measurement), so a cancelled or
+// expired context aborts modeling between stages with the context's
+// error. A background context takes the same path at no measurable
+// cost. The interior stages themselves run to completion — cancellation
+// is cooperative, not preemptive.
+func BuildCtx(ctx context.Context, prog *isa.Program, victim *isa.Program, config Config) (*Model, error) {
 	config = config.withDefaults()
 	if prog == nil {
 		return nil, fmt.Errorf("model: program is nil")
+	}
+	if err := faultinject.Fire(faultinject.ModelBuild, prog.Name); err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	tel := config.Telemetry
 	buildStart := tel.Now()
@@ -183,10 +202,16 @@ func Build(prog *isa.Program, victim *isa.Program, config Config) (*Model, error
 	if err != nil {
 		return nil, fmt.Errorf("model: exec: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	traceStart := tel.Now()
 	trace := machine.Run()
 	tel.ObserveSince(telemetry.StageTrace, traceStart)
-	m, err := buildFromTrace(prog, c, trace, machine.Hierarchy().LLC().Config(), config)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m, err := buildFromTraceCtx(ctx, prog, c, trace, machine.Hierarchy().LLC().Config(), config)
 	if err == nil {
 		tel.Inc(telemetry.ModelBuilds)
 		tel.ObserveSince(telemetry.StageModel, buildStart)
@@ -211,12 +236,13 @@ func BuildFromTrace(prog *isa.Program, trace *exec.Trace, llc cache.Config, conf
 	if err != nil {
 		return nil, fmt.Errorf("model: cfg: %w", err)
 	}
-	return buildFromTrace(prog, c, trace, llc, config)
+	return buildFromTraceCtx(context.Background(), prog, c, trace, llc, config)
 }
 
-// buildFromTrace is the deterministic part of the pipeline, split out
-// for targeted testing.
-func buildFromTrace(prog *isa.Program, c *cfg.CFG, trace *exec.Trace, llc cache.Config, config Config) (*Model, error) {
+// buildFromTraceCtx is the deterministic part of the pipeline, split
+// out for targeted testing. The context is observed once, before CST
+// measurement (the only interior boundary left after the trace exists).
+func buildFromTraceCtx(ctx context.Context, prog *isa.Program, c *cfg.CFG, trace *exec.Trace, llc cache.Config, config Config) (*Model, error) {
 	tel := config.Telemetry
 	extractStart := tel.Now()
 	m := &Model{
@@ -303,6 +329,12 @@ func buildFromTrace(prog *isa.Program, c *cfg.CFG, trace *exec.Trace, llc cache.
 	// Step 3: Algorithm 1 — attack-relevant graph construction.
 	m.AttackGraph = BuildAttackGraph(c.G, c.EntryLeader(), m.RelevantBBs, m.HPCByBB, config)
 	tel.ObserveSince(telemetry.StageBBExtract, extractStart)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := faultinject.Fire(faultinject.ModelCST, prog.Name); err != nil {
+		return nil, fmt.Errorf("model: cst measurement: %w", err)
+	}
 	cstStart := tel.Now()
 
 	// Step 4: CST measurement for every node of the attack-relevant

@@ -1,0 +1,67 @@
+package panicsafe
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestDoPassesThroughNilAndErrors(t *testing.T) {
+	if err := Do(func() error { return nil }); err != nil {
+		t.Fatalf("nil fn: got %v", err)
+	}
+	want := errors.New("boom")
+	if err := Do(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("error fn: got %v, want %v", err, want)
+	}
+}
+
+func TestDoRecoversPanic(t *testing.T) {
+	err := Do(func() error { panic("kaboom") })
+	pe, ok := AsPanic(err)
+	if !ok {
+		t.Fatalf("got %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "kaboom" {
+		t.Fatalf("panic value = %v, want kaboom", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "panicsafe") {
+		t.Fatalf("stack not captured: %q", pe.Stack)
+	}
+	if got := pe.Error(); !strings.Contains(got, "kaboom") {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestAsPanicUnwrapsWrappedChains(t *testing.T) {
+	inner := Do(func() error { panic(42) })
+	wrapped := fmt.Errorf("stage scan: %w", inner)
+	pe, ok := AsPanic(wrapped)
+	if !ok || pe.Value != 42 {
+		t.Fatalf("AsPanic(%v) = %v, %v", wrapped, pe, ok)
+	}
+	if _, ok := AsPanic(errors.New("plain")); ok {
+		t.Fatal("plain error reported as panic")
+	}
+	if _, ok := AsPanic(nil); ok {
+		t.Fatal("nil error reported as panic")
+	}
+}
+
+func TestRepanic(t *testing.T) {
+	plain := errors.New("plain")
+	if got := Repanic(plain); got != plain {
+		t.Fatalf("Repanic(plain) = %v", got)
+	}
+	if got := Repanic(nil); got != nil {
+		t.Fatalf("Repanic(nil) = %v", got)
+	}
+	defer func() {
+		if r := recover(); r != "again" {
+			t.Fatalf("recovered %v, want again", r)
+		}
+	}()
+	Repanic(Do(func() error { panic("again") }))
+	t.Fatal("Repanic did not panic")
+}

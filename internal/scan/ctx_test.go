@@ -1,0 +1,159 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/model"
+	"repro/internal/panicsafe"
+	"repro/internal/telemetry"
+)
+
+// testModels draws a deterministic corpus of n non-empty models from
+// the shared random-BBS vocabulary.
+func testModels(t *testing.T, n int) []*model.CSTBBS {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)*31 + 7))
+	out := make([]*model.CSTBBS, n)
+	for i := range out {
+		for {
+			if b := randomBBS(rng, 8); b.Len() > 0 {
+				out[i] = b
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestScanBatchCtxBackgroundMatchesScanBatch: the context plumbing must
+// not change a single score on the background-context fast path.
+func TestScanBatchCtxBackgroundMatchesScanBatch(t *testing.T) {
+	models := testModels(t, 6)
+	targets := testModels(t, 3)
+	for _, prune := range []bool{false, true} {
+		e := New(models, Config{Workers: 4, Prune: prune})
+		got, err := e.ScanBatchCtx(context.Background(), targets)
+		if err != nil {
+			t.Fatalf("prune=%v: %v", prune, err)
+		}
+		e2 := New(models, Config{Workers: 4, Prune: prune})
+		want := e2.ScanBatch(targets)
+		if !prune && !reflect.DeepEqual(got, want) {
+			t.Errorf("prune=%v: ctx and non-ctx results differ", prune)
+		}
+		// Pruned runs are scheduling-dependent in which entries get
+		// skipped; the best match must still agree.
+		for ti := range got {
+			if bi, bw := bestOf(got[ti]), bestOf(want[ti]); bi.Index != bw.Index || bi.Score != bw.Score {
+				t.Errorf("prune=%v target %d: best %+v vs %+v", prune, ti, bi, bw)
+			}
+		}
+	}
+}
+
+func bestOf(ms []Match) Match {
+	best := ms[0]
+	for _, m := range ms[1:] {
+		if m.Score > best.Score || (m.Score == best.Score && m.Index < best.Index) {
+			best = m
+		}
+	}
+	return best
+}
+
+func TestScanCtxCancelledBeforeStart(t *testing.T) {
+	e := New(testModels(t, 4), Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ScanCtx(ctx, testModels(t, 1)[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestScanBatchCtxCancelPrompt cancels mid-scan with slowed workers and
+// asserts the call returns well within the 100ms budget.
+func TestScanBatchCtxCancelPrompt(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Enable(faultinject.ScanWorker, faultinject.Sleep(time.Millisecond))
+	e := New(testModels(t, 32), Config{Workers: 2})
+	targets := testModels(t, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.ScanBatchCtx(ctx, targets)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let workers start claiming
+	cancel()
+	start := time.Now()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if d := time.Since(start); d > 100*time.Millisecond {
+			t.Fatalf("cancel-to-return took %v, want < 100ms", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("scan did not return after cancel")
+	}
+}
+
+// TestScanWorkerPanicRecovered: a panic while scoring becomes an error
+// from the ctx API, counted in telemetry, and a re-panic from the
+// non-ctx API.
+func TestScanWorkerPanicRecovered(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Enable(faultinject.ScanWorker, faultinject.OnCall(3, faultinject.Panic("scan worker crash")))
+	tel := telemetry.NewCollector()
+	e := New(testModels(t, 8), Config{Workers: 4, Telemetry: tel})
+	_, err := e.ScanBatchCtx(context.Background(), testModels(t, 2))
+	pe, ok := panicsafe.AsPanic(err)
+	if !ok {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "scan worker crash" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if got := tel.Counter(telemetry.PanicsRecovered); got != 1 {
+		t.Errorf("panics_recovered = %d, want 1", got)
+	}
+
+	faultinject.Reset()
+	faultinject.Enable(faultinject.ScanWorker, faultinject.OnCall(1, faultinject.Panic("loud crash")))
+	func() {
+		defer func() {
+			if r := recover(); r != "loud crash" {
+				t.Errorf("ScanBatch recovered %v, want loud crash", r)
+			}
+		}()
+		e.ScanBatch(testModels(t, 1))
+		t.Error("ScanBatch did not re-panic")
+	}()
+}
+
+// TestScanBatchCtxSerialPathCancelAndPanic covers the workers<=1 inline
+// path of the same contract.
+func TestScanBatchCtxSerialPathCancelAndPanic(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	e := New(testModels(t, 8), Config{Workers: 1})
+
+	faultinject.Enable(faultinject.ScanWorker, faultinject.OnCall(2, faultinject.Panic("serial crash")))
+	_, err := e.ScanBatchCtx(context.Background(), testModels(t, 1))
+	if _, ok := panicsafe.AsPanic(err); !ok {
+		t.Fatalf("serial panic: err = %v, want *PanicError", err)
+	}
+
+	faultinject.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ScanBatchCtx(ctx, testModels(t, 1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial cancel: err = %v, want context.Canceled", err)
+	}
+}

@@ -34,6 +34,7 @@
 package scan
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -41,7 +42,9 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dtw"
+	"repro/internal/faultinject"
 	"repro/internal/model"
+	"repro/internal/panicsafe"
 	"repro/internal/similarity"
 	"repro/internal/telemetry"
 )
@@ -146,6 +149,19 @@ func (e *Engine) Scan(bbs *model.CSTBBS) []Match {
 	return e.ScanBatch([]*model.CSTBBS{bbs})[0]
 }
 
+// ScanCtx is Scan with cooperative cancellation: workers observe ctx
+// between work items, so a cancelled or expired context returns
+// promptly with its error and the partial matches are discarded. A
+// panic while scoring is recovered and returned as a *panicsafe.
+// PanicError instead of crashing the process.
+func (e *Engine) ScanCtx(ctx context.Context, bbs *model.CSTBBS) ([]Match, error) {
+	rs, err := e.ScanBatchCtx(ctx, []*model.CSTBBS{bbs})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
 // ScanSerial is the reference implementation the engine is verified
 // against: the pre-engine serial loop calling similarity.Score per
 // entry, with no parallelism, memoization or pruning.
@@ -159,8 +175,30 @@ func (e *Engine) ScanSerial(bbs *model.CSTBBS) []Match {
 
 // ScanBatch scores many targets in one worker-pool pass, sharing the
 // pool across all (target, entry) pairs so small targets cannot strand
-// workers. results[t][i] is target t against entry i.
+// workers. results[t][i] is target t against entry i. A panic while
+// scoring re-raises in the calling goroutine (the loud contract of the
+// non-context API); use ScanBatchCtx to receive it as an error instead.
 func (e *Engine) ScanBatch(targets []*model.CSTBBS) [][]Match {
+	rs, err := e.ScanBatchCtx(context.Background(), targets)
+	if err != nil {
+		// Background contexts never cancel, so the error is a recovered
+		// worker panic (re-raised with its original value) or an
+		// injected test fault; either way this API has no error path.
+		_ = panicsafe.Repanic(err)
+		panic(err)
+	}
+	return rs
+}
+
+// ScanBatchCtx is ScanBatch with cooperative cancellation and panic
+// isolation. Workers observe ctx between (target, entry) work items —
+// the items are microsecond-scale, so cancellation and deadline expiry
+// return promptly — and every scoring runs under panic recovery: the
+// first recovered panic (or injected worker fault) stops the batch and
+// comes back as the error, counted under telemetry's panics_recovered.
+// On a non-nil error the returned matches are incomplete and must be
+// discarded.
+func (e *Engine) ScanBatchCtx(ctx context.Context, targets []*model.CSTBBS) ([][]Match, error) {
 	tel := e.cfg.Telemetry
 	scanStart := tel.Now()
 	defer tel.ObserveSince(telemetry.StageScan, scanStart)
@@ -173,6 +211,9 @@ func (e *Engine) ScanBatch(targets []*model.CSTBBS) [][]Match {
 	bestBits := make([]uint64, len(targets))
 	inf := math.Float64bits(math.Inf(1))
 	for ti, bbs := range targets {
+		if err := ctx.Err(); err != nil {
+			return results, err
+		}
 		results[ti] = make([]Match, nE)
 		ts[ti] = e.newTarget(bbs)
 		bestBits[ti] = inf
@@ -193,7 +234,7 @@ func (e *Engine) ScanBatch(targets []*model.CSTBBS) [][]Match {
 	}
 	total := len(targets) * nE
 	if total == 0 {
-		return results
+		return results, ctx.Err()
 	}
 	entryAt := func(ti, k int) int {
 		if orders[ti] != nil {
@@ -201,9 +242,31 @@ func (e *Engine) ScanBatch(targets []*model.CSTBBS) [][]Match {
 		}
 		return k
 	}
-	run := func(k int) {
+	run := func(k int) error {
+		if err := faultinject.Fire(faultinject.ScanWorker, ""); err != nil {
+			return err
+		}
 		ti, ei := k/nE, entryAt(k/nE, k%nE)
 		results[ti][ei] = e.scoreOne(ts[ti], ei, bounds[ti], &bestBits[ti])
+		return nil
+	}
+	// First failure (recovered panic or injected fault) stops the
+	// batch: stop flags the claim loops, failOnce keeps the error.
+	var (
+		stop     atomic.Bool
+		failOnce sync.Once
+		failErr  error
+	)
+	runSafe := func(k int) {
+		err := panicsafe.Do(func() error { return run(k) })
+		if err == nil {
+			return
+		}
+		if _, ok := panicsafe.AsPanic(err); ok {
+			tel.Inc(telemetry.PanicsRecovered)
+		}
+		failOnce.Do(func() { failErr = err })
+		stop.Store(true)
 	}
 	workers := e.cfg.Workers
 	if workers <= 0 {
@@ -214,9 +277,15 @@ func (e *Engine) ScanBatch(targets []*model.CSTBBS) [][]Match {
 	}
 	if workers <= 1 {
 		for k := 0; k < total; k++ {
-			run(k)
+			if stop.Load() {
+				break
+			}
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
+			runSafe(k)
 		}
-		return results
+		return results, failErr
 	}
 	var next int64 = -1
 	var wg sync.WaitGroup
@@ -225,16 +294,22 @@ func (e *Engine) ScanBatch(targets []*model.CSTBBS) [][]Match {
 		go func() {
 			defer wg.Done()
 			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
 				k := atomic.AddInt64(&next, 1)
 				if k >= int64(total) {
 					return
 				}
-				run(int(k))
+				runSafe(int(k))
 			}
 		}()
 	}
 	wg.Wait()
-	return results
+	if failErr != nil {
+		return results, failErr
+	}
+	return results, ctx.Err()
 }
 
 // scoreOne scores a single (target, entry) pair, consulting and

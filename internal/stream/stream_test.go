@@ -1,0 +1,399 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/attacks"
+	"repro/internal/detect"
+	"repro/internal/faultinject"
+	"repro/internal/model"
+	"repro/internal/panicsafe"
+	"repro/internal/telemetry"
+)
+
+// The fixtures run the simulator, so they are built once and shared.
+var (
+	sharedRepo *detect.Repository
+	sharedPoC  attacks.PoC
+	sharedBBS  *model.CSTBBS
+)
+
+func fixtures(t *testing.T) (*detect.Repository, attacks.PoC, *model.CSTBBS) {
+	t.Helper()
+	if sharedRepo != nil {
+		return sharedRepo, sharedPoC, sharedBBS
+	}
+	p := attacks.DefaultParams()
+	pocs := []attacks.PoC{
+		attacks.FlushReloadIAIK(p),
+		attacks.PrimeProbeIAIK(p),
+		attacks.SpectreFRIdea(p),
+		attacks.SpectrePPTrippel(p),
+	}
+	r, err := detect.BuildRepository(pocs, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	poc := attacks.FlushReloadMastik(p)
+	m, err := model.Build(poc.Program, poc.Victim, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedRepo, sharedPoC, sharedBBS = r, poc, m.BBS
+	return sharedRepo, sharedPoC, sharedBBS
+}
+
+func newDetector(t *testing.T) *detect.Detector {
+	t.Helper()
+	r, _, _ := fixtures(t)
+	d := detect.NewDetector(r)
+	d.Telemetry = telemetry.NewCollector()
+	return d
+}
+
+// checkNoLeak asserts the goroutine count returns to its before level
+// (exiting goroutines need a moment to unwind).
+func checkNoLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func drain(out <-chan Result) []Result {
+	var rs []Result
+	for r := range out {
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+func TestStreamMatchesDirectClassification(t *testing.T) {
+	d := newDetector(t)
+	_, poc, bbs := fixtures(t)
+	want := d.ClassifyBBS(bbs)
+	wantProg, _, err := d.Classify(poc.Program, poc.Victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	in := make(chan Target, 4)
+	in <- Target{ID: "prog", Program: poc.Program, Victim: poc.Victim}
+	in <- Target{ID: "prebuilt", BBS: bbs}
+	in <- Target{BBS: bbs} // unnamed: falls back to the model name
+	close(in)
+	results := drain(Classify(context.Background(), d, in, Config{}))
+	checkNoLeak(t, before)
+
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	byID := make(map[string]Result)
+	seqs := make(map[int]bool)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: unexpected error %v", r.ID, r.Err)
+		}
+		byID[r.ID] = r
+		if seqs[r.Seq] {
+			t.Fatalf("duplicate seq %d", r.Seq)
+		}
+		seqs[r.Seq] = true
+	}
+	if byID["prebuilt"].Verdict.Predicted != want.Predicted ||
+		byID["prebuilt"].Verdict.Best.Name != want.Best.Name {
+		t.Errorf("prebuilt verdict %+v, want %+v", byID["prebuilt"].Verdict.Best, want.Best)
+	}
+	if byID["prog"].Verdict.Predicted != wantProg.Predicted ||
+		byID["prog"].Verdict.Best.Name != wantProg.Best.Name {
+		t.Errorf("prog verdict %+v, want %+v", byID["prog"].Verdict.Best, wantProg.Best)
+	}
+	if byID["prog"].Model == nil {
+		t.Error("prog result missing built model")
+	}
+	if _, ok := byID[bbs.Name]; !ok {
+		t.Errorf("unnamed target did not fall back to model name %q", bbs.Name)
+	}
+	if got := d.Telemetry.Counter(telemetry.StreamTargets); got != 3 {
+		t.Errorf("stream_targets = %d, want 3", got)
+	}
+}
+
+// TestStreamPanicIsolation is the headline robustness property: a
+// fault-injected panic in one target of a 16-target stream yields an
+// error result for that target, correct verdicts for the other 15, and
+// no goroutine leak.
+func TestStreamPanicIsolation(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	d := newDetector(t)
+	_, _, bbs := fixtures(t)
+	want := d.ClassifyBBS(bbs)
+
+	faultinject.Enable(faultinject.StreamModel, faultinject.Match("t07", faultinject.Panic("injected model panic")))
+
+	before := runtime.NumGoroutine()
+	in := make(chan Target, 16)
+	for i := 0; i < 16; i++ {
+		id := fmt.Sprintf("t%02d", i)
+		if i == 7 {
+			// The faulty target takes the modeling path, where the
+			// failpoint panics.
+			_, poc, _ := fixtures(t)
+			in <- Target{ID: id, Program: poc.Program, Victim: poc.Victim}
+			continue
+		}
+		in <- Target{ID: id, BBS: bbs}
+	}
+	close(in)
+	results := drain(Classify(context.Background(), d, in, Config{ModelWorkers: 4, Queue: 2}))
+	checkNoLeak(t, before)
+
+	if len(results) != 16 {
+		t.Fatalf("results = %d, want 16", len(results))
+	}
+	var failed int
+	for _, r := range results {
+		if r.ID == "t07" {
+			failed++
+			pe, ok := panicsafe.AsPanic(r.Err)
+			if !ok {
+				t.Fatalf("t07: err = %v, want *PanicError", r.Err)
+			}
+			if pe.Value != "injected model panic" {
+				t.Errorf("t07 panic value = %v", pe.Value)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("%s: collateral error %v", r.ID, r.Err)
+			continue
+		}
+		if r.Verdict.Predicted != want.Predicted || r.Verdict.Best.Name != want.Best.Name {
+			t.Errorf("%s: verdict %s/%s, want %s/%s", r.ID,
+				r.Verdict.Predicted, r.Verdict.Best.Name, want.Predicted, want.Best.Name)
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("error results = %d, want exactly 1", failed)
+	}
+	if got := d.Telemetry.Counter(telemetry.PanicsRecovered); got != 1 {
+		t.Errorf("panics_recovered = %d, want 1", got)
+	}
+	if got := d.Telemetry.Counter(telemetry.StreamErrorResults); got != 1 {
+		t.Errorf("stream_error_results = %d, want 1", got)
+	}
+}
+
+// TestStreamScanPanicIsolation injects the panic below the scan stage
+// instead of the modeling stage.
+func TestStreamScanPanicIsolation(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	d := newDetector(t)
+	_, _, bbs := fixtures(t)
+
+	faultinject.Enable(faultinject.StreamScan, faultinject.Match("bad", faultinject.Panic("injected scan panic")))
+
+	before := runtime.NumGoroutine()
+	in := make(chan Target, 4)
+	in <- Target{ID: "ok-1", BBS: bbs}
+	in <- Target{ID: "bad", BBS: bbs}
+	in <- Target{ID: "ok-2", BBS: bbs}
+	close(in)
+	results := drain(Classify(context.Background(), d, in, Config{}))
+	checkNoLeak(t, before)
+
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.ID == "bad" {
+			if _, ok := panicsafe.AsPanic(r.Err); !ok {
+				t.Fatalf("bad: err = %v, want *PanicError", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("%s: collateral error %v", r.ID, r.Err)
+		}
+	}
+}
+
+// TestStreamInjectedCSTError drives the "error in CST measurement"
+// failpoint through the stream: an ordinary error (not a panic) in one
+// target's modeling isolates the same way.
+func TestStreamInjectedCSTError(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	d := newDetector(t)
+	_, poc, bbs := fixtures(t)
+
+	sentinel := errors.New("cst measurement failed")
+	faultinject.Enable(faultinject.ModelCST, faultinject.Match(poc.Program.Name, faultinject.Error(sentinel)))
+
+	in := make(chan Target, 3)
+	in <- Target{ID: "faulty", Program: poc.Program, Victim: poc.Victim}
+	in <- Target{ID: "fine", BBS: bbs}
+	close(in)
+	results := drain(Classify(context.Background(), d, in, Config{}))
+
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	for _, r := range results {
+		switch r.ID {
+		case "faulty":
+			if !errors.Is(r.Err, sentinel) {
+				t.Errorf("faulty: err = %v, want %v", r.Err, sentinel)
+			}
+			if _, ok := panicsafe.AsPanic(r.Err); ok {
+				t.Errorf("faulty: plain error misreported as panic")
+			}
+		case "fine":
+			if r.Err != nil {
+				t.Errorf("fine: %v", r.Err)
+			}
+		}
+	}
+	if got := d.Telemetry.Counter(telemetry.PanicsRecovered); got != 0 {
+		t.Errorf("panics_recovered = %d, want 0 (no panic occurred)", got)
+	}
+}
+
+// TestStreamCancellation cancels mid-stream with a slow scan worker
+// injected and asserts prompt shutdown, error results for accepted
+// in-flight targets, an unconsumed input remainder, and no leak.
+func TestStreamCancellation(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	d := newDetector(t)
+	_, _, bbs := fixtures(t)
+
+	faultinject.Enable(faultinject.ScanWorker, faultinject.Sleep(2*time.Millisecond))
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	const total = 64
+	in := make(chan Target, total)
+	for i := 0; i < total; i++ {
+		in <- Target{ID: fmt.Sprintf("t%02d", i), BBS: bbs}
+	}
+	close(in)
+
+	out := Classify(ctx, d, in, Config{ModelWorkers: 2, Queue: 2})
+	first := <-out
+	if first.Err != nil {
+		t.Fatalf("first result errored before cancel: %v", first.Err)
+	}
+	cancel()
+	start := time.Now()
+	rest := drain(out)
+	elapsed := time.Since(start)
+	checkNoLeak(t, before)
+
+	// Prompt: the only residual work after cancel is the in-flight
+	// items (bounded by workers+queues), each aborting at its next
+	// ctx check.
+	if elapsed > time.Second {
+		t.Errorf("drain after cancel took %v", elapsed)
+	}
+	if got := len(rest) + 1; got == total {
+		t.Errorf("all %d targets resolved; cancellation consumed the whole input", total)
+	}
+	if len(in) == 0 {
+		t.Error("input fully drained after cancel")
+	}
+	var ctxErrs int
+	for _, r := range rest {
+		if r.Err != nil {
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Errorf("%s: err = %v, want context.Canceled in chain", r.ID, r.Err)
+			}
+			ctxErrs++
+		}
+	}
+	if ctxErrs == 0 {
+		t.Error("no in-flight target resolved to a cancellation error")
+	}
+}
+
+// TestStreamBackpressure verifies the bounded-queue contract: with the
+// consumer stalled, the pipeline stops consuming input once its
+// internal capacity (ModelWorkers + 2·Queue + 2) is full.
+func TestStreamBackpressure(t *testing.T) {
+	d := newDetector(t)
+	_, _, bbs := fixtures(t)
+
+	cfg := Config{ModelWorkers: 1, Queue: 1}
+	bound := cfg.ModelWorkers + 2*cfg.Queue + 2
+	const total = 32
+	in := make(chan Target, total)
+	for i := 0; i < total; i++ {
+		in <- Target{ID: fmt.Sprintf("t%02d", i), BBS: bbs}
+	}
+	close(in)
+
+	out := Classify(context.Background(), d, in, cfg)
+	// Let the pipeline run until it saturates against the unread out.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && total-len(in) < bound {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // would overconsume if unbounded
+	if consumed := total - len(in); consumed > bound {
+		t.Errorf("consumed %d targets with stalled consumer, bound %d", consumed, bound)
+	}
+	// Release the consumer; everything must still resolve exactly once.
+	results := drain(out)
+	if len(results) != total {
+		t.Fatalf("results = %d, want %d", len(results), total)
+	}
+}
+
+// TestStreamTargetTimeout gives every target an impossible deadline.
+func TestStreamTargetTimeout(t *testing.T) {
+	d := newDetector(t)
+	_, poc, _ := fixtures(t)
+
+	in := make(chan Target, 2)
+	in <- Target{ID: "a", Program: poc.Program, Victim: poc.Victim}
+	in <- Target{ID: "b", Program: poc.Program, Victim: poc.Victim}
+	close(in)
+	results := drain(Classify(context.Background(), d, in, Config{TargetTimeout: time.Nanosecond}))
+
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want DeadlineExceeded", r.ID, r.Err)
+		}
+	}
+	if got := d.Telemetry.Counter(telemetry.StreamErrorResults); got != 2 {
+		t.Errorf("stream_error_results = %d, want 2", got)
+	}
+}
+
+func TestStreamEmptyInput(t *testing.T) {
+	d := newDetector(t)
+	before := runtime.NumGoroutine()
+	in := make(chan Target)
+	close(in)
+	if results := drain(Classify(context.Background(), d, in, Config{})); len(results) != 0 {
+		t.Fatalf("results = %d, want 0", len(results))
+	}
+	checkNoLeak(t, before)
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition
+// format version this package renders.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format, so the telemetry endpoint can be scraped directly:
+//
+//   - counters become scaguard_<name>_total counter families
+//   - gauge sources become scaguard_<source>_<key> gauges
+//   - derived rates become scaguard_<rate> gauges
+//   - stage latencies become one scaguard_stage_duration_seconds
+//     histogram family with a stage label; the internal log2-microsecond
+//     buckets are exposed as cumulative le buckets in seconds (the
+//     native exclusive upper bound is presented as Prometheus's
+//     inclusive le — off by at most one observation per bucket edge)
+//
+// Output is deterministically ordered for diffable scrapes.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		metric := "scaguard_" + sanitizeMetric(n) + "_total"
+		if err := writef(w, "# TYPE %s counter\n%s %d\n", metric, metric, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	sources := make([]string, 0, len(s.Gauges))
+	for src := range s.Gauges {
+		sources = append(sources, src)
+	}
+	sort.Strings(sources)
+	for _, src := range sources {
+		keys := make([]string, 0, len(s.Gauges[src]))
+		for k := range s.Gauges[src] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			metric := "scaguard_" + sanitizeMetric(src) + "_" + sanitizeMetric(k)
+			if err := writef(w, "# TYPE %s gauge\n%s %d\n", metric, metric, s.Gauges[src][k]); err != nil {
+				return err
+			}
+		}
+	}
+
+	rates := []struct {
+		name  string
+		value float64
+	}{
+		{"scaguard_prune_rate", s.Derived.PruneRate},
+		{"scaguard_lb_skip_rate", s.Derived.LowerBoundSkipRate},
+		{"scaguard_abandon_rate", s.Derived.AbandonRate},
+		{"scaguard_cache_block_hit_rate", s.Derived.CacheBlockHitRate},
+		{"scaguard_cache_pair_hit_rate", s.Derived.CachePairHitRate},
+	}
+	for _, r := range rates {
+		if err := writef(w, "# TYPE %s gauge\n%s %s\n", r.name, r.name, formatFloat(r.value)); err != nil {
+			return err
+		}
+	}
+
+	stages := make([]string, 0, len(s.Stages))
+	for n := range s.Stages {
+		stages = append(stages, n)
+	}
+	sort.Strings(stages)
+	const hist = "scaguard_stage_duration_seconds"
+	if err := writef(w, "# TYPE %s histogram\n", hist); err != nil {
+		return err
+	}
+	for _, n := range stages {
+		st := s.Stages[n]
+		label := sanitizeLabel(n)
+		// Buckets arrive non-cumulative, sorted ascending with the
+		// catch-all (UpperMicros 0) last; accumulate into le form.
+		cum := uint64(0)
+		for _, b := range st.Buckets {
+			if b.UpperMicros == 0 {
+				continue // folded into +Inf below
+			}
+			cum += b.Count
+			le := formatFloat(float64(b.UpperMicros) / 1e6)
+			if err := writef(w, "%s_bucket{stage=%q,le=%q} %d\n", hist, label, le, cum); err != nil {
+				return err
+			}
+		}
+		if err := writef(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", hist, label, st.Count); err != nil {
+			return err
+		}
+		if err := writef(w, "%s_sum{stage=%q} %s\n", hist, label, formatFloat(st.Total.Seconds())); err != nil {
+			return err
+		}
+		if err := writef(w, "%s_count{stage=%q} %d\n", hist, label, st.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prometheus returns WritePrometheus's output as a string.
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	_ = s.WritePrometheus(&b)
+	return b.String()
+}
+
+func writef(w io.Writer, format string, args ...any) error {
+	_, err := fmt.Fprintf(w, format, args...)
+	return err
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip decimal notation.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// sanitizeMetric maps an internal name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:]. Internal names are snake_case already; this
+// is a safety net for gauge sources registered by callers.
+func sanitizeMetric(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// sanitizeLabel strips characters that would need escaping inside a
+// quoted label value.
+func sanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '"', '\\', '\n':
+			return '_'
+		}
+		return r
+	}, s)
+}

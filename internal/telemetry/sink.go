@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 )
 
@@ -44,15 +45,35 @@ type ExpvarSink struct {
 	last Snapshot
 }
 
-// NewExpvarSink publishes a sink under name. expvar panics on duplicate
-// names, so publish each name once per process.
+// expvarSinks tracks names this package has already published, because
+// expvar.Publish panics on duplicates and offers no unpublish. Repeat
+// calls for the same name get the original sink back instead of a
+// process crash (long-lived daemons re-run setup paths; tests register
+// the same name across cases).
+var (
+	expvarMu    sync.Mutex
+	expvarSinks = map[string]*ExpvarSink{}
+)
+
+// NewExpvarSink publishes a sink under name, or returns the sink
+// already published under that name. A name previously published by
+// other code (not via this constructor) cannot be taken over; in that
+// case the returned sink is live but unpublished.
 func NewExpvarSink(name string) *ExpvarSink {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if s, ok := expvarSinks[name]; ok {
+		return s
+	}
 	s := &ExpvarSink{}
-	expvar.Publish(name, expvar.Func(func() any {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.last
-	}))
+	expvarSinks[name] = s
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, expvar.Func(func() any {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.last
+		}))
+	}
 	return s
 }
 
@@ -63,15 +84,38 @@ func (s *ExpvarSink) Emit(snap Snapshot) {
 	s.mu.Unlock()
 }
 
-// Handler serves the collector's current snapshot as JSON. The snapshot
-// is taken per request, so it is always live — no Flush needed.
+// Handler serves the collector's current snapshot. The snapshot is
+// taken per request, so it is always live — no Flush needed.
+//
+// The default representation is indented JSON. Prometheus text
+// exposition is selected by content negotiation — an Accept header
+// naming text/plain or application/openmetrics-text (what a Prometheus
+// scraper sends) — or explicitly with ?format=prometheus.
 func Handler(c *Collector) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", PrometheusContentType)
+			_ = c.Snapshot().WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(c.Snapshot())
 	})
+}
+
+// wantsPrometheus implements the handler's format selection.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }
 
 // Serve starts an HTTP server on addr exposing the live JSON snapshot

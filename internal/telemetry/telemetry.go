@@ -71,6 +71,19 @@ const (
 	DetectEngineReuses
 	// ModelBuilds counts behavior models built.
 	ModelBuilds
+	// PanicsRecovered counts panics caught at pipeline goroutine
+	// boundaries (scan workers, batch workers, stream stages) and
+	// converted into error results instead of crashing the process.
+	PanicsRecovered
+	// DetectCancellations counts classifications aborted by context
+	// cancellation or deadline expiry.
+	DetectCancellations
+	// StreamTargets counts targets entering the streaming pipeline.
+	StreamTargets
+	// StreamErrorResults counts stream targets that resolved to an
+	// error result (panic, injected fault, cancellation) rather than a
+	// verdict.
+	StreamErrorResults
 
 	numCounters
 )
@@ -86,6 +99,10 @@ var counterNames = [numCounters]string{
 	DetectEngineRebuilds:         "detect_engine_rebuilds",
 	DetectEngineReuses:           "detect_engine_reuses",
 	ModelBuilds:                  "model_builds",
+	PanicsRecovered:              "panics_recovered",
+	DetectCancellations:          "detect_cancellations",
+	StreamTargets:                "stream_targets",
+	StreamErrorResults:           "stream_error_results",
 }
 
 // String returns the counter's snapshot/export name.
@@ -109,16 +126,21 @@ const (
 	StageBBExtract
 	StageCST
 	StageScan
+	// StageStreamTarget is one target's end-to-end latency through the
+	// streaming pipeline: intake to emitted result, modeling and scan
+	// included.
+	StageStreamTarget
 
 	numStages
 )
 
 var stageNames = [numStages]string{
-	StageModel:     "model_build",
-	StageTrace:     "model_trace",
-	StageBBExtract: "model_bb_extract",
-	StageCST:       "model_cst_sim",
-	StageScan:      "scan",
+	StageModel:        "model_build",
+	StageTrace:        "model_trace",
+	StageBBExtract:    "model_bb_extract",
+	StageCST:          "model_cst_sim",
+	StageScan:         "scan",
+	StageStreamTarget: "stream_target",
 }
 
 // String returns the stage's snapshot/export name.

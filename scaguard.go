@@ -20,6 +20,7 @@
 package scaguard
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -30,8 +31,10 @@ import (
 	"repro/internal/isa"
 	"repro/internal/model"
 	"repro/internal/mutate"
+	"repro/internal/panicsafe"
 	"repro/internal/scan"
 	"repro/internal/similarity"
+	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
 
@@ -218,6 +221,35 @@ func NewDetectorFromRepository(repo *Repository) *Detector {
 //
 //	prog, _ := scaguard.ParseProgram("mine", src)
 //	res, _, _ := det.Classify(prog, nil)
+//
+// Input is resource-limited; oversized programs fail with an
+// *isa.LimitError before any memory is committed.
 func ParseProgram(name, src string) (*Program, error) {
 	return isa.Parse(name, src)
 }
+
+// Streaming classification (internal/stream): targets arrive on a
+// channel and one StreamResult per target comes back as it resolves,
+// with per-target fault isolation — a panic or error in one target
+// becomes an error result while the rest classify normally. See
+// docs/ROBUSTNESS.md for the full contract (cancellation, backpressure,
+// the drain obligation).
+type (
+	StreamTarget = stream.Target
+	StreamResult = stream.Result
+	StreamConfig = stream.Config
+)
+
+// ClassifyStream runs the detector's streaming pipeline over in until
+// in closes or ctx is cancelled. The caller must drain the returned
+// channel until it closes.
+func ClassifyStream(ctx context.Context, det *Detector, in <-chan StreamTarget, cfg StreamConfig) <-chan StreamResult {
+	return stream.Classify(ctx, det, in, cfg)
+}
+
+// PanicError re-exports the recovered-panic error carried by ctx-aware
+// APIs and stream results; detect it with errors.As or AsPanicError.
+type PanicError = panicsafe.PanicError
+
+// AsPanicError unwraps err to a *PanicError when one is in its chain.
+func AsPanicError(err error) (*PanicError, bool) { return panicsafe.AsPanic(err) }
