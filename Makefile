@@ -7,7 +7,7 @@ GO ?= go
 # cancellation and backpressure, where a bug means "stuck forever").
 TEST_TIMEOUT ?= 5m
 
-.PHONY: all build test race vet bench fuzz-short faults cover ci
+.PHONY: all build test race vet bench bench-shard shard-smoke fuzz-short faults cover ci
 
 all: build
 
@@ -18,9 +18,10 @@ test:
 	$(GO) test -timeout $(TEST_TIMEOUT) ./...
 
 # Race pass over the concurrent packages (the scan engine, the
-# detector/repository wiring and the streaming pipeline).
+# detector/repository wiring, the streaming pipeline and the shard
+# scatter–gather layer).
 race:
-	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/detect ./internal/scan ./internal/stream
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/detect ./internal/scan ./internal/stream ./internal/shard
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +32,18 @@ vet:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkRepositoryScan|DetectionCost|SimilarityDTW' -benchmem .
 
+# Sharded-scan throughput: one engine vs 1/2/4/8 local shards, exact
+# and pruned. On a multi-core machine pruned sharded scans should meet
+# or beat the single shard; see docs/PERFORMANCE.md.
+bench-shard:
+	$(GO) test -run xxx -bench BenchmarkShardedScan -benchmem ./internal/shard
+
+# End-to-end shard deployment smoke: two shard-serve processes on
+# loopback, a partition handshake, then a remote sharded classify whose
+# verdict must match the single-engine run.
+shard-smoke:
+	./scripts/shard-smoke.sh
+
 # Short fuzzing pass over the assembler parser: ten seconds of
 # coverage-guided input plus the checked-in seed corpus. Crashers land
 # in internal/isa/testdata/fuzz/ as regression inputs.
@@ -39,15 +52,16 @@ fuzz-short:
 
 # Fault-injection suite under the race detector: panic isolation,
 # cancellation promptness and leak freedom across the scan engine, the
-# detector and the streaming pipeline (docs/ROBUSTNESS.md).
+# detector, the streaming pipeline and the shard layer
+# (docs/ROBUSTNESS.md).
 faults:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) \
-		-run 'Panic|Cancel|Fault|Inject|Stream|Timeout|Limit' \
-		./internal/faultinject ./internal/panicsafe ./internal/scan ./internal/detect ./internal/stream ./internal/isa
+		-run 'Panic|Cancel|Fault|Inject|Stream|Timeout|Limit|Shard|Retry|Partial' \
+		./internal/faultinject ./internal/panicsafe ./internal/scan ./internal/detect ./internal/stream ./internal/isa ./internal/shard ./internal/retry
 
 # Coverage over every package, with the per-function summary printed.
 cover:
 	$(GO) test -coverprofile=coverage.out -timeout $(TEST_TIMEOUT) ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: build vet test race faults fuzz-short cover
+ci: build vet test race faults shard-smoke fuzz-short cover

@@ -14,6 +14,9 @@
 //	scaguard classify -target FR-Mastik -fast -stats
 //	scaguard classify -target FR-Mastik -metrics-addr :8080
 //	scaguard classify -target FR-Mastik -timeout 2s
+//	scaguard classify -target ER-IAIK -shards 4
+//	scaguard shard-serve -shards 2 -index 0 -addr :9101
+//	scaguard classify -target ER-IAIK -shard-addrs 127.0.0.1:9101,127.0.0.1:9102
 //	printf 'attack:FR-IAIK\nbenign:crypto/aes-ttable/7\n' | scaguard classify -stream
 package main
 
@@ -27,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	scaguard "repro"
 )
@@ -48,6 +52,8 @@ func main() {
 		err = cmdClassify(os.Args[2:])
 	case "repo-save":
 		err = cmdRepoSave(os.Args[2:])
+	case "shard-serve":
+		err = cmdShardServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -62,11 +68,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: scaguard <command> [flags]
 
 commands:
-  list       list canonical attack PoCs and benign templates
-  model      build and summarize the behavior model of a program
-  compare    similarity score between two programs' models
-  classify   classify a target against the default repository
-  repo-save  build the default repository and write it as JSON`)
+  list         list canonical attack PoCs and benign templates
+  model        build and summarize the behavior model of a program
+  compare      similarity score between two programs' models
+  classify     classify a target against the default repository
+  repo-save    build the default repository and write it as JSON
+  shard-serve  host one shard of the repository over HTTP for
+               classify -shard-addrs clients (see docs/SHARDING.md)`)
 }
 
 func cmdList() error {
@@ -310,31 +318,36 @@ func cmdClassify(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve the live telemetry snapshot over HTTP on this address (e.g. :8080); JSON by default, Prometheus text via Accept or ?format=prometheus; blocks after the run until interrupted")
 	timeout := fs.Duration("timeout", 0, "per-classification deadline covering modeling and scanning (e.g. 500ms); 0 = none")
 	streamMode := fs.Bool("stream", false, "read target specs (attack:NAME, benign:kind/template/seed, file:PATH) line by line from stdin and classify them as a fault-isolated stream")
+	shards := fs.Int("shards", 0, "partition the repository across this many in-process scan shards (0/1 = single engine)")
+	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard-serve addresses; the repository is scanned across them instead of in process")
+	shardPolicy := fs.String("shard-policy", "hash", "shard partition policy: hash (rendezvous) or rr (round-robin); must match the servers'")
 	tf := registerTargetFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var det *scaguard.Detector
-	if *repoPath != "" {
-		f, err := os.Open(*repoPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		repo, err := scaguard.LoadRepository(f)
-		if err != nil {
-			return err
-		}
-		det = scaguard.NewDetectorFromRepository(repo)
-	} else {
-		var err error
-		det, err = scaguard.NewDetector()
-		if err != nil {
-			return err
-		}
+	det, err := loadDetector(*repoPath)
+	if err != nil {
+		return err
 	}
 	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast}
 	det.Timeout = *timeout
+	policy, err := scaguard.ParseShardPolicy(*shardPolicy)
+	if err != nil {
+		return err
+	}
+	det.Shards = *shards
+	det.ShardPolicy = policy
+	if *shardAddrs != "" {
+		det.ShardAddrs = strings.Split(*shardAddrs, ",")
+		// Handshake before classifying: every shard must be alive and
+		// hold the slice the router assigns it, else partition drift
+		// would silently misclassify.
+		for i := range det.ShardAddrs {
+			if err := scaguard.CheckShard(context.Background(), det.Repo, det.ShardAddrs, i, policy); err != nil {
+				return fmt.Errorf("shard %d (%s): %w", i, det.ShardAddrs[i], err)
+			}
+		}
+	}
 	var tel *scaguard.Telemetry
 	if *stats || *metricsAddr != "" {
 		tel = scaguard.NewTelemetry()
@@ -389,6 +402,60 @@ func cmdClassify(args []string) error {
 		<-ch
 	}
 	return nil
+}
+
+// loadDetector builds the detector from a saved repository when path is
+// set, else from the default canonical-PoC repository.
+func loadDetector(path string) (*scaguard.Detector, error) {
+	if path == "" {
+		return scaguard.NewDetector()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	repo, err := scaguard.LoadRepository(f)
+	if err != nil {
+		return nil, err
+	}
+	return scaguard.NewDetectorFromRepository(repo), nil
+}
+
+// cmdShardServe hosts one shard of the repository over HTTP: the
+// process derives the same partition every classify client derives, so
+// the only coordination needed is agreeing on -shards/-policy. Blocks
+// until interrupted.
+func cmdShardServe(args []string) error {
+	fs := flag.NewFlagSet("shard-serve", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "serve a shard of a saved repository instead of the default")
+	shards := fs.Int("shards", 1, "total number of shards in the deployment")
+	index := fs.Int("index", 0, "which shard this process serves (0-based)")
+	policyName := fs.String("policy", "hash", "shard partition policy: hash (rendezvous) or rr (round-robin)")
+	addr := fs.String("addr", ":9101", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "scan worker-pool size inside this shard (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := scaguard.ParseShardPolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	det, err := loadDetector(*repoPath)
+	if err != nil {
+		return err
+	}
+	bound, shutdown, err := scaguard.ServeShard(det.Repo, *shards, *index, policy, *addr, scaguard.ShardServerConfig{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "shard %d/%d (%s policy) serving on %s — interrupt to exit\n", *index, *shards, policy, bound)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return shutdown(ctx)
 }
 
 // runStream reads target specs from stdin incrementally and classifies

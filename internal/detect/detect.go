@@ -14,6 +14,14 @@
 // while Detector.Scan.Prune opts into early-abandoning scans that keep
 // the best match (and hence the classification) exact but may skip
 // provably losing entries. See docs/PERFORMANCE.md.
+//
+// A repository too large (or too hot) for one machine can be scanned
+// through the scatter–gather layer instead: Detector.Shards partitions
+// it across in-process shard engines, Detector.ShardAddrs across
+// remote `scaguard shard-serve` processes, behind the exact same
+// classification API — exact-mode results stay bit-identical, and
+// failing shards degrade classification to partial results rather than
+// blocking it. See docs/SHARDING.md.
 package detect
 
 import (
@@ -21,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,7 +37,9 @@ import (
 	"repro/internal/isa"
 	"repro/internal/model"
 	"repro/internal/panicsafe"
+	"repro/internal/retry"
 	"repro/internal/scan"
+	"repro/internal/shard"
 	"repro/internal/similarity"
 	"repro/internal/telemetry"
 )
@@ -187,6 +198,30 @@ type Detector struct {
 	// the engine always uses SimOpts, the repository's shared distance
 	// cache and the detector's Telemetry collector.
 	Scan scan.Config
+	// Shards, when > 1, scans the repository through the scatter–gather
+	// layer (internal/shard) over that many in-process shard engines
+	// instead of one engine. Exact-mode results stay bit-identical to
+	// the single-engine scan; pruned scans share one cutoff across
+	// shards. Ignored when ShardAddrs is set.
+	Shards int
+	// ShardAddrs lists remote shard servers ("host:port" or http://
+	// URLs, one shard per address in router order — each typically a
+	// `scaguard shard-serve` process over the same repository file).
+	// When non-empty the repository scan is scattered over them; a dead
+	// or slow shard degrades classification to the surviving shards'
+	// entries (see the partial-result notes on the classify methods)
+	// instead of hanging it.
+	ShardAddrs []string
+	// ShardPolicy selects how repository entries map to shards
+	// (default shard.PolicyHash, rendezvous hashing).
+	ShardPolicy shard.Policy
+	// ShardTimeout, when positive, bounds each shard's share of one
+	// scan; a shard that exceeds it fails that scan and the result
+	// degrades instead of waiting.
+	ShardTimeout time.Duration
+	// ShardRetry re-sends failed remote-shard RPCs (transient network
+	// errors only); the zero policy sends once.
+	ShardRetry retry.Policy
 	// Timeout, when positive, is the per-classification deadline the
 	// context-aware entry points (ClassifyCtx, ClassifyBBSCtx,
 	// ClassifyBatchCtx) apply on top of their caller's context: each
@@ -203,39 +238,60 @@ type Detector struct {
 	// classification.
 	Telemetry *telemetry.Collector
 
-	// engine cache, rebuilt when the repository or the configuration
+	// scanner cache, rebuilt when the repository or the configuration
 	// it was built under changes.
 	mu         sync.Mutex
-	eng        *scan.Engine
+	eng        repoScanner
 	engEntries []Entry
 	engVer     uint64
 	engKey     engineKey
 }
 
-// engineKey captures the configuration an engine was built under.
+// repoScanner is what classification needs from the scan layer: one
+// target or a batch, positional matches out. A single scan.Engine and
+// a shard.Coordinator both satisfy it, so the sharded repository hides
+// behind the same Classify/ClassifyBatch/Ctx API.
+type repoScanner interface {
+	ScanCtx(ctx context.Context, bbs *model.CSTBBS) ([]scan.Match, error)
+	ScanBatchCtx(ctx context.Context, targets []*model.CSTBBS) ([][]scan.Match, error)
+}
+
+// engineKey captures the configuration a scanner was built under.
 type engineKey struct {
-	workers int
-	prune   bool
-	sim     similarity.Options
-	tel     *telemetry.Collector
+	workers      int
+	prune        bool
+	sim          similarity.Options
+	tel          *telemetry.Collector
+	shards       int
+	policy       shard.Policy
+	addrs        string
+	shardTimeout time.Duration
+	shardRetry   retry.Policy
 }
 
 func (d *Detector) key() engineKey {
-	return engineKey{workers: d.Scan.Workers, prune: d.Scan.Prune, sim: d.SimOpts, tel: d.Telemetry}
+	return engineKey{
+		workers: d.Scan.Workers, prune: d.Scan.Prune, sim: d.SimOpts, tel: d.Telemetry,
+		shards: d.Shards, policy: d.ShardPolicy, addrs: strings.Join(d.ShardAddrs, ","),
+		shardTimeout: d.ShardTimeout, shardRetry: d.ShardRetry,
+	}
 }
 
-// engine returns a scan engine over the current repository snapshot,
+// sharded reports whether scans go through the scatter–gather layer.
+func (d *Detector) sharded() bool { return len(d.ShardAddrs) > 0 || d.Shards > 1 }
+
+// engine returns a scanner over the current repository snapshot,
 // rebuilding it only when the repository version or the detector
 // configuration has changed since the last call. The returned entry
-// slice is the snapshot the engine indexes into.
-func (d *Detector) engine() (*scan.Engine, []Entry) {
+// slice is the snapshot the scanner indexes into.
+func (d *Detector) engine() (repoScanner, []Entry, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	entries, ver := d.Repo.snapshot()
 	k := d.key()
 	if d.eng != nil && d.engVer == ver && d.engKey == k && len(d.engEntries) == len(entries) {
 		d.Telemetry.Inc(telemetry.DetectEngineReuses)
-		return d.eng, d.engEntries
+		return d.eng, d.engEntries, nil
 	}
 	d.Telemetry.Inc(telemetry.DetectEngineRebuilds)
 	models := make([]*model.CSTBBS, len(entries))
@@ -253,9 +309,39 @@ func (d *Detector) engine() (*scan.Engine, []Entry) {
 	d.Telemetry.RegisterGauges("repository", func() map[string]uint64 {
 		return map[string]uint64{"entries": uint64(repo.Len())}
 	})
-	d.eng = scan.New(models, cfg)
+	sc, err := d.buildScanner(models, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("detect: building sharded scanner: %w", err)
+	}
+	d.eng = sc
 	d.engEntries, d.engVer, d.engKey = entries, ver, k
-	return d.eng, d.engEntries
+	return d.eng, d.engEntries, nil
+}
+
+// buildScanner constructs the scan backend the configuration asks for:
+// a single engine (the default), a local sharded coordinator, or a
+// remote one. Sharded coordinators register their per-shard stats as
+// the "shards" telemetry gauge source.
+func (d *Detector) buildScanner(models []*model.CSTBBS, cfg scan.Config) (repoScanner, error) {
+	if !d.sharded() {
+		return scan.New(models, cfg), nil
+	}
+	ccfg := shard.Config{ShardTimeout: d.ShardTimeout, Telemetry: d.Telemetry}
+	var (
+		co  *shard.Coordinator
+		err error
+	)
+	if len(d.ShardAddrs) > 0 {
+		co, err = shard.NewRemoteCoordinator(models, d.ShardAddrs, shard.Router{Policy: d.ShardPolicy},
+			cfg, shard.RemoteConfig{Retry: d.ShardRetry, Telemetry: d.Telemetry}, ccfg)
+	} else {
+		co, err = shard.NewLocalCoordinator(models, shard.Router{Shards: d.Shards, Policy: d.ShardPolicy}, cfg, ccfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d.Telemetry.RegisterGauges("shards", co.TelemetryGauges)
+	return co, nil
 }
 
 // NewDetector returns a detector with the paper's defaults.
@@ -333,9 +419,15 @@ func (d *Detector) noteCtxErr(err error) error {
 // ClassifyBBS scores a pre-built behavior model against the repository.
 // An empty repository, like a gated-out target, yields an explicitly
 // benign result with no matches.
+//
+// On a sharded repository with failing shards this API degrades
+// silently: the result covers the surviving shards' entries and the
+// shard_degraded_scans telemetry counter records the gap. Use
+// ClassifyBBSCtx to receive the *shard.PartialError alongside the
+// partial result instead.
 func (d *Detector) ClassifyBBS(bbs *model.CSTBBS) Result {
 	res, err := d.classifyBBSCtx(context.Background(), bbs)
-	if err != nil {
+	if err != nil && !isPartial(err) {
 		// No cancellation is possible on a background context; the
 		// error is a recovered scan panic and this API's contract is to
 		// crash loudly.
@@ -345,11 +437,21 @@ func (d *Detector) ClassifyBBS(bbs *model.CSTBBS) Result {
 	return res
 }
 
+// isPartial reports whether err is a degraded-but-usable sharded scan.
+func isPartial(err error) bool {
+	var pe *shard.PartialError
+	return errors.As(err, &pe)
+}
+
 // ClassifyBBSCtx is ClassifyBBS with cooperative cancellation and panic
 // recovery: a cancelled or expired context (including the detector's
 // per-classification Timeout) aborts the scan promptly, and a panic
 // while scoring comes back as a *panicsafe.PanicError instead of
-// crashing the process. On a non-nil error the Result is meaningless.
+// crashing the process. On a non-nil error the Result is meaningless —
+// with one exception: a *shard.PartialError (failing shards on a
+// sharded repository) comes back WITH a usable Result covering the
+// surviving shards' entries, and the caller decides whether a partial
+// verdict is acceptable.
 func (d *Detector) ClassifyBBSCtx(ctx context.Context, bbs *model.CSTBBS) (Result, error) {
 	ctx, cancel := d.withTimeout(ctx)
 	defer cancel()
@@ -363,9 +465,15 @@ func (d *Detector) classifyBBSCtx(ctx context.Context, bbs *model.CSTBBS) (Resul
 		d.Telemetry.Inc(telemetry.DetectGated)
 		return benignResult(), nil
 	}
-	eng, entries := d.engine()
+	eng, entries, err := d.engine()
+	if err != nil {
+		return Result{}, err
+	}
 	ms, err := eng.ScanCtx(ctx, bbs)
 	if err != nil {
+		if isPartial(err) {
+			return d.assemble(entries, ms), err
+		}
 		return Result{}, d.noteCtxErr(err)
 	}
 	return d.assemble(entries, ms), nil
@@ -376,9 +484,11 @@ func (d *Detector) classifyBBSCtx(ctx context.Context, bbs *model.CSTBBS) (Resul
 // them. results[i] corresponds to targets[i]; gated-out targets get the
 // same explicit benign result ClassifyBBS would give them, without
 // occupying the scan.
+// Like ClassifyBBS, failing shards of a sharded repository degrade the
+// batch silently to the surviving shards' entries.
 func (d *Detector) ClassifyBatch(targets []*model.CSTBBS) []Result {
 	results, err := d.classifyBatchCtx(context.Background(), targets)
-	if err != nil {
+	if err != nil && !isPartial(err) {
 		_ = panicsafe.Repanic(err)
 		panic(err)
 	}
@@ -392,7 +502,9 @@ func (d *Detector) ClassifyBatch(targets []*model.CSTBBS) []Result {
 // target stops the batch and returns as a *panicsafe.PanicError. On a
 // non-nil error the returned results are incomplete and must be
 // discarded — per-target fault isolation is the streaming front end's
-// job (internal/stream).
+// job (internal/stream). The exception is a *shard.PartialError: every
+// target still gets a Result, each covering the shards that survived
+// its scan.
 func (d *Detector) ClassifyBatchCtx(ctx context.Context, targets []*model.CSTBBS) ([]Result, error) {
 	ctx, cancel := d.withTimeout(ctx)
 	defer cancel()
@@ -417,15 +529,18 @@ func (d *Detector) classifyBatchCtx(ctx context.Context, targets []*model.CSTBBS
 	if len(live) == 0 {
 		return results, d.noteCtxErr(ctx.Err())
 	}
-	eng, entries := d.engine()
-	batch, err := eng.ScanBatchCtx(ctx, live)
+	eng, entries, err := d.engine()
 	if err != nil {
+		return nil, err
+	}
+	batch, err := eng.ScanBatchCtx(ctx, live)
+	if err != nil && !isPartial(err) {
 		return nil, d.noteCtxErr(err)
 	}
 	for k, ms := range batch {
 		results[liveIdx[k]] = d.assemble(entries, ms)
 	}
-	return results, nil
+	return results, err
 }
 
 // Classify models the target program (optionally alongside a victim

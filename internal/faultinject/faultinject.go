@@ -51,6 +51,16 @@ const (
 	// StreamScan fires in the stream pipeline's scan stage with the
 	// target ID, before the repository scan.
 	StreamScan Point = "stream.scan"
+	// ShardScan fires in the shard coordinator once per (target, shard)
+	// scatter with the shard's name, before the shard is scanned. An
+	// error action here models a dead or misbehaving shard; the
+	// coordinator must degrade to partial results.
+	ShardScan Point = "shard.scan"
+	// ShardRemoteRPC fires in the remote-shard client before each HTTP
+	// request with the request path (e.g. "/scan"), inside the retry
+	// loop — an OnCall(1, Error(...)) action models a transient network
+	// failure the retry policy must absorb.
+	ShardRemoteRPC Point = "shard.remote.rpc"
 )
 
 // Action is what an armed failpoint does when fired: return nil to do

@@ -1,0 +1,67 @@
+// Package retry is the one bounded-retry policy shared by the layers
+// that talk to unreliable parties: the streaming pipeline re-running a
+// target after a transient error result (stream.Config.Retries) and the
+// shard coordinator re-sending a remote-shard RPC after a network
+// failure. Keeping it in one place keeps the semantics identical —
+// exponential backoff, context-aware sleeps, and a caller-supplied
+// transience test so permanent failures (cancellation, deadline expiry)
+// are never retried.
+package retry
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Policy describes bounded retries with exponential backoff. The zero
+// value never retries.
+type Policy struct {
+	// Attempts is the number of retries after the first failure; 0
+	// disables retrying.
+	Attempts int
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it. 0 retries immediately.
+	Backoff time.Duration
+}
+
+// Transient is the default transience test: everything is retryable
+// except failures caused by the context — a cancelled or expired
+// operation stays cancelled no matter how often it is retried.
+func Transient(err error) bool {
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// Do runs op, retrying up to p.Attempts times while op's error passes
+// retryable (nil means Transient) and ctx stays alive. onRetry, when
+// non-nil, is called before each retry with the 1-based retry number
+// and the error being retried (the telemetry hook). Do returns nil on
+// the first success, otherwise the last error.
+func (p Policy) Do(ctx context.Context, retryable func(error) bool, onRetry func(n int, err error), op func() error) error {
+	if retryable == nil {
+		retryable = Transient
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if attempt >= p.Attempts || !retryable(err) {
+			return err
+		}
+		if onRetry != nil {
+			onRetry(attempt+1, err)
+		}
+		if d := p.Backoff << attempt; d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return err
+			case <-t.C:
+			}
+		} else if cerr := ctx.Err(); cerr != nil {
+			return err
+		}
+	}
+}

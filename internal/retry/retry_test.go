@@ -1,0 +1,92 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	calls, retries := 0, 0
+	err := Policy{Attempts: 3}.Do(context.Background(), nil,
+		func(n int, err error) { retries++ },
+		func() error {
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Errorf("calls = %d retries = %d, want 3/2", calls, retries)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	sentinel := errors.New("still broken")
+	calls := 0
+	err := Policy{Attempts: 2}.Do(context.Background(), nil, nil, func() error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 3 { // first try + 2 retries
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoZeroPolicyNeverRetries(t *testing.T) {
+	calls := 0
+	err := Policy{}.Do(context.Background(), nil, nil, func() error {
+		calls++
+		return errors.New("boom")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("err = %v calls = %d, want one failing call", err, calls)
+	}
+}
+
+func TestDoContextErrorsNotRetried(t *testing.T) {
+	for _, cerr := range []error{context.Canceled, context.DeadlineExceeded} {
+		calls := 0
+		err := Policy{Attempts: 5}.Do(context.Background(), nil, nil, func() error {
+			calls++
+			return cerr
+		})
+		if !errors.Is(err, cerr) || calls != 1 {
+			t.Errorf("%v: err = %v calls = %d, want no retries", cerr, err, calls)
+		}
+	}
+}
+
+func TestDoStopsBackoffOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := Policy{Attempts: 3, Backoff: time.Hour}.Do(ctx, nil, nil, func() error {
+		return errors.New("transient")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("backoff ignored cancelled context")
+	}
+}
+
+func TestDoCustomRetryable(t *testing.T) {
+	permanent := errors.New("permanent")
+	calls := 0
+	err := Policy{Attempts: 5}.Do(context.Background(),
+		func(err error) bool { return !errors.Is(err, permanent) }, nil,
+		func() error { calls++; return permanent })
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Errorf("err = %v calls = %d, want immediate permanent failure", err, calls)
+	}
+}

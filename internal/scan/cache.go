@@ -1,6 +1,7 @@
 package scan
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,10 +18,41 @@ const noID = ^uint32(0)
 // repository corpus produces; they exist so a pathological stream of
 // unique targets cannot grow the cache without bound. Once a cap is
 // reached the cache degrades to pass-through computation.
+//
+// maxInterned must stay strictly below noID (2^32-1): ids are dense
+// uint32s and noID is the reserved "not interned" sentinel, so the id
+// space holds at most 2^32-1 distinct blocks. Raising the cap past
+// that would silently wrap ids and alias distinct blocks — nextInternID
+// fails loudly (typed panic) long before that can corrupt a distance.
 const (
 	maxInterned = 1 << 20 // distinct basic-block instruction sequences
 	maxMemoized = 1 << 22 // distinct block pairs
 )
+
+// InternOverflowError is the panic value raised if the DistCache id
+// space (2^32-1 blocks; noID is reserved) would be exhausted. It is
+// unreachable while maxInterned < noID holds — the panic exists so a
+// future cap raise past the uint32 limit fails loudly on the first
+// overflowing intern instead of silently aliasing blocks.
+type InternOverflowError struct {
+	// Interned is the number of blocks already interned when the
+	// overflow was detected.
+	Interned int
+}
+
+func (e *InternOverflowError) Error() string {
+	return fmt.Sprintf("scan: DistCache intern id space exhausted: %d blocks interned, uint32 ids (noID reserved) allow at most %d — lower maxInterned below 2^32-1", e.Interned, uint64(noID))
+}
+
+// nextInternID returns the dense id for the n-th interned block,
+// panicking with *InternOverflowError when n collides with the noID
+// sentinel or would wrap uint32.
+func nextInternID(n int) uint32 {
+	if uint64(n) >= uint64(noID) {
+		panic(&InternOverflowError{Interned: n})
+	}
+	return uint32(n)
+}
 
 // DistCache memoizes the normalized-instruction Levenshtein distances
 // (D_IS) that dominate CST-BBS comparison. Basic blocks repeat heavily —
@@ -94,7 +126,7 @@ func (c *DistCache) intern(seq []string) uint32 {
 	if len(c.ids) >= maxInterned {
 		return noID
 	}
-	id = uint32(len(c.ids))
+	id = nextInternID(len(c.ids))
 	c.ids[k] = id
 	return id
 }

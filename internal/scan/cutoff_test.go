@@ -1,0 +1,158 @@
+package scan
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/similarity"
+)
+
+func TestCutoffBasics(t *testing.T) {
+	c := NewCutoff()
+	if !math.IsInf(c.Best(), 1) {
+		t.Fatalf("fresh cutoff best = %v, want +Inf", c.Best())
+	}
+	ch := c.Changed()
+	if !c.Update(0.5) {
+		t.Fatal("Update(0.5) on +Inf reported no improvement")
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Changed channel not closed by improving Update")
+	}
+	if c.Update(0.7) {
+		t.Error("Update(0.7) above best reported improvement")
+	}
+	if c.Update(0.5) {
+		t.Error("Update(0.5) equal to best reported improvement")
+	}
+	if got := c.Best(); got != 0.5 {
+		t.Errorf("best = %v, want 0.5", got)
+	}
+	// Each Changed channel fires once; a fresh one is armed after.
+	ch2 := c.Changed()
+	c.Update(0.25)
+	select {
+	case <-ch2:
+	default:
+		t.Fatal("second Changed channel not closed")
+	}
+}
+
+func TestCutoffConcurrentUpdates(t *testing.T) {
+	c := NewCutoff()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 500; i++ {
+				c.Update(rng.Float64())
+			}
+		}(g)
+	}
+	wg.Wait()
+	if best := c.Best(); best < 0 || best >= 1 {
+		t.Errorf("best = %v after concurrent updates, want within [0,1)", best)
+	}
+}
+
+// A shared cutoff must only ever tighten pruning — the winner stays
+// exact and every pruned score is a true upper bound, exactly as with a
+// private cutoff, even when the cutoff was pre-seeded by "another
+// shard" (here: a prior scan of the same target).
+func TestScanCutoffCtxSharedBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	entries := randomCorpus(rng, 12, 8)
+	eng := New(entries, Config{Workers: 3, Prune: true, Sim: similarity.DefaultOptions()})
+	for trial := 0; trial < 8; trial++ {
+		target := randomBBS(rng, 8)
+		want := eng.ScanSerial(target)
+		cut := NewCutoff()
+		got, err := eng.ScanCutoffCtx(context.Background(), target, cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-scan with the now-tight cutoff still carried over: more
+		// pruning is allowed, wrong answers are not.
+		again, err := eng.ScanCutoffCtx(context.Background(), target, cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ms := range [][]Match{got, again} {
+			bi, bs := -1, math.Inf(-1)
+			for i, m := range ms {
+				if m.Score > bs {
+					bi, bs = i, m.Score
+				}
+				if m.Pruned {
+					if m.Score < want[i].Score {
+						t.Fatalf("trial %d: pruned bound %v below exact %v", trial, m.Score, want[i].Score)
+					}
+				} else if m.Score != want[i].Score {
+					t.Fatalf("trial %d: exact score %v != serial %v", trial, m.Score, want[i].Score)
+				}
+			}
+			wi, ws := -1, math.Inf(-1)
+			for i, m := range want {
+				if m.Score > ws {
+					wi, ws = i, m.Score
+				}
+			}
+			if bi != wi || bs != ws {
+				t.Fatalf("trial %d: best (%d,%v) != serial best (%d,%v)", trial, bi, bs, wi, ws)
+			}
+		}
+	}
+}
+
+// Exact mode must ignore the cutoff entirely: bit-identical to Scan.
+func TestScanCutoffCtxExactBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	entries := randomCorpus(rng, 10, 8)
+	eng := New(entries, Config{Workers: 4, Sim: similarity.DefaultOptions()})
+	cut := NewCutoff()
+	cut.Update(0) // an absurdly tight bound that exact mode must not see
+	for trial := 0; trial < 4; trial++ {
+		target := randomBBS(rng, 8)
+		got, err := eng.ScanCutoffCtx(context.Background(), target, cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := eng.Scan(target)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d entry %d: %+v != %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNextInternIDOverflowPanics(t *testing.T) {
+	if got := nextInternID(7); got != 7 {
+		t.Fatalf("nextInternID(7) = %d", got)
+	}
+	// The cap must leave the sentinel unreachable in normal operation.
+	if uint64(maxInterned) >= uint64(noID) {
+		t.Fatalf("maxInterned %d does not stay below noID %d", maxInterned, uint64(noID))
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("nextInternID(noID) did not panic")
+		}
+		oe, ok := r.(*InternOverflowError)
+		if !ok {
+			t.Fatalf("panic value %T, want *InternOverflowError", r)
+		}
+		if oe.Interned != int(noID) || oe.Error() == "" {
+			t.Errorf("overflow error %+v", oe)
+		}
+	}()
+	nextInternID(int(noID))
+}

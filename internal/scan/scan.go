@@ -162,6 +162,23 @@ func (e *Engine) ScanCtx(ctx context.Context, bbs *model.CSTBBS) ([]Match, error
 	return rs[0], nil
 }
 
+// ScanCutoffCtx is ScanCtx with an externally owned pruning cutoff:
+// instead of a private per-target best, the scan consults and updates
+// cut, so several engines scanning the same target concurrently — the
+// shards of a partitioned repository — share one global best and prune
+// against each other's matches (the cutoff broadcast, internal/shard).
+// A cut that already carries a bound (from another shard, or from a
+// remote coordinator's broadcast) tightens pruning from the first
+// comparison. With Prune off the cutoff is ignored and the scan is
+// bit-identical to ScanCtx.
+func (e *Engine) ScanCutoffCtx(ctx context.Context, bbs *model.CSTBBS, cut *Cutoff) ([]Match, error) {
+	rs, err := e.scanBatchCtx(ctx, []*model.CSTBBS{bbs}, []*Cutoff{cut})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
 // ScanSerial is the reference implementation the engine is verified
 // against: the pre-engine serial loop calling similarity.Score per
 // entry, with no parallelism, memoization or pruning.
@@ -199,6 +216,13 @@ func (e *Engine) ScanBatch(targets []*model.CSTBBS) [][]Match {
 // On a non-nil error the returned matches are incomplete and must be
 // discarded.
 func (e *Engine) ScanBatchCtx(ctx context.Context, targets []*model.CSTBBS) ([][]Match, error) {
+	return e.scanBatchCtx(ctx, targets, nil)
+}
+
+// scanBatchCtx is the scan core. cuts, when non-nil, supplies the
+// per-target pruning cutoffs (ScanCutoffCtx's shared cells); nil gives
+// every target a private one.
+func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts []*Cutoff) ([][]Match, error) {
 	tel := e.cfg.Telemetry
 	scanStart := tel.Now()
 	defer tel.ObserveSince(telemetry.StageScan, scanStart)
@@ -208,15 +232,18 @@ func (e *Engine) ScanBatchCtx(ctx context.Context, targets []*model.CSTBBS) ([][
 	ts := make([]*target, len(targets))
 	orders := make([][]int, len(targets))
 	bounds := make([][]float64, len(targets))
-	bestBits := make([]uint64, len(targets))
-	inf := math.Float64bits(math.Inf(1))
+	if cuts == nil {
+		cuts = make([]*Cutoff, len(targets))
+	}
 	for ti, bbs := range targets {
 		if err := ctx.Err(); err != nil {
 			return results, err
 		}
 		results[ti] = make([]Match, nE)
 		ts[ti] = e.newTarget(bbs)
-		bestBits[ti] = inf
+		if cuts[ti] == nil {
+			cuts[ti] = NewCutoff()
+		}
 		if e.cfg.Prune {
 			// Cheap lower bounds, and a most-promising-first order so
 			// the shared best tightens as early as possible.
@@ -247,7 +274,7 @@ func (e *Engine) ScanBatchCtx(ctx context.Context, targets []*model.CSTBBS) ([][
 			return err
 		}
 		ti, ei := k/nE, entryAt(k/nE, k%nE)
-		results[ti][ei] = e.scoreOne(ts[ti], ei, bounds[ti], &bestBits[ti])
+		results[ti][ei] = e.scoreOne(ts[ti], ei, bounds[ti], cuts[ti])
 		return nil
 	}
 	// First failure (recovered panic or injected fault) stops the
@@ -314,14 +341,14 @@ func (e *Engine) ScanBatchCtx(ctx context.Context, targets []*model.CSTBBS) ([][
 
 // scoreOne scores a single (target, entry) pair, consulting and
 // updating the target's shared best distance when pruning.
-func (e *Engine) scoreOne(t *target, ei int, lbs []float64, bestBits *uint64) Match {
+func (e *Engine) scoreOne(t *target, ei int, lbs []float64, cut *Cutoff) Match {
 	tel := e.cfg.Telemetry
 	if !e.cfg.Prune {
 		d, _ := e.compare(t, ei, math.Inf(1))
 		tel.Inc(telemetry.ScanEntriesExact)
 		return Match{Index: ei, Score: dtw.Similarity(d)}
 	}
-	cutoff := pruneCutoff(math.Float64frombits(atomic.LoadUint64(bestBits)))
+	cutoff := pruneCutoff(cut.Best())
 	if lbs[ei] > cutoff {
 		tel.Inc(telemetry.ScanEntriesLowerBoundSkipped)
 		return Match{Index: ei, Score: dtw.Similarity(lbs[ei]), Pruned: true}
@@ -331,7 +358,7 @@ func (e *Engine) scoreOne(t *target, ei int, lbs []float64, bestBits *uint64) Ma
 		tel.Inc(telemetry.ScanEntriesAbandoned)
 		return Match{Index: ei, Score: dtw.Similarity(d), Pruned: true}
 	}
-	updateBest(bestBits, d)
+	cut.Update(d)
 	tel.Inc(telemetry.ScanEntriesExact)
 	return Match{Index: ei, Score: dtw.Similarity(d)}
 }
@@ -346,19 +373,6 @@ func pruneCutoff(best float64) float64 {
 		return best
 	}
 	return best + best*1e-9 + 1e-15
-}
-
-// updateBest lowers the shared best distance to d if d is smaller.
-func updateBest(bits *uint64, d float64) {
-	for {
-		old := atomic.LoadUint64(bits)
-		if math.Float64frombits(old) <= d {
-			return
-		}
-		if atomic.CompareAndSwapUint64(bits, old, math.Float64bits(d)) {
-			return
-		}
-	}
 }
 
 // compare computes the normalized CST-BBS distance of target vs entry

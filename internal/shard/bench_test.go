@@ -1,0 +1,66 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/scan"
+	"repro/internal/similarity"
+)
+
+// corpusSized builds n models of exactly `blocks` CSTs each — long
+// enough that DTW work dominates the scatter–gather overhead
+// (goroutines, merge, sort), the regime sharding exists for.
+func corpusSized(rng *rand.Rand, n, blocks int) []*model.CSTBBS {
+	out := corpus(rng, n)
+	for _, m := range out {
+		for m.Len() < blocks {
+			m.Seq = append(m.Seq, m.Seq[rng.Intn(m.Len())])
+		}
+		m.Seq = m.Seq[:blocks]
+	}
+	return out
+}
+
+// BenchmarkShardedScan compares one scan.Engine against N-local-shard
+// coordinators on the same repository and targets, exact and pruned.
+// The pruned variants share one cutoff across shards, so the headline
+// comparison is prune/shards=1 vs prune/shards=N: cross-shard cutoff
+// broadcast must keep sharded pruning at least as effective per entry.
+// Numbers are recorded in docs/PERFORMANCE.md (make bench-shard).
+func BenchmarkShardedScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(101))
+	models := corpusSized(rng, 96, 24)
+	targets := corpusSized(rng, 8, 24)
+	for _, prune := range []bool{false, true} {
+		mode := "exact"
+		if prune {
+			mode = "prune"
+		}
+		scfg := scan.Config{Prune: prune, Sim: similarity.DefaultOptions()}
+		b.Run(fmt.Sprintf("%s/engine", mode), func(b *testing.B) {
+			eng := scan.New(models, scfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Scan(targets[i%len(targets)])
+			}
+		})
+		for _, n := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", mode, n), func(b *testing.B) {
+				co, err := NewLocalCoordinator(models, Router{Shards: n}, scfg, Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := co.ScanCtx(context.Background(), targets[i%len(targets)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

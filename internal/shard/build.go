@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+
+	"repro/internal/model"
+	"repro/internal/scan"
+)
+
+// PartitionModels applies the router to the models' names, returning
+// per-shard ascending global index lists (the index argument for
+// NewCoordinator, and the slice selector for shard-serve).
+func PartitionModels(models []*model.CSTBBS, r Router) [][]int {
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	return r.Partition(names)
+}
+
+// sliceModels materializes one shard's slice in local (ascending
+// global) order.
+func sliceModels(models []*model.CSTBBS, part []int) []*model.CSTBBS {
+	out := make([]*model.CSTBBS, len(part))
+	for local, g := range part {
+		out[local] = models[g]
+	}
+	return out
+}
+
+// ShardModels returns the slice of models shard i of r would hold —
+// what a `scaguard shard-serve --shard-index i` process serves. Both
+// sides run this over the same repository, so they agree on every
+// slice without coordination.
+func ShardModels(models []*model.CSTBBS, r Router, i int) []*model.CSTBBS {
+	return sliceModels(models, PartitionModels(models, r)[i])
+}
+
+// NewLocalCoordinator shards models across r.Shards in-process engines.
+// scfg is each shard engine's configuration; its worker budget
+// (default GOMAXPROCS) is divided across the shards so N shards don't
+// oversubscribe the machine N-fold, and its Cache is ignored (each
+// shard owns a private DistCache).
+func NewLocalCoordinator(models []*model.CSTBBS, r Router, scfg scan.Config, ccfg Config) (*Coordinator, error) {
+	if r.Shards < 1 {
+		r.Shards = 1
+	}
+	parts := PartitionModels(models, r)
+	workers := scfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	scfg.Workers = (workers + r.Shards - 1) / r.Shards
+	shards := make([]Shard, len(parts))
+	for i, part := range parts {
+		shards[i] = NewLocalShard(strconv.Itoa(i), sliceModels(models, part), scfg)
+	}
+	return NewCoordinator(shards, parts, ccfg)
+}
+
+// NewRemoteCoordinator builds a coordinator whose shards live behind
+// the given addresses, one per shard in router order (r.Shards is
+// forced to len(addrs)). scfg supplies the scan semantics every remote
+// request carries (Prune, Sim); Workers and Cache are server-side
+// concerns and ignored here. No connection is made until the first
+// scan: a dead address degrades scans rather than failing construction
+// — call (*RemoteShard).Check to handshake eagerly.
+func NewRemoteCoordinator(models []*model.CSTBBS, addrs []string, r Router, scfg scan.Config, rcfg RemoteConfig, ccfg Config) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("shard: remote coordinator needs at least one address")
+	}
+	r.Shards = len(addrs)
+	parts := PartitionModels(models, r)
+	shards := make([]Shard, len(parts))
+	for i, part := range parts {
+		shards[i] = NewRemoteShard(addrs[i], len(part), scfg.Prune, scfg.Sim, rcfg)
+	}
+	return NewCoordinator(shards, parts, ccfg)
+}

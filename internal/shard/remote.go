@@ -1,0 +1,208 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/model"
+	"repro/internal/retry"
+	"repro/internal/scan"
+	"repro/internal/similarity"
+	"repro/internal/telemetry"
+)
+
+// scanSeq distinguishes concurrent scans issued by one process, so the
+// server can route /cutoff broadcasts to the right in-flight scan.
+var scanSeq atomic.Uint64
+
+// RemoteConfig tunes the client side of a remote shard.
+type RemoteConfig struct {
+	// Timeout bounds each individual RPC (default 30s; the coordinator's
+	// ShardTimeout separately bounds the whole per-shard scan, retries
+	// included).
+	Timeout time.Duration
+	// Retry re-sends failed scan RPCs; the zero policy sends once.
+	// Context failures are never retried.
+	Retry retry.Policy
+	// Telemetry counts remote retries and cutoff broadcasts.
+	Telemetry *telemetry.Collector
+	// Client optionally overrides the HTTP client (tests inject
+	// httptest transports); Timeout is applied per-request via context
+	// either way.
+	Client *http.Client
+}
+
+// RemoteShard speaks HTTP/JSON to a Server hosting one repository
+// slice on another machine. Construction does not dial: a shard that is
+// down at build time costs nothing until a scan needs it, and then it
+// degrades that scan (partial results + error through the coordinator)
+// rather than failing the build or hanging.
+type RemoteShard struct {
+	addr     string // as given, the shard's Name
+	base     string // normalized URL prefix
+	expected int    // partition-derived entry count
+	prune    bool
+	sim      similarity.Options
+	cfg      RemoteConfig
+	client   *http.Client
+}
+
+// NewRemoteShard builds a client for the shard at addr ("host:port" or
+// a full http:// URL) which both sides' Routers agree holds expected
+// entries. prune and sim are the scan semantics this client's detector
+// wants; they travel with every request.
+func NewRemoteShard(addr string, expected int, prune bool, sim similarity.Options, cfg RemoteConfig) *RemoteShard {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &RemoteShard{addr: addr, base: base, expected: expected, prune: prune, sim: sim.WithDefaults(), cfg: cfg, client: client}
+}
+
+// Name implements Shard (the address identifies the shard in errors and
+// fault injection).
+func (s *RemoteShard) Name() string { return s.addr }
+
+// Len implements Shard with the partition-derived entry count; Check
+// verifies the server agrees.
+func (s *RemoteShard) Len() int { return s.expected }
+
+// Check asks the server's /healthz whether it is alive and holds the
+// slice this client expects — the partition handshake for smoke tests
+// and CLI startup.
+func (s *RemoteShard) Check(ctx context.Context) error {
+	var h healthResponse
+	if err := s.roundTrip(ctx, "/healthz", nil, &h); err != nil {
+		return err
+	}
+	if h.Entries != s.expected {
+		return fmt.Errorf("shard: %s holds %d entries, router expects %d — repository or partition mismatch", s.addr, h.Entries, s.expected)
+	}
+	return nil
+}
+
+// Scan implements Shard: one POST /scan carrying the target and the
+// current cutoff, retried per the policy, while a forwarder goroutine
+// broadcasts every improvement of the shared cutoff to the server for
+// the duration of the scan. The reply's final best is folded back into
+// the shared cutoff for the shards still running.
+func (s *RemoteShard) Scan(ctx context.Context, bbs *model.CSTBBS, cut *scan.Cutoff) ([]scan.Match, error) {
+	req := scanRequest{
+		Target:    toWireBBS(bbs),
+		Prune:     s.prune,
+		Window:    s.sim.Window,
+		ISWeight:  s.sim.ISWeight,
+		CSPWeight: s.sim.CSPWeight,
+	}
+	if s.prune && cut != nil {
+		req.ID = fmt.Sprintf("%p-%d", s, scanSeq.Add(1))
+		if best := cut.Best(); !math.IsInf(best, 1) {
+			req.Cutoff = &best
+		}
+		stop := s.forwardCutoffs(ctx, req.ID, cut)
+		defer stop()
+	}
+
+	var resp scanResponse
+	err := s.cfg.Retry.Do(ctx, retry.Transient, func(n int, err error) {
+		s.cfg.Telemetry.Inc(telemetry.ShardRemoteRetries)
+	}, func() error {
+		return s.roundTrip(ctx, "/scan", &req, &resp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms, err := fromWireMatches(resp.Matches, s.expected)
+	if err != nil {
+		return nil, err
+	}
+	if s.prune && cut != nil && resp.Best != nil {
+		cut.Update(*resp.Best)
+	}
+	return ms, nil
+}
+
+// forwardCutoffs starts the broadcast forwarder: every time the shared
+// cutoff improves, POST the new best to the server so its in-flight
+// scan tightens its early abandoning. Pushes are best-effort — a lost
+// broadcast costs pruning efficiency, never correctness — and the
+// goroutine exits when the scan finishes or the context dies.
+func (s *RemoteShard) forwardCutoffs(ctx context.Context, id string, cut *scan.Cutoff) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		for {
+			changed := cut.Changed()
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-changed:
+			}
+			s.cfg.Telemetry.Inc(telemetry.ShardCutoffBroadcasts)
+			_ = s.roundTrip(ctx, "/cutoff", &cutoffRequest{ID: id, Best: cut.Best()}, nil)
+		}
+	}()
+	return func() { close(done) }
+}
+
+// roundTrip is one RPC: POST in (or GET when in is nil) under the
+// per-RPC timeout, decode a 200 into out. The shard.remote.rpc
+// failpoint fires before every request — inside the retry loop, so
+// tests can prove a transient network fault is absorbed.
+func (s *RemoteShard) roundTrip(ctx context.Context, path string, in, out any) error {
+	if err := faultinject.Fire(faultinject.ShardRemoteRPC, path); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
+	defer cancel()
+	method, body := http.MethodGet, io.Reader(nil)
+	if in != nil {
+		enc, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("shard: encode %s: %w", path, err)
+		}
+		method, body = http.MethodPost, bytes.NewReader(enc)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, s.base+path, body)
+	if err != nil {
+		return fmt.Errorf("shard: %s: %w", path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("shard: %s %s: %w", s.addr, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("shard: %s %s: status %d: %s", s.addr, path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("shard: %s %s: decode: %w", s.addr, path, err)
+	}
+	return nil
+}

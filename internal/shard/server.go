@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/scan"
+	"repro/internal/similarity"
+	"repro/internal/telemetry"
+)
+
+// ServerConfig tunes a shard server.
+type ServerConfig struct {
+	// Workers is each engine's worker-pool size; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// Telemetry optionally instruments the server's engines.
+	Telemetry *telemetry.Collector
+}
+
+// engineKey is one distinct scan semantics a client asked for. Engines
+// are memoized per key and share the server's one DistCache: the
+// Levenshtein memo is keyed on block content, which pruning and term
+// weights do not change.
+type engineKey struct {
+	prune    bool
+	window   int
+	isw, csp float64
+}
+
+// Server hosts one repository slice behind the shard HTTP protocol:
+// POST /scan scores a target against the whole slice, POST /cutoff
+// receives mid-scan global-best broadcasts, GET /healthz reports the
+// slice size for the partition handshake. It backs the
+// `scaguard shard-serve` CLI mode and the loopback servers in tests.
+type Server struct {
+	models []*model.CSTBBS
+	cfg    ServerConfig
+	cache  *scan.DistCache
+
+	mu      sync.Mutex
+	engines map[engineKey]*scan.Engine
+
+	scans sync.Map // scan id → *scan.Cutoff of the in-flight scan
+}
+
+// NewServer builds a server over this shard's slice of the repository,
+// in ascending-global-index order (Router.Partition's output on the
+// serving side).
+func NewServer(models []*model.CSTBBS, cfg ServerConfig) *Server {
+	return &Server{
+		models:  append([]*model.CSTBBS(nil), models...),
+		cfg:     cfg,
+		cache:   scan.NewDistCache(),
+		engines: make(map[engineKey]*scan.Engine),
+	}
+}
+
+// Len returns the number of entries in the served slice.
+func (s *Server) Len() int { return len(s.models) }
+
+// engine returns the memoized engine for one scan semantics, building
+// it on first use.
+func (s *Server) engine(k engineKey) *scan.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.engines[k]; ok {
+		return e
+	}
+	e := scan.New(s.models, scan.Config{
+		Workers:   s.cfg.Workers,
+		Prune:     k.prune,
+		Sim:       similarity.Options{Window: k.window, ISWeight: k.isw, CSPWeight: k.csp},
+		Cache:     s.cache,
+		Telemetry: s.cfg.Telemetry,
+	})
+	s.engines[k] = e
+	return e
+}
+
+// Handler returns the shard protocol's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/scan", s.handleScan)
+	mux.HandleFunc("/cutoff", s.handleCutoff)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req scanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad scan request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	eng := s.engine(engineKey{prune: req.Prune, window: req.Window, isw: req.ISWeight, csp: req.CSPWeight})
+
+	cut := scan.NewCutoff()
+	if req.Cutoff != nil {
+		cut.Update(*req.Cutoff)
+	}
+	if req.ID != "" {
+		// Register before scanning so /cutoff broadcasts race-free find
+		// the in-flight scan; a broadcast for a finished (deleted) scan
+		// is a no-op by design.
+		if _, loaded := s.scans.LoadOrStore(req.ID, cut); loaded {
+			http.Error(w, "duplicate scan id "+req.ID, http.StatusConflict)
+			return
+		}
+		defer s.scans.Delete(req.ID)
+	}
+
+	ms, err := eng.ScanCutoffCtx(r.Context(), fromWireBBS(req.Target), cut)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Client went away; the status is a courtesy for logs.
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, "scan failed: "+err.Error(), status)
+		return
+	}
+	resp := scanResponse{Matches: make([]wireMatch, len(ms))}
+	for i, m := range ms {
+		resp.Matches[i] = wireMatch{Index: m.Index, Score: m.Score, Pruned: m.Pruned}
+	}
+	if best := cut.Best(); !math.IsInf(best, 1) {
+		resp.Best = &best
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleCutoff(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req cutoffRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad cutoff request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if c, ok := s.scans.Load(req.ID); ok {
+		c.(*scan.Cutoff).Update(req.Best)
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("{}"))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(healthResponse{Entries: len(s.models)})
+}
+
+// Serve binds addr (e.g. ":7070"; an explicit port 0 picks a free one)
+// and serves the shard protocol until shutdown is called. It returns
+// the bound address so callers — and the shard-smoke test harness —
+// can hand it to NewRemoteShard.
+func (s *Server) Serve(addr string) (bound string, shutdown func(context.Context) error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("shard: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return ln.Addr().String(), func(ctx context.Context) error {
+		err := srv.Shutdown(ctx)
+		if serr := <-done; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+			err = serr
+		}
+		return err
+	}, nil
+}

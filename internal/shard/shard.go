@@ -1,0 +1,221 @@
+// Package shard partitions the attack-model repository across several
+// scan engines and scans them as one: the scatter–gather layer that
+// takes SCAGuard past a single machine's memory and core count. The
+// paper's time-cost analysis (Section III-B3) already shows similarity
+// comparison dominating end-to-end detection; once the repository
+// grows past one host — many attack families, many PoC variants per
+// family — a single scan.Engine caps both capacity and latency.
+//
+// The pieces:
+//
+//   - Router assigns repository entries to shards. The hash policy is
+//     rendezvous (highest-random-weight) hashing over the entry name,
+//     so growing from N to N+1 shards moves only ~1/(N+1) of the
+//     entries; round-robin is the dumb-and-even alternative.
+//   - Shard is the backend interface: LocalShard wraps an in-process
+//     engine with its own DistCache; RemoteShard (remote.go) speaks
+//     HTTP/JSON to a Server (server.go) hosting a shard on another
+//     machine, with per-RPC timeout and retry.
+//   - Coordinator (coordinator.go) broadcasts one target to every
+//     shard concurrently, merges the per-shard matches back into
+//     globally-indexed order, and — the performance headline — shares
+//     one scan.Cutoff across every shard, so the running global best
+//     score reaches every pruned scan as it improves: early abandoning
+//     works across shard boundaries ("cutoff broadcast"). Local shards
+//     read the shared cell directly; remote shards receive pushes.
+//
+// Exact mode (Prune off everywhere) is bit-identical to a single
+// engine's scan — same comparisons, same float operations — which the
+// differential tests in this package enforce for local and loopback
+// HTTP shards alike. A dead or slow shard degrades the scan to partial
+// results plus a *PartialError instead of hanging it; see
+// docs/SHARDING.md for the full design.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/scan"
+)
+
+// Policy selects how the Router distributes repository entries.
+type Policy int
+
+const (
+	// PolicyHash is rendezvous hashing over the entry name:
+	// deterministic, independent of insertion order for a fixed name
+	// set, and rebalance-friendly (resizing from N to N+1 shards moves
+	// ~1/(N+1) of the entries).
+	PolicyHash Policy = iota
+	// PolicyRoundRobin assigns entry i to shard i mod N: perfectly
+	// even, but resizing reshuffles almost everything.
+	PolicyRoundRobin
+)
+
+// String returns the policy's CLI name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyHash:
+		return "hash"
+	case PolicyRoundRobin:
+		return "rr"
+	}
+	return "policy(" + strconv.Itoa(int(p)) + ")"
+}
+
+// ParsePolicy parses a CLI policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "hash", "":
+		return PolicyHash, nil
+	case "rr", "round-robin":
+		return PolicyRoundRobin, nil
+	}
+	return 0, fmt.Errorf("shard: unknown partition policy %q (want hash or rr)", s)
+}
+
+// Router deterministically assigns repository entries to shards. Both
+// sides of a remote deployment — the coordinator and each
+// `scaguard shard-serve` — run the same Router over the same entry
+// list, so they agree on every shard's slice without talking.
+type Router struct {
+	// Shards is the shard count; values below 1 are treated as 1.
+	Shards int
+	// Policy selects the assignment function (default PolicyHash).
+	Policy Policy
+}
+
+// Assign returns the shard index for one entry, identified by its name
+// and its position in the repository.
+func (r Router) Assign(name string, index int) int {
+	n := r.Shards
+	if n <= 1 {
+		return 0
+	}
+	if r.Policy == PolicyRoundRobin {
+		return index % n
+	}
+	// Rendezvous: the shard whose keyed hash of the entry wins. Ties
+	// break toward the lower shard index (deterministic).
+	best, bestScore := 0, uint64(0)
+	for s := 0; s < n; s++ {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		h.Write([]byte{'/'})
+		h.Write([]byte(strconv.Itoa(s)))
+		if score := h.Sum64(); s == 0 || score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// Partition maps a full entry list to per-shard global index lists.
+// Each inner slice is ascending, so a shard's local order is the global
+// order restricted to its entries.
+func (r Router) Partition(names []string) [][]int {
+	n := r.Shards
+	if n < 1 {
+		n = 1
+	}
+	parts := make([][]int, n)
+	for i, name := range names {
+		s := r.Assign(name, i)
+		parts[s] = append(parts[s], i)
+	}
+	return parts
+}
+
+// Shard scores targets against one partition of the repository.
+// Implementations must be safe for concurrent use by the coordinator.
+type Shard interface {
+	// Name identifies the shard in errors, telemetry and fault
+	// injection (an index for local shards, an address for remote).
+	Name() string
+	// Len returns the number of repository entries the shard holds.
+	Len() int
+	// Scan scores the target against every entry of the shard under
+	// the shared pruning cutoff (ignored by exact-mode engines) and
+	// returns matches indexed shard-locally (0..Len()-1). On error the
+	// matches are discarded by the coordinator.
+	Scan(ctx context.Context, bbs *model.CSTBBS, cut *scan.Cutoff) ([]scan.Match, error)
+}
+
+// LocalShard is the in-process backend: its own scan.Engine over its
+// slice of the repository, with its own DistCache (per-shard caches
+// keep the shards contention-free; block-pair distances are pure, so
+// nothing needs to be shared).
+type LocalShard struct {
+	name string
+	eng  *scan.Engine
+}
+
+// NewLocalShard builds an in-process shard over models. cfg.Cache is
+// ignored: every local shard owns a private DistCache.
+func NewLocalShard(name string, models []*model.CSTBBS, cfg scan.Config) *LocalShard {
+	cfg.Cache = nil
+	return &LocalShard{name: name, eng: scan.New(models, cfg)}
+}
+
+// Name implements Shard.
+func (s *LocalShard) Name() string { return s.name }
+
+// Len implements Shard.
+func (s *LocalShard) Len() int { return s.eng.Len() }
+
+// Scan implements Shard by delegating to the engine's shared-cutoff
+// scan.
+func (s *LocalShard) Scan(ctx context.Context, bbs *model.CSTBBS, cut *scan.Cutoff) ([]scan.Match, error) {
+	return s.eng.ScanCutoffCtx(ctx, bbs, cut)
+}
+
+// ShardError is one shard's failure within a scattered scan.
+type ShardError struct {
+	// Shard is the failing shard's Name.
+	Shard string
+	// Entries is how many repository entries the failure left unscanned.
+	Entries int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %s (%d entries): %v", e.Shard, e.Entries, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// PartialError reports a degraded scan: some shards failed, so the
+// returned matches cover only the surviving shards' entries. Callers
+// decide whether a partial verdict is acceptable; the matches returned
+// alongside a *PartialError are exact for every entry they cover.
+type PartialError struct {
+	// Failed lists the failing shards.
+	Failed []*ShardError
+	// Missing is the total number of repository entries not scanned.
+	Missing int
+}
+
+func (e *PartialError) Error() string {
+	names := make([]string, len(e.Failed))
+	for i, f := range e.Failed {
+		names[i] = f.Shard
+	}
+	return fmt.Sprintf("shard: partial scan: %d entries missing from failed shard(s) %s: %v",
+		e.Missing, strings.Join(names, ","), e.Failed[0].Err)
+}
+
+// Unwrap exposes every shard failure to errors.Is/As.
+func (e *PartialError) Unwrap() []error {
+	errs := make([]error, len(e.Failed))
+	for i, f := range e.Failed {
+		errs[i] = f
+	}
+	return errs
+}

@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/model"
+	"repro/internal/scan"
+)
+
+// The HTTP/JSON wire format between RemoteShard and Server. Scores and
+// cache-state occupancies are finite float64s, and Go's encoding/json
+// emits the shortest decimal that round-trips exactly, so a remote scan
+// can stay bit-identical to a local one: the differential tests compare
+// with ==, not a tolerance. Infinity is not representable in JSON, so
+// the cutoff travels as a *float64 with nil meaning "+Inf / no cutoff
+// yet".
+
+// wireCST mirrors one model.CST (same field set as the repository
+// persistence format in internal/detect).
+type wireCST struct {
+	Leader     uint64   `json:"leader"`
+	BeforeAO   float64  `json:"before_ao"`
+	BeforeIO   float64  `json:"before_io"`
+	AfterAO    float64  `json:"after_ao"`
+	AfterIO    float64  `json:"after_io"`
+	NormInsns  []string `json:"norm_insns"`
+	FirstCycle uint64   `json:"first_cycle"`
+	HPCValue   uint64   `json:"hpc_value"`
+}
+
+// wireBBS mirrors one model.CSTBBS.
+type wireBBS struct {
+	Name       string    `json:"name"`
+	TimerReads uint64    `json:"timer_reads"`
+	Seq        []wireCST `json:"seq"`
+}
+
+// scanRequest is POST /scan: one target to score against the shard's
+// whole slice. Prune and the similarity knobs travel with the request
+// so the client's detector configuration decides the semantics; the
+// server memoizes one engine per distinct configuration.
+type scanRequest struct {
+	// ID names this scan for later POST /cutoff broadcasts ("" opts
+	// out of broadcasting).
+	ID     string  `json:"id"`
+	Target wireBBS `json:"target"`
+	// Cutoff seeds the shard's pruning cutoff with the global best
+	// distance known at send time (nil = none yet).
+	Cutoff    *float64 `json:"cutoff,omitempty"`
+	Prune     bool     `json:"prune"`
+	Window    int      `json:"window"`
+	ISWeight  float64  `json:"is_weight"`
+	CSPWeight float64  `json:"csp_weight"`
+}
+
+// wireMatch mirrors scan.Match with a shard-local index.
+type wireMatch struct {
+	Index  int     `json:"index"`
+	Score  float64 `json:"score"`
+	Pruned bool    `json:"pruned,omitempty"`
+}
+
+// scanResponse is the /scan reply: one match per shard entry in local
+// order, plus the shard's final best exact distance (nil when the shard
+// is empty) so the client can fold it into the shared cutoff for the
+// benefit of shards still scanning.
+type scanResponse struct {
+	Matches []wireMatch `json:"matches"`
+	Best    *float64    `json:"best,omitempty"`
+}
+
+// cutoffRequest is POST /cutoff: a mid-scan broadcast that the global
+// best distance improved to Best.
+type cutoffRequest struct {
+	ID   string  `json:"id"`
+	Best float64 `json:"best"`
+}
+
+// healthResponse is GET /healthz: the shard's view of its slice, so
+// clients can cross-check the partition agreement before trusting it.
+type healthResponse struct {
+	Entries int `json:"entries"`
+}
+
+func toWireBBS(bbs *model.CSTBBS) wireBBS {
+	w := wireBBS{Name: bbs.Name, TimerReads: bbs.TimerReads, Seq: make([]wireCST, len(bbs.Seq))}
+	for i, c := range bbs.Seq {
+		w.Seq[i] = wireCST{
+			Leader:     c.Leader,
+			BeforeAO:   c.Before.AO,
+			BeforeIO:   c.Before.IO,
+			AfterAO:    c.After.AO,
+			AfterIO:    c.After.IO,
+			NormInsns:  c.NormInsns,
+			FirstCycle: c.FirstCycle,
+			HPCValue:   c.HPCValue,
+		}
+	}
+	return w
+}
+
+func fromWireBBS(w wireBBS) *model.CSTBBS {
+	bbs := &model.CSTBBS{Name: w.Name, TimerReads: w.TimerReads, Seq: make([]model.CST, len(w.Seq))}
+	for i, c := range w.Seq {
+		bbs.Seq[i] = model.CST{
+			Leader:     c.Leader,
+			Before:     cache.State{AO: c.BeforeAO, IO: c.BeforeIO},
+			After:      cache.State{AO: c.AfterAO, IO: c.AfterIO},
+			NormInsns:  c.NormInsns,
+			FirstCycle: c.FirstCycle,
+			HPCValue:   c.HPCValue,
+		}
+	}
+	return bbs
+}
+
+// fromWireMatches validates and converts a /scan reply: exactly want
+// matches, locally indexed 0..want-1 in order.
+func fromWireMatches(ws []wireMatch, want int) ([]scan.Match, error) {
+	if len(ws) != want {
+		return nil, fmt.Errorf("shard: remote returned %d matches, want %d", len(ws), want)
+	}
+	out := make([]scan.Match, len(ws))
+	for i, w := range ws {
+		if w.Index != i {
+			return nil, fmt.Errorf("shard: remote match %d carries local index %d", i, w.Index)
+		}
+		out[i] = scan.Match{Index: w.Index, Score: w.Score, Pruned: w.Pruned}
+	}
+	return out, nil
+}

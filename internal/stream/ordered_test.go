@@ -1,0 +1,219 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/retry"
+	"repro/internal/telemetry"
+)
+
+// TestStreamOrderedEmission: with Ordered set, results come out in
+// arrival order even when the first target resolves last. The head
+// target is a real program (modeling work) slowed further by a fault-
+// injected stall, while the rest are pre-built and would normally
+// overtake it.
+func TestStreamOrderedEmission(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	d := newDetector(t)
+	_, poc, bbs := fixtures(t)
+	want := d.ClassifyBBS(bbs)
+	faultinject.Enable(faultinject.StreamModel,
+		faultinject.Match("t00", faultinject.Sleep(100*time.Millisecond)))
+
+	before := runtime.NumGoroutine()
+	const n = 8
+	in := make(chan Target, n)
+	in <- Target{ID: "t00", Program: poc.Program, Victim: poc.Victim}
+	for i := 1; i < n; i++ {
+		in <- Target{ID: fmt.Sprintf("t%02d", i), BBS: bbs}
+	}
+	close(in)
+	results := drain(Classify(context.Background(), d, in, Config{Ordered: true, ModelWorkers: 4}))
+	checkNoLeak(t, before)
+
+	if len(results) != n {
+		t.Fatalf("results = %d, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Seq != i {
+			t.Fatalf("emission %d carries seq %d — not in arrival order: %+v", i, r.Seq, results)
+		}
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		if i > 0 && (r.Verdict.Predicted != want.Predicted || r.Verdict.Best.Name != want.Best.Name) {
+			t.Errorf("%s verdict %+v, want %+v", r.ID, r.Verdict.Best, want.Best)
+		}
+	}
+}
+
+// TestStreamOrderedBoundedAdmission: the reorder buffer must not grow
+// without bound while the emission head is stuck — intake stops
+// admitting once ModelWorkers + 2·Queue + 2 targets are unemitted, and
+// backpressure reaches the producer.
+func TestStreamOrderedBoundedAdmission(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	d := newDetector(t)
+	_, _, bbs := fixtures(t)
+	faultinject.Enable(faultinject.StreamScan,
+		faultinject.Match("t000", faultinject.Sleep(400*time.Millisecond)))
+
+	cfg := Config{Ordered: true, ModelWorkers: 1, Queue: 1} // window = 1 + 2 + 2 = 5
+	const window = 5
+	var sent atomic.Int64
+	in := make(chan Target) // unbuffered: every accepted send was admitted
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		defer close(in)
+		for i := 0; i < 40; i++ {
+			select {
+			case in <- Target{ID: fmt.Sprintf("t%03d", i), BBS: bbs}:
+				sent.Add(1)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out := Classify(ctx, d, in, cfg)
+
+	// While the head target's scan is stalled nothing can be emitted,
+	// so admissions must flatline at the window (plus the one send
+	// blocked in the unbuffered channel).
+	time.Sleep(200 * time.Millisecond)
+	if got := sent.Load(); got > window+1 {
+		t.Fatalf("intake admitted %d targets while emission was blocked, want <= %d", got, window+1)
+	}
+	results := drain(out)
+	if len(results) != 40 {
+		t.Fatalf("results = %d, want 40", len(results))
+	}
+	for i, r := range results {
+		if r.Seq != i {
+			t.Fatalf("emission %d carries seq %d", i, r.Seq)
+		}
+	}
+}
+
+// TestStreamOrderedCancellation: cancelling mid-stream still emits
+// every accepted target, in order and without gaps, then closes the
+// channel with no goroutines (or admission tokens) left behind.
+func TestStreamOrderedCancellation(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	d := newDetector(t)
+	_, _, bbs := fixtures(t)
+	faultinject.Enable(faultinject.StreamScan, faultinject.Sleep(10*time.Millisecond))
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan Target)
+	go func() {
+		defer close(in)
+		for i := 0; ; i++ {
+			select {
+			case in <- Target{ID: fmt.Sprintf("t%03d", i), BBS: bbs}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out := Classify(ctx, d, in, Config{Ordered: true, ModelWorkers: 2})
+	first := <-out
+	if first.Seq != 0 {
+		t.Fatalf("first emission has seq %d", first.Seq)
+	}
+	cancel()
+	rest := drain(out)
+	checkNoLeak(t, before)
+	for i, r := range rest {
+		if r.Seq != i+1 {
+			t.Fatalf("post-cancel emission %d carries seq %d — ordered flush broke", i, r.Seq)
+		}
+	}
+}
+
+// TestStreamRetriesAbsorbTransientFaults: a fault that hits a target's
+// scan once is retried away under Config.Retries — the target still
+// verdicts, the retry is counted, and no error result is emitted. A
+// permanently failing target exhausts its attempts and resolves to an
+// error with every retry counted.
+func TestStreamRetriesAbsorbTransientFaults(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	d := newDetector(t)
+	_, _, bbs := fixtures(t)
+	want := d.ClassifyBBS(bbs)
+
+	var flaky atomic.Int64
+	faultinject.Enable(faultinject.StreamScan, func(p faultinject.Point, detail string) error {
+		if detail == "flaky" && flaky.Add(1) == 1 {
+			return errors.New("transient scan blip")
+		}
+		if detail == "doomed" {
+			return errors.New("permanent failure")
+		}
+		return nil
+	})
+
+	in := make(chan Target, 3)
+	in <- Target{ID: "flaky", BBS: bbs}
+	in <- Target{ID: "doomed", BBS: bbs}
+	in <- Target{ID: "clean", BBS: bbs}
+	close(in)
+	results := drain(Classify(context.Background(), d, in, Config{Retries: retry.Policy{Attempts: 2}}))
+
+	byID := make(map[string]Result)
+	for _, r := range results {
+		byID[r.ID] = r
+	}
+	if r := byID["flaky"]; r.Err != nil || r.Verdict.Best.Name != want.Best.Name {
+		t.Errorf("flaky = %+v, want clean verdict after retry", r)
+	}
+	if r := byID["clean"]; r.Err != nil {
+		t.Errorf("clean target failed: %v", r.Err)
+	}
+	if r := byID["doomed"]; r.Err == nil {
+		t.Error("doomed target produced a verdict despite a permanent fault")
+	}
+	// flaky: 1 retry; doomed: 2 retries (attempts exhausted).
+	if got := d.Telemetry.Counter(telemetry.StreamRetries); got != 3 {
+		t.Errorf("stream_retries = %d, want 3", got)
+	}
+	if got := d.Telemetry.Counter(telemetry.StreamErrorResults); got != 1 {
+		t.Errorf("stream_error_results = %d, want 1", got)
+	}
+}
+
+// TestStreamRetriesModelStage: the retry hook also covers the modeling
+// stage (same policy, same counter).
+func TestStreamRetriesModelStage(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	d := newDetector(t)
+	_, poc, _ := fixtures(t)
+	var calls atomic.Int64
+	faultinject.Enable(faultinject.StreamModel, func(p faultinject.Point, detail string) error {
+		if calls.Add(1) == 1 {
+			return errors.New("transient model blip")
+		}
+		return nil
+	})
+	in := make(chan Target, 1)
+	in <- Target{ID: "m", Program: poc.Program, Victim: poc.Victim}
+	close(in)
+	results := drain(Classify(context.Background(), d, in, Config{Retries: retry.Policy{Attempts: 1}}))
+	if len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("results = %+v, want one clean verdict", results)
+	}
+	if results[0].Model == nil {
+		t.Error("retried target lost its model")
+	}
+	if got := d.Telemetry.Counter(telemetry.StreamRetries); got != 1 {
+		t.Errorf("stream_retries = %d, want 1", got)
+	}
+}

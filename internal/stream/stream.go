@@ -7,8 +7,8 @@
 // target on the output channel as each resolves. Internally the
 // pipeline has two stages connected by a bounded queue:
 //
-//	in ──▶ intake ──▶ modeling workers ──▶ bounded queue ──▶ scan stage ──▶ out
-//	      (sequence)  (N× model.BuildCtx)                  (repository scan)
+//	in ──▶ intake ──▶ modeling workers ──▶ bounded queue ──▶ scan stage ──▶ [reorder] ──▶ out
+//	      (sequence)  (N× model.BuildCtx)                  (repository scan)  (Ordered)
 //
 // Modeling — the dominant per-target cost — fans out across
 // Config.ModelWorkers goroutines and overlaps with scanning, which
@@ -17,7 +17,11 @@
 // output channel are bounded, so a slow consumer exerts backpressure
 // all the way to the input: scanning blocks, then modeling blocks, then
 // the input channel stops being drained. Nothing buffers without bound;
-// in-flight targets never exceed ModelWorkers + 2·Queue + 2.
+// in-flight targets never exceed ModelWorkers + 2·Queue + 2 — a bound
+// Config.Ordered turns into an explicit admission window so its reorder
+// buffer stays finite too. Config.Retries re-runs a target's modeling
+// or scan after transient failures before the target resolves to an
+// error result.
 //
 // Fault isolation is per target: a panic or error anywhere in one
 // target's modeling or scanning becomes a Result with Err set (panics
@@ -42,6 +46,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/model"
 	"repro/internal/panicsafe"
+	"repro/internal/retry"
 	"repro/internal/telemetry"
 )
 
@@ -70,9 +75,10 @@ func (t Target) id() string {
 	return "<unnamed>"
 }
 
-// Result is one resolved target. Results are emitted as they resolve,
-// not in arrival order; Seq is the arrival index for callers that need
-// to reorder.
+// Result is one resolved target. By default results are emitted as
+// they resolve, not in arrival order; Seq is the arrival index for
+// callers that need to reorder, and Config.Ordered makes the pipeline
+// do it for them.
 type Result struct {
 	// ID echoes the target's identity, Seq its arrival index (0-based).
 	ID  string
@@ -105,6 +111,20 @@ type Config struct {
 	// context.DeadlineExceeded. It composes with the detector's own
 	// per-classification Timeout (the earlier deadline wins).
 	TargetTimeout time.Duration
+	// Ordered emits results in arrival (Seq) order instead of
+	// resolution order. The reorder buffer is bounded: intake admits at
+	// most ModelWorkers + 2·Queue + 2 unemitted targets, so one slow
+	// target stalls emission (head-of-line blocking, the price of
+	// ordering) and backpressure reaches the producer instead of the
+	// buffer growing without bound. Cancellation still resolves and
+	// emits every accepted target, in order, before out closes.
+	Ordered bool
+	// Retries re-runs a target's failed modeling or scan per the
+	// policy before giving up on it. Only transient failures are
+	// retried — context cancellation and deadline expiry are final —
+	// and each re-run is counted under the stream_retries telemetry
+	// counter. The per-target deadline spans all attempts.
+	Retries retry.Policy
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +167,19 @@ func Classify(ctx context.Context, det *detect.Detector, in <-chan Target, cfg C
 	queue := make(chan item, cfg.Queue) // modeling → scan
 	out := make(chan Result, cfg.Queue)
 
+	// Ordered mode inserts a reorder stage between scanning and out and
+	// caps admissions with a token window sized to the pipeline's
+	// natural in-flight bound. The cap is what keeps the reorder buffer
+	// finite: without it, one slow target at the emission head would
+	// let intake keep accepting targets whose results can only pile up
+	// in the buffer. Tokens are released after ordered emission.
+	var tokens chan struct{}
+	scanned := out
+	if cfg.Ordered {
+		tokens = make(chan struct{}, cfg.ModelWorkers+2*cfg.Queue+2)
+		scanned = make(chan Result, cfg.Queue)
+	}
+
 	// Intake: sequence arrivals and stop accepting on cancellation.
 	// The send into jobs needs no ctx select: the modeling workers
 	// drain jobs until it closes.
@@ -160,6 +193,13 @@ func Classify(ctx context.Context, det *detect.Detector, in <-chan Target, cfg C
 			case t, ok := <-in:
 				if !ok {
 					return
+				}
+				if tokens != nil {
+					select {
+					case tokens <- struct{}{}:
+					case <-ctx.Done():
+						return
+					}
 				}
 				tel.Inc(telemetry.StreamTargets)
 				it := item{target: t, start: tel.Now(), bbs: t.BBS}
@@ -182,7 +222,11 @@ func Classify(ctx context.Context, det *detect.Detector, in <-chan Target, cfg C
 			defer wg.Done()
 			for it := range jobs {
 				if it.bbs == nil {
-					it.res.Model, it.res.Err = buildOne(ctx, det, it.target, it.deadline)
+					it.res.Err = withRetry(ctx, tel, cfg.Retries, func() error {
+						var err error
+						it.res.Model, err = buildOne(ctx, det, it.target, it.deadline)
+						return err
+					})
 					if it.res.Model != nil {
 						it.bbs = it.res.Model.BBS
 					}
@@ -199,19 +243,63 @@ func Classify(ctx context.Context, det *detect.Detector, in <-chan Target, cfg C
 	// Scan stage: one goroutine walking the shared engine; each scan
 	// fans out internally. Targets that already failed pass through.
 	go func() {
-		defer close(out)
+		defer close(scanned)
 		for it := range queue {
 			if it.res.Err == nil {
-				it.res.Verdict, it.res.Err = scanOne(ctx, det, it.res.ID, it.bbs, it.deadline)
+				it.res.Err = withRetry(ctx, tel, cfg.Retries, func() error {
+					var err error
+					it.res.Verdict, err = scanOne(ctx, det, it.res.ID, it.bbs, it.deadline)
+					return err
+				})
 			}
 			if it.res.Err != nil {
 				tel.Inc(telemetry.StreamErrorResults)
 			}
 			tel.ObserveSince(telemetry.StageStreamTarget, it.start)
-			out <- it.res
+			scanned <- it.res
 		}
 	}()
+
+	// Reorder stage (Ordered only): hold results that resolved ahead of
+	// their predecessors and emit strictly by Seq. The pending map is
+	// bounded by the token window; every held result is eventually
+	// emitted because every accepted target resolves — cancellation
+	// turns stragglers into error results, it does not drop them.
+	if cfg.Ordered {
+		go func() {
+			defer close(out)
+			pending := make(map[int]Result)
+			next := 0
+			emit := func(r Result) {
+				out <- r
+				<-tokens
+				next++
+			}
+			for r := range scanned {
+				if r.Seq != next {
+					pending[r.Seq] = r
+					continue
+				}
+				emit(r)
+				for {
+					r, ok := pending[next]
+					if !ok {
+						break
+					}
+					delete(pending, next)
+					emit(r)
+				}
+			}
+		}()
+	}
 	return out
+}
+
+// withRetry wraps one pipeline stage in the stream's retry policy,
+// counting each re-run. Context failures — including a target's own
+// deadline — are final.
+func withRetry(ctx context.Context, tel *telemetry.Collector, p retry.Policy, op func() error) error {
+	return p.Do(ctx, retry.Transient, func(int, error) { tel.Inc(telemetry.StreamRetries) }, op)
 }
 
 // buildOne models one target under panic isolation and the target's

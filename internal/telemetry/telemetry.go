@@ -84,6 +84,28 @@ const (
 	// error result (panic, injected fault, cancellation) rather than a
 	// verdict.
 	StreamErrorResults
+	// StreamRetries counts per-target retry attempts in the streaming
+	// pipeline (stream.Config.Retries): each increment is one re-run of
+	// a target's modeling or scan after a transient error.
+	StreamRetries
+	// ShardScans counts per-shard scan calls issued by the coordinator:
+	// one per (target, shard) scatter.
+	ShardScans
+	// ShardScanFailures counts shard scans that failed (timeout, dead
+	// remote, injected fault) after exhausting any retries; each one
+	// degrades its scan to partial results.
+	ShardScanFailures
+	// ShardRemoteRetries counts remote-shard RPC retry attempts (each
+	// increment is one re-sent request after a transient failure).
+	ShardRemoteRetries
+	// ShardCutoffBroadcasts counts cutoff updates pushed to remote
+	// shards mid-scan — the cross-shard best-score broadcast doing its
+	// job. Local shards share the cutoff cell directly and are not
+	// counted.
+	ShardCutoffBroadcasts
+	// ShardDegradedScans counts coordinator scans that returned partial
+	// results because at least one shard failed.
+	ShardDegradedScans
 
 	numCounters
 )
@@ -103,6 +125,12 @@ var counterNames = [numCounters]string{
 	DetectCancellations:          "detect_cancellations",
 	StreamTargets:                "stream_targets",
 	StreamErrorResults:           "stream_error_results",
+	StreamRetries:                "stream_retries",
+	ShardScans:                   "shard_scans",
+	ShardScanFailures:            "shard_scan_failures",
+	ShardRemoteRetries:           "shard_remote_retries",
+	ShardCutoffBroadcasts:        "shard_cutoff_broadcasts",
+	ShardDegradedScans:           "shard_degraded_scans",
 }
 
 // String returns the counter's snapshot/export name.
@@ -130,6 +158,10 @@ const (
 	// streaming pipeline: intake to emitted result, modeling and scan
 	// included.
 	StageStreamTarget
+	// StageShardScan is one shard's share of a scattered scan: the
+	// coordinator observes each (target, shard) call, so the histogram's
+	// spread is the straggler profile across shards.
+	StageShardScan
 
 	numStages
 )
@@ -141,6 +173,7 @@ var stageNames = [numStages]string{
 	StageCST:          "model_cst_sim",
 	StageScan:         "scan",
 	StageStreamTarget: "stream_target",
+	StageShardScan:    "shard_scan",
 }
 
 // String returns the stage's snapshot/export name.

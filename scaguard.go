@@ -21,6 +21,7 @@ package scaguard
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -32,7 +33,9 @@ import (
 	"repro/internal/model"
 	"repro/internal/mutate"
 	"repro/internal/panicsafe"
+	"repro/internal/retry"
 	"repro/internal/scan"
+	"repro/internal/shard"
 	"repro/internal/similarity"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
@@ -253,3 +256,57 @@ type PanicError = panicsafe.PanicError
 
 // AsPanicError unwraps err to a *PanicError when one is in its chain.
 func AsPanicError(err error) (*PanicError, bool) { return panicsafe.AsPanic(err) }
+
+// Sharded repository scan (internal/shard): partition the repository
+// across several scan engines — in-process via Detector.Shards, or
+// remote shard servers via Detector.ShardAddrs — and scan them as one,
+// with the running global best broadcast across shards so pruned scans
+// early-abandon across shard boundaries. Exact-mode classification is
+// bit-identical to the single-engine scan; a failing shard degrades a
+// classification to a *ShardPartialError plus the surviving shards'
+// matches. See docs/SHARDING.md.
+type (
+	ShardPolicy       = shard.Policy
+	ShardPartialError = shard.PartialError
+	ShardServerConfig = shard.ServerConfig
+	RetryPolicy       = retry.Policy
+)
+
+// Shard partition policies (Detector.ShardPolicy).
+const (
+	ShardPolicyHash       = shard.PolicyHash
+	ShardPolicyRoundRobin = shard.PolicyRoundRobin
+)
+
+// ParseShardPolicy parses a CLI policy name ("hash" or "rr").
+func ParseShardPolicy(s string) (ShardPolicy, error) { return shard.ParsePolicy(s) }
+
+// ServeShard hosts one shard of a repository over HTTP: the slice shard
+// `index` of `shards` under the policy, derived from the repository the
+// same way every client derives it. It returns the bound address (addr
+// may use port 0) and a shutdown func. This is what
+// `scaguard shard-serve` runs.
+func ServeShard(repo *Repository, shards, index int, policy ShardPolicy, addr string, cfg ShardServerConfig) (bound string, shutdown func(context.Context) error, err error) {
+	if index < 0 || index >= shards {
+		return "", nil, fmt.Errorf("scaguard: shard index %d out of range for %d shards", index, shards)
+	}
+	models := make([]*CSTBBS, len(repo.Entries))
+	for i, e := range repo.Entries {
+		models[i] = e.BBS
+	}
+	slice := shard.ShardModels(models, shard.Router{Shards: shards, Policy: policy}, index)
+	return shard.NewServer(slice, cfg).Serve(addr)
+}
+
+// CheckShard verifies a shard server at addr is alive and holds the
+// slice the router says it should — the partition handshake used by
+// `make shard-smoke` and CLI startup.
+func CheckShard(ctx context.Context, repo *Repository, addrs []string, index int, policy ShardPolicy) error {
+	models := make([]*CSTBBS, len(repo.Entries))
+	for i, e := range repo.Entries {
+		models[i] = e.BBS
+	}
+	parts := shard.PartitionModels(models, shard.Router{Shards: len(addrs), Policy: policy})
+	rs := shard.NewRemoteShard(addrs[index], len(parts[index]), false, similarity.DefaultOptions(), shard.RemoteConfig{})
+	return rs.Check(ctx)
+}
