@@ -7,7 +7,7 @@ GO ?= go
 # cancellation and backpressure, where a bug means "stuck forever").
 TEST_TIMEOUT ?= 5m
 
-.PHONY: all build test race vet bench bench-shard shard-smoke fuzz-short faults cover ci
+.PHONY: all build test race vet bench bench-shard bench-vcache vcache-smoke shard-smoke fuzz-short faults cover ci
 
 all: build
 
@@ -18,10 +18,10 @@ test:
 	$(GO) test -timeout $(TEST_TIMEOUT) ./...
 
 # Race pass over the concurrent packages (the scan engine, the
-# detector/repository wiring, the streaming pipeline and the shard
-# scatter–gather layer).
+# detector/repository wiring, the streaming pipeline, the shard
+# scatter–gather layer and the verdict result cache).
 race:
-	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/detect ./internal/scan ./internal/stream ./internal/shard
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/detect ./internal/scan ./internal/stream ./internal/shard ./internal/vcache
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,18 @@ bench:
 # or beat the single shard; see docs/PERFORMANCE.md.
 bench-shard:
 	$(GO) test -run xxx -bench BenchmarkShardedScan -benchmem ./internal/shard
+
+# Verdict result cache cold/warm costs: verdict/miss is a full
+# repository scan per classification, verdict/hit the same target from
+# memory. The warm path should be well over 5x faster; see
+# docs/PERFORMANCE.md.
+bench-vcache:
+	$(GO) test -run xxx -bench BenchmarkVerdictCache -benchmem ./internal/detect
+
+# Cache-hit smoke: the differential + all-hits repeat-pass tests across
+# the detector, the shard servers and the golden corpus.
+vcache-smoke:
+	$(GO) test -timeout $(TEST_TIMEOUT) -run 'VerdictCache|ResultCache|CachedServers|ShardedCached' ./internal/vcache ./internal/detect ./internal/shard ./internal/stream .
 
 # End-to-end shard deployment smoke: two shard-serve processes on
 # loopback, a partition handshake, then a remote sharded classify whose
@@ -56,12 +68,12 @@ fuzz-short:
 # (docs/ROBUSTNESS.md).
 faults:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) \
-		-run 'Panic|Cancel|Fault|Inject|Stream|Timeout|Limit|Shard|Retry|Partial' \
-		./internal/faultinject ./internal/panicsafe ./internal/scan ./internal/detect ./internal/stream ./internal/isa ./internal/shard ./internal/retry
+		-run 'Panic|Cancel|Fault|Inject|Stream|Timeout|Limit|Shard|Retry|Partial|LookupFault' \
+		./internal/faultinject ./internal/panicsafe ./internal/scan ./internal/detect ./internal/stream ./internal/isa ./internal/shard ./internal/retry ./internal/vcache
 
 # Coverage over every package, with the per-function summary printed.
 cover:
 	$(GO) test -coverprofile=coverage.out -timeout $(TEST_TIMEOUT) ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: build vet test race faults shard-smoke fuzz-short cover
+ci: build vet test race faults vcache-smoke shard-smoke fuzz-short cover

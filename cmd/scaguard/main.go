@@ -14,8 +14,9 @@
 //	scaguard classify -target FR-Mastik -fast -stats
 //	scaguard classify -target FR-Mastik -metrics-addr :8080
 //	scaguard classify -target FR-Mastik -timeout 2s
+//	scaguard classify -target ER-IAIK -result-cache 64
 //	scaguard classify -target ER-IAIK -shards 4
-//	scaguard shard-serve -shards 2 -index 0 -addr :9101
+//	scaguard shard-serve -shards 2 -index 0 -addr :9101 -result-cache 256
 //	scaguard classify -target ER-IAIK -shard-addrs 127.0.0.1:9101,127.0.0.1:9102
 //	printf 'attack:FR-IAIK\nbenign:crypto/aes-ttable/7\n' | scaguard classify -stream
 package main
@@ -318,6 +319,7 @@ func cmdClassify(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve the live telemetry snapshot over HTTP on this address (e.g. :8080); JSON by default, Prometheus text via Accept or ?format=prometheus; blocks after the run until interrupted")
 	timeout := fs.Duration("timeout", 0, "per-classification deadline covering modeling and scanning (e.g. 500ms); 0 = none")
 	streamMode := fs.Bool("stream", false, "read target specs (attack:NAME, benign:kind/template/seed, file:PATH) line by line from stdin and classify them as a fault-isolated stream")
+	resultCache := fs.Int("result-cache", 0, "memoize whole scan outcomes for repeated targets in a bounded LRU of this many entries (0 = off); invalidated automatically when the repository grows")
 	shards := fs.Int("shards", 0, "partition the repository across this many in-process scan shards (0/1 = single engine)")
 	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard-serve addresses; the repository is scanned across them instead of in process")
 	shardPolicy := fs.String("shard-policy", "hash", "shard partition policy: hash (rendezvous) or rr (round-robin); must match the servers'")
@@ -331,6 +333,7 @@ func cmdClassify(args []string) error {
 	}
 	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast}
 	det.Timeout = *timeout
+	det.ResultCache = *resultCache
 	policy, err := scaguard.ParseShardPolicy(*shardPolicy)
 	if err != nil {
 		return err
@@ -434,6 +437,7 @@ func cmdShardServe(args []string) error {
 	policyName := fs.String("policy", "hash", "shard partition policy: hash (rendezvous) or rr (round-robin)")
 	addr := fs.String("addr", ":9101", "listen address (host:port; port 0 picks a free port)")
 	workers := fs.Int("workers", 0, "scan worker-pool size inside this shard (0 = GOMAXPROCS)")
+	resultCache := fs.Int("result-cache", 0, "memoize whole /scan replies for repeated targets in a bounded LRU of this many entries (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -445,7 +449,7 @@ func cmdShardServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	bound, shutdown, err := scaguard.ServeShard(det.Repo, *shards, *index, policy, *addr, scaguard.ShardServerConfig{Workers: *workers})
+	bound, shutdown, err := scaguard.ServeShard(det.Repo, *shards, *index, policy, *addr, scaguard.ShardServerConfig{Workers: *workers, ResultCache: *resultCache})
 	if err != nil {
 		return err
 	}

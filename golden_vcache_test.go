@@ -1,0 +1,70 @@
+package scaguard
+
+// End-to-end differential for the verdict result cache over the full
+// golden corpus: a 3-shard detector with the result cache on must
+// produce verdicts identical to the plain single-engine detector for
+// every corpus program, and a repeat pass over the corpus must be
+// served entirely from memory — zero additional repository scans.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestGoldenVerdictsShardedCached(t *testing.T) {
+	ref, err := NewDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Shards = 3
+	det.ResultCache = 128
+	tel := NewTelemetry()
+	det.Telemetry = tel
+
+	corpus := goldenCorpus(t)
+	var scanned uint64 // classifications that reach the scanner (not gated)
+	for _, tgt := range corpus {
+		want, _, err := ref.Classify(tgt.prog, tgt.victim)
+		if err != nil {
+			t.Fatalf("reference classify %s: %v", tgt.name, err)
+		}
+		got, _, err := det.Classify(tgt.prog, tgt.victim)
+		if err != nil {
+			t.Fatalf("cached classify %s: %v", tgt.name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: sharded+cached verdict diverged:\n got %+v\nwant %+v", tgt.name, got, want)
+		}
+		if len(got.Matches) > 0 {
+			scanned++
+		}
+	}
+
+	scansCold := tel.Counter(telemetry.ScanTargets)
+	hitsCold := tel.Counter(telemetry.VCacheHits)
+	for _, tgt := range corpus {
+		want, _, err := ref.Classify(tgt.prog, tgt.victim)
+		if err != nil {
+			t.Fatalf("reference reclassify %s: %v", tgt.name, err)
+		}
+		got, _, err := det.Classify(tgt.prog, tgt.victim)
+		if err != nil {
+			t.Fatalf("warm classify %s: %v", tgt.name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: warm cached verdict diverged", tgt.name)
+		}
+	}
+	if scans := tel.Counter(telemetry.ScanTargets); scans != scansCold {
+		t.Errorf("repeat pass scanned: scan_targets %d -> %d, want frozen", scansCold, scans)
+	}
+	if gotHits := tel.Counter(telemetry.VCacheHits) - hitsCold; gotHits != scanned {
+		t.Errorf("repeat pass hits = %d, want %d (one per non-gated target)", gotHits, scanned)
+	}
+}

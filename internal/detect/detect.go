@@ -22,12 +22,20 @@
 // classification API — exact-mode results stay bit-identical, and
 // failing shards degrade classification to partial results rather than
 // blocking it. See docs/SHARDING.md.
+//
+// Repeated targets can skip the scan entirely: Detector.ResultCache
+// layers the verdict result cache (internal/vcache) over whichever
+// scan backend is configured, memoizing whole scan outcomes keyed by
+// target content, repository version and scan semantics — invalidated
+// automatically by Repository.Add's version bump, never polluted by
+// partial results. See docs/PERFORMANCE.md.
 package detect
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -42,6 +50,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/similarity"
 	"repro/internal/telemetry"
+	"repro/internal/vcache"
 )
 
 // DefaultThreshold is the paper's operating point (the middle of the
@@ -222,6 +231,18 @@ type Detector struct {
 	// ShardRetry re-sends failed remote-shard RPCs (transient network
 	// errors only); the zero policy sends once.
 	ShardRetry retry.Policy
+	// ResultCache, when > 0, memoizes whole scan outcomes in a bounded
+	// LRU of that many entries (internal/vcache), keyed by the target's
+	// CST-BBS content hash, the repository version and the scan
+	// semantics. Repeated targets — identical binaries classified again,
+	// streams of mutated-then-reverted variants — skip the repository
+	// scan entirely, and concurrent identical targets collapse onto one
+	// scan (singleflight). Any Repository.Add bumps the version and
+	// thereby invalidates every cached result; partial results from
+	// degraded sharded scans are never cached. Exact-mode cached
+	// verdicts are bit-identical to uncached scans; see
+	// docs/PERFORMANCE.md and docs/ROBUSTNESS.md.
+	ResultCache int
 	// Timeout, when positive, is the per-classification deadline the
 	// context-aware entry points (ClassifyCtx, ClassifyBBSCtx,
 	// ClassifyBatchCtx) apply on top of their caller's context: each
@@ -245,6 +266,13 @@ type Detector struct {
 	engEntries []Entry
 	engVer     uint64
 	engKey     engineKey
+	// vc is the verdict result cache behind ResultCache. It outlives
+	// engine rebuilds on purpose: version-keyed entries from before an
+	// Add are unreachable anyway, while a pure configuration flip (e.g.
+	// toggling Telemetry) keeps its warm entries.
+	vc    *vcache.Cache
+	vcCap int
+	vcTel *telemetry.Collector
 }
 
 // repoScanner is what classification needs from the scan layer: one
@@ -267,13 +295,14 @@ type engineKey struct {
 	addrs        string
 	shardTimeout time.Duration
 	shardRetry   retry.Policy
+	resultCache  int
 }
 
 func (d *Detector) key() engineKey {
 	return engineKey{
 		workers: d.Scan.Workers, prune: d.Scan.Prune, sim: d.SimOpts, tel: d.Telemetry,
 		shards: d.Shards, policy: d.ShardPolicy, addrs: strings.Join(d.ShardAddrs, ","),
-		shardTimeout: d.ShardTimeout, shardRetry: d.ShardRetry,
+		shardTimeout: d.ShardTimeout, shardRetry: d.ShardRetry, resultCache: d.ResultCache,
 	}
 }
 
@@ -313,9 +342,93 @@ func (d *Detector) engine() (repoScanner, []Entry, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("detect: building sharded scanner: %w", err)
 	}
+	if d.ResultCache > 0 {
+		sc = d.wrapCached(sc, ver, cfg)
+	}
 	d.eng = sc
 	d.engEntries, d.engVer, d.engKey = entries, ver, k
 	return d.eng, d.engEntries, nil
+}
+
+// wrapCached layers the verdict result cache over the scan backend.
+// The cache instance persists across engine rebuilds (repository
+// version changes make stale entries unreachable by key, so no flush
+// is needed); it is rebuilt only when its capacity or the telemetry
+// collector changes. Caller holds d.mu.
+func (d *Detector) wrapCached(sc repoScanner, ver uint64, cfg scan.Config) repoScanner {
+	if d.vc == nil || d.vcCap != d.ResultCache || d.vcTel != d.Telemetry {
+		d.vc = vcache.New(d.ResultCache, d.Telemetry)
+		d.vcCap, d.vcTel = d.ResultCache, d.Telemetry
+	}
+	d.Telemetry.RegisterGauges("vcache", d.vc.TelemetryGauges)
+	return &cachedScanner{
+		inner: sc,
+		cache: d.vc,
+		ver:   ver,
+		prune: cfg.Prune,
+		sim:   cfg.Sim.WithDefaults(),
+	}
+}
+
+// cachedScanner memoizes whole scan outcomes behind the repoScanner
+// seam, so every classification entry point — single, batch, streaming
+// — shares one result cache without knowing it exists.
+type cachedScanner struct {
+	inner repoScanner
+	cache *vcache.Cache
+	ver   uint64
+	prune bool
+	sim   similarity.Options
+}
+
+func (s *cachedScanner) key(bbs *model.CSTBBS) vcache.Key {
+	return vcache.Key{
+		Target:  vcache.TargetHash(bbs),
+		Version: s.ver,
+		Prune:   s.prune,
+		Window:  s.sim.Window,
+		ISW:     s.sim.ISWeight,
+		CSP:     s.sim.CSPWeight,
+	}
+}
+
+// ScanCtx serves a memoized match list when one exists, else runs the
+// inner scan and stores the outcome. A failed scan — including a
+// degraded sharded scan returning partial matches alongside a
+// *shard.PartialError — is passed through and never cached.
+func (s *cachedScanner) ScanCtx(ctx context.Context, bbs *model.CSTBBS) ([]scan.Match, error) {
+	res, _, err := s.cache.Do(ctx, s.key(bbs), func() (vcache.Result, bool, error) {
+		ms, err := s.inner.ScanCtx(ctx, bbs)
+		return vcache.Result{Matches: ms, Best: math.Inf(1)}, err == nil, err
+	})
+	// On a compute error Do returns the callback's Result verbatim, so
+	// a degraded sharded scan keeps its usable partial matches here.
+	return res.Matches, err
+}
+
+// ScanBatchCtx routes each target through the cache individually. A
+// repository scan already saturates the worker pool per target, so the
+// sequencing costs parallelism only on targets small enough not to
+// matter — and cached targets skip their scan entirely, which a shared
+// batch pass could not do. Error semantics mirror the shard
+// coordinator's batch: partial failures degrade only their target and
+// join into one error, anything else aborts the batch.
+func (s *cachedScanner) ScanBatchCtx(ctx context.Context, targets []*model.CSTBBS) ([][]scan.Match, error) {
+	results := make([][]scan.Match, len(targets))
+	var partials []error
+	for i, bbs := range targets {
+		ms, err := s.ScanCtx(ctx, bbs)
+		if err != nil {
+			if isPartial(err) {
+				results[i] = ms
+				partials = append(partials, err)
+				continue
+			}
+			return results, err
+		}
+		results[i] = ms
+	}
+	return results, errors.Join(partials...)
 }
 
 // buildScanner constructs the scan backend the configuration asks for:

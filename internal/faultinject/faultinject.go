@@ -61,6 +61,12 @@ const (
 	// loop — an OnCall(1, Error(...)) action models a transient network
 	// failure the retry policy must absorb.
 	ShardRemoteRPC Point = "shard.remote.rpc"
+	// VCacheLookup fires in the verdict result cache (internal/vcache)
+	// before each lookup with the target's content hash. An error action
+	// here models an unavailable cache: the lookup is bypassed and the
+	// scan computes uncached — a cache fault must never fail or corrupt
+	// a classification.
+	VCacheLookup Point = "vcache.lookup"
 )
 
 // Action is what an armed failpoint does when fired: return nil to do

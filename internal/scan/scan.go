@@ -84,6 +84,17 @@ type Match struct {
 	Pruned bool
 }
 
+// CloneMatches returns an independent copy of a match slice (nil in,
+// nil out). The verdict result cache (internal/vcache) hands each
+// caller its own copy of a memoized scan outcome, so no caller can
+// mutate the cached slice out from under the others.
+func CloneMatches(ms []Match) []Match {
+	if ms == nil {
+		return nil
+	}
+	return append([]Match(nil), ms...)
+}
+
 // Engine scans targets against a fixed set of repository models.
 type Engine struct {
 	cfg    Config

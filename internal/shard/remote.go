@@ -3,11 +3,14 @@ package shard
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -20,9 +23,31 @@ import (
 	"repro/internal/telemetry"
 )
 
-// scanSeq distinguishes concurrent scans issued by one process, so the
-// server can route /cutoff broadcasts to the right in-flight scan.
-var scanSeq atomic.Uint64
+// Scan ids name one RPC attempt for /cutoff broadcast routing. They
+// must be process-unique: a random per-process nonce plus an atomic
+// sequence. Earlier versions derived them from the client struct's %p
+// address, which both leaked heap addresses onto the wire and could
+// recur once the garbage collector reused the address — a recurring id
+// would collide with an unrelated in-flight scan on the server.
+var (
+	scanSeq   atomic.Uint64
+	scanNonce = func() string {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand does not fail on supported platforms; a loud
+			// panic at init beats colliding scan ids at runtime.
+			panic(fmt.Sprintf("shard: seeding scan-id nonce: %v", err))
+		}
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+// newScanID mints a fresh process-unique scan id. Every call returns a
+// distinct id — retried RPC attempts mint their own, so a retry can
+// never collide with its still-running predecessor on the server.
+func newScanID() string {
+	return scanNonce + "-" + strconv.FormatUint(scanSeq.Add(1), 10)
+}
 
 // RemoteConfig tunes the client side of a remote shard.
 type RemoteConfig struct {
@@ -31,7 +56,9 @@ type RemoteConfig struct {
 	// included).
 	Timeout time.Duration
 	// Retry re-sends failed scan RPCs; the zero policy sends once.
-	// Context failures are never retried.
+	// A per-attempt Timeout expiry counts as transient (the next attempt
+	// gets a fresh deadline and a fresh scan id); only the caller's own
+	// context going dead is permanent and never retried.
 	Retry retry.Policy
 	// Telemetry counts remote retries and cutoff broadcasts.
 	Telemetry *telemetry.Collector
@@ -103,27 +130,41 @@ func (s *RemoteShard) Check(ctx context.Context) error {
 // broadcasts every improvement of the shared cutoff to the server for
 // the duration of the scan. The reply's final best is folded back into
 // the shared cutoff for the shards still running.
+//
+// Each attempt is self-contained: it mints a fresh scan id, re-seeds
+// the cutoff from the shared cell (tighter on a retry, since other
+// shards kept scanning) and runs its own broadcast forwarder. A retry
+// therefore never re-sends the id of a timed-out first attempt that may
+// still be scanning on the server.
 func (s *RemoteShard) Scan(ctx context.Context, bbs *model.CSTBBS, cut *scan.Cutoff) ([]scan.Match, error) {
-	req := scanRequest{
+	base := scanRequest{
 		Target:    toWireBBS(bbs),
 		Prune:     s.prune,
 		Window:    s.sim.Window,
 		ISWeight:  s.sim.ISWeight,
 		CSPWeight: s.sim.CSPWeight,
 	}
-	if s.prune && cut != nil {
-		req.ID = fmt.Sprintf("%p-%d", s, scanSeq.Add(1))
-		if best := cut.Best(); !math.IsInf(best, 1) {
-			req.Cutoff = &best
-		}
-		stop := s.forwardCutoffs(ctx, req.ID, cut)
-		defer stop()
-	}
 
+	// A failed attempt is transient — and worth a fresh attempt — unless
+	// the caller's own context died. retry.Transient alone is not enough
+	// here: a per-RPC timeout (roundTrip's derived deadline) surfaces as
+	// context.DeadlineExceeded too, but it expires one attempt, not the
+	// scan; only ctx itself going dead is permanent.
+	transient := func(err error) bool { return ctx.Err() == nil }
 	var resp scanResponse
-	err := s.cfg.Retry.Do(ctx, retry.Transient, func(n int, err error) {
+	err := s.cfg.Retry.Do(ctx, transient, func(n int, err error) {
 		s.cfg.Telemetry.Inc(telemetry.ShardRemoteRetries)
 	}, func() error {
+		req := base
+		if s.prune && cut != nil {
+			req.ID = newScanID()
+			if best := cut.Best(); !math.IsInf(best, 1) {
+				req.Cutoff = &best
+			}
+			stop := s.forwardCutoffs(ctx, req.ID, cut)
+			defer stop()
+		}
+		resp = scanResponse{}
 		return s.roundTrip(ctx, "/scan", &req, &resp)
 	})
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/scan"
 	"repro/internal/similarity"
 	"repro/internal/telemetry"
+	"repro/internal/vcache"
 )
 
 // ServerConfig tunes a shard server.
@@ -21,7 +22,20 @@ type ServerConfig struct {
 	// Workers is each engine's worker-pool size; <= 0 selects
 	// GOMAXPROCS.
 	Workers int
-	// Telemetry optionally instruments the server's engines.
+	// ResultCache, when > 0, memoizes whole /scan outcomes in a bounded
+	// LRU of that many entries (internal/vcache), keyed by the target's
+	// content hash, the served slice's fingerprint and the request's
+	// scan semantics. Repeated targets — the same binary classified by
+	// many clients, re-scored variant sweeps — are answered from memory,
+	// and concurrent identical requests collapse onto one scan. The
+	// served slice is immutable for the server's lifetime, so no
+	// invalidation is needed; exact-mode cached replies are
+	// bit-identical to uncached ones, and cutoff-pruned replies are
+	// cached as pruned (one valid pruned outcome, reused). See
+	// docs/SHARDING.md.
+	ResultCache int
+	// Telemetry optionally instruments the server's engines and result
+	// cache.
 	Telemetry *telemetry.Collector
 }
 
@@ -45,6 +59,11 @@ type Server struct {
 	cfg    ServerConfig
 	cache  *scan.DistCache
 
+	// results memoizes whole /scan outcomes (nil when ResultCache is
+	// off); sliceHash keys every entry to this exact served slice.
+	results   *vcache.Cache
+	sliceHash string
+
 	mu      sync.Mutex
 	engines map[engineKey]*scan.Engine
 
@@ -55,13 +74,23 @@ type Server struct {
 // in ascending-global-index order (Router.Partition's output on the
 // serving side).
 func NewServer(models []*model.CSTBBS, cfg ServerConfig) *Server {
-	return &Server{
+	s := &Server{
 		models:  append([]*model.CSTBBS(nil), models...),
 		cfg:     cfg,
 		cache:   scan.NewDistCache(),
 		engines: make(map[engineKey]*scan.Engine),
 	}
+	if cfg.ResultCache > 0 {
+		s.results = vcache.New(cfg.ResultCache, cfg.Telemetry)
+		s.sliceHash = vcache.SliceHash(s.models)
+		cfg.Telemetry.RegisterGauges("shard_vcache", s.results.TelemetryGauges)
+	}
+	return s
 }
+
+// ResultCacheLen returns the number of memoized /scan outcomes (0 when
+// result caching is off), for diagnostics and tests.
+func (s *Server) ResultCacheLen() int { return s.results.Len() }
 
 // Len returns the number of entries in the served slice.
 func (s *Server) Len() int { return len(s.models) }
@@ -104,6 +133,49 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad scan request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	bbs := fromWireBBS(req.Target)
+
+	// The result cache sits in front of the whole scan path: a repeated
+	// target is answered from memory (no engine, no cutoff cell, no
+	// scan-id registration — /cutoff broadcasts for its id are no-ops by
+	// design), and concurrent identical requests collapse onto one scan.
+	// A nil cache passes straight through to scanOnce.
+	key := vcache.Key{
+		Target: vcache.TargetHash(bbs),
+		Slice:  s.sliceHash,
+		Prune:  req.Prune,
+		Window: req.Window,
+		ISW:    req.ISWeight,
+		CSP:    req.CSPWeight,
+	}
+	res, _, err := s.results.Do(r.Context(), key, func() (vcache.Result, bool, error) {
+		return s.scanOnce(r.Context(), req, bbs)
+	})
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Client went away; the status is a courtesy for logs.
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, "scan failed: "+err.Error(), status)
+		return
+	}
+	resp := scanResponse{Matches: make([]wireMatch, len(res.Matches))}
+	for i, m := range res.Matches {
+		resp.Matches[i] = wireMatch{Index: m.Index, Score: m.Score, Pruned: m.Pruned}
+	}
+	if !math.IsInf(res.Best, 1) {
+		best := res.Best
+		resp.Best = &best
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// scanOnce runs one actual slice scan for a /scan request: pick the
+// memoized engine for the requested semantics, seed the pruning cutoff,
+// register the scan id for mid-flight /cutoff broadcasts, scan.
+func (s *Server) scanOnce(ctx context.Context, req scanRequest, bbs *model.CSTBBS) (vcache.Result, bool, error) {
 	eng := s.engine(engineKey{prune: req.Prune, window: req.Window, isw: req.ISWeight, csp: req.CSPWeight})
 
 	cut := scan.NewCutoff()
@@ -114,32 +186,27 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		// Register before scanning so /cutoff broadcasts race-free find
 		// the in-flight scan; a broadcast for a finished (deleted) scan
 		// is a no-op by design.
-		if _, loaded := s.scans.LoadOrStore(req.ID, cut); loaded {
-			http.Error(w, "duplicate scan id "+req.ID, http.StatusConflict)
-			return
+		if cell, loaded := s.scans.LoadOrStore(req.ID, cut); loaded {
+			// A client-side timeout + retry can re-send an id whose
+			// first attempt is still scanning. The retried attempt is
+			// idempotent: reuse the in-flight cutoff cell (broadcasts
+			// for the id keep reaching both attempts) and serve this
+			// request its own result. The first registrant owns the
+			// map entry and deletes it when it finishes.
+			cut = cell.(*scan.Cutoff)
+			if req.Cutoff != nil {
+				cut.Update(*req.Cutoff)
+			}
+		} else {
+			defer s.scans.Delete(req.ID)
 		}
-		defer s.scans.Delete(req.ID)
 	}
 
-	ms, err := eng.ScanCutoffCtx(r.Context(), fromWireBBS(req.Target), cut)
+	ms, err := eng.ScanCutoffCtx(ctx, bbs, cut)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			// Client went away; the status is a courtesy for logs.
-			status = http.StatusServiceUnavailable
-		}
-		http.Error(w, "scan failed: "+err.Error(), status)
-		return
+		return vcache.Result{}, false, err
 	}
-	resp := scanResponse{Matches: make([]wireMatch, len(ms))}
-	for i, m := range ms {
-		resp.Matches[i] = wireMatch{Index: m.Index, Score: m.Score, Pruned: m.Pruned}
-	}
-	if best := cut.Best(); !math.IsInf(best, 1) {
-		resp.Best = &best
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	return vcache.Result{Matches: ms, Best: cut.Best()}, true, nil
 }
 
 func (s *Server) handleCutoff(w http.ResponseWriter, r *http.Request) {

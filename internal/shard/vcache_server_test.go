@@ -1,0 +1,290 @@
+package shard
+
+// Regression tests for the /scan protocol bugfix pass (duplicate scan
+// ids from client retries, process-unique id minting) and for the
+// server-side verdict result cache (ServerConfig.ResultCache).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/retry"
+	"repro/internal/scan"
+	"repro/internal/similarity"
+	"repro/internal/telemetry"
+)
+
+// postScan sends one /scan request and decodes the reply.
+func postScan(t *testing.T, url string, req scanRequest) (scanResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/scan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return scanResponse{}, resp.StatusCode
+	}
+	var out scanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out, resp.StatusCode
+}
+
+// TestServerDuplicateScanIDIdempotent: a /scan re-sending an id that is
+// already registered (a client-side timeout + retry whose first attempt
+// is still scanning) must be served idempotently — reusing the
+// in-flight cutoff cell — instead of being rejected. The old server
+// answered 409 here, failing every such retry.
+func TestServerDuplicateScanIDIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	models := corpus(rng, 9)
+	target := corpus(rng, 1)[0]
+	srv := NewServer(models, ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The "first attempt": its cutoff cell is registered and still live.
+	firstCut := scan.NewCutoff()
+	srv.scans.Store("retried-id", firstCut)
+
+	sim := similarity.DefaultOptions()
+	seed := 123.0
+	resp, status := postScan(t, ts.URL, scanRequest{
+		ID:     "retried-id",
+		Target: toWireBBS(target),
+		Prune:  true,
+		Cutoff: &seed,
+		Window: sim.Window, ISWeight: sim.ISWeight, CSPWeight: sim.CSPWeight,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("duplicate-id /scan answered %d, want 200 (old server 409'd retries)", status)
+	}
+	if len(resp.Matches) != len(models) {
+		t.Fatalf("%d matches, want %d", len(resp.Matches), len(models))
+	}
+	// Proof the handler reused the registered cell rather than minting
+	// its own: the scan's best landed in the first attempt's cutoff.
+	if best := firstCut.Best(); math.IsInf(best, 1) {
+		t.Fatal("retried scan did not reuse the in-flight cutoff cell")
+	}
+	// The first registrant owns the map entry; serving the retry must
+	// not delete it out from under the still-running first attempt.
+	if _, ok := srv.scans.Load("retried-id"); !ok {
+		t.Fatal("retry deleted the first attempt's scan-id registration")
+	}
+}
+
+// TestNewScanIDUnique: scan ids are process-unique — concurrent minting
+// never collides and every id carries the per-process nonce, so two
+// client processes cannot collide on a shared server either.
+func TestNewScanIDUnique(t *testing.T) {
+	const goroutines, per = 8, 500
+	var mu sync.Mutex
+	seen := make(map[string]bool, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := make([]string, per)
+			for i := range ids {
+				ids[i] = newScanID()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range ids {
+				if seen[id] {
+					t.Errorf("duplicate scan id %q", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+	for id := range seen {
+		if !strings.HasPrefix(id, scanNonce+"-") {
+			t.Fatalf("id %q lacks the process nonce prefix", id)
+		}
+		break
+	}
+	if len(seen) != goroutines*per {
+		t.Fatalf("%d distinct ids, want %d", len(seen), goroutines*per)
+	}
+}
+
+// TestClientRetryAfterTimeoutSucceeds: the end-to-end bugfix scenario —
+// the first /scan attempt stalls past the client's per-RPC timeout, the
+// retry runs while the first attempt may still be registered
+// server-side, and the scan still succeeds because every attempt mints
+// a fresh id (and the server tolerates duplicates anyway). The recorded
+// wire traffic proves the two attempts used distinct ids.
+func TestClientRetryAfterTimeoutSucceeds(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	rng := rand.New(rand.NewSource(89))
+	models := corpus(rng, 7)
+	target := corpus(rng, 1)[0]
+	ref := scan.New(models, scan.Config{Sim: similarity.DefaultOptions()})
+	tel := telemetry.NewCollector()
+
+	// Record every /scan id that reaches the server.
+	var mu sync.Mutex
+	var ids []string
+	inner := NewServer(models, ServerConfig{}).Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/scan" {
+			body, _ := io.ReadAll(r.Body)
+			var req scanRequest
+			_ = json.Unmarshal(body, &req)
+			mu.Lock()
+			ids = append(ids, req.ID)
+			mu.Unlock()
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	// First attempt's scan stalls well past the client timeout; the
+	// retry's scan runs clean.
+	faultinject.Enable(faultinject.ScanWorker, faultinject.OnCall(1, faultinject.Sleep(2*time.Second)))
+
+	s := NewRemoteShard(ts.URL, len(models), true, similarity.DefaultOptions(),
+		RemoteConfig{Timeout: 150 * time.Millisecond, Retry: retry.Policy{Attempts: 2}, Telemetry: tel})
+	cut := scan.NewCutoff()
+	ms, err := s.Scan(context.Background(), target, cut)
+	if err != nil {
+		t.Fatalf("scan failed despite retry policy: %v (per-RPC timeouts must be transient)", err)
+	}
+	_, wantBest := bestOf(ref.Scan(target))
+	_, gotBest := bestOf(ms)
+	if gotBest != wantBest {
+		t.Fatalf("retried scan best %v, want %v", gotBest, wantBest)
+	}
+	if n := tel.Counter(telemetry.ShardRemoteRetries); n == 0 {
+		t.Fatal("no retry recorded — the timeout fault did not fire")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ids) < 2 {
+		t.Fatalf("server saw %d /scan attempts, want >= 2", len(ids))
+	}
+	seen := make(map[string]bool)
+	for _, id := range ids {
+		if id == "" {
+			t.Fatal("pruned /scan attempt carried no id")
+		}
+		if seen[id] {
+			t.Fatalf("retry re-sent scan id %q — collides with the still-registered first attempt", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestServerResultCacheServesRepeats: with ResultCache on, a repeated
+// /scan is answered from memory — bit-identical reply, no second scan —
+// and requests with different scan semantics get their own entries.
+func TestServerResultCacheServesRepeats(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	models := corpus(rng, 11)
+	target := corpus(rng, 1)[0]
+	tel := telemetry.NewCollector()
+	srv := NewServer(models, ServerConfig{ResultCache: 8, Telemetry: tel})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// An uncached reference server answers the same request; the cached
+	// server must agree bit-for-bit, cold and warm.
+	ref := httptest.NewServer(NewServer(models, ServerConfig{}).Handler())
+	defer ref.Close()
+
+	sim := similarity.DefaultOptions()
+	exact := scanRequest{Target: toWireBBS(target), Window: sim.Window, ISWeight: sim.ISWeight, CSPWeight: sim.CSPWeight}
+	want, _ := postScan(t, ref.URL, exact)
+
+	cold, _ := postScan(t, ts.URL, exact)
+	warm, _ := postScan(t, ts.URL, exact)
+	if !reflect.DeepEqual(cold, want) || !reflect.DeepEqual(warm, want) {
+		t.Fatalf("cached replies diverged from the uncached server:\ncold %+v\nwarm %+v\nwant %+v", cold, warm, want)
+	}
+	if hits, misses := tel.Counter(telemetry.VCacheHits), tel.Counter(telemetry.VCacheMisses); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d after a repeat, want 1/1", hits, misses)
+	}
+	if scans := tel.Counter(telemetry.ScanTargets); scans != 1 {
+		t.Fatalf("scan_targets = %d, want 1 (the repeat must not scan)", scans)
+	}
+	if srv.ResultCacheLen() != 1 {
+		t.Fatalf("ResultCacheLen = %d, want 1", srv.ResultCacheLen())
+	}
+
+	// Same target, different semantics: a separate cache entry.
+	pruned := exact
+	pruned.Prune = true
+	pruned.ID = newScanID()
+	if _, status := postScan(t, ts.URL, pruned); status != http.StatusOK {
+		t.Fatalf("pruned /scan answered %d", status)
+	}
+	if srv.ResultCacheLen() != 2 {
+		t.Fatalf("ResultCacheLen = %d after a pruned scan, want 2", srv.ResultCacheLen())
+	}
+
+	// A cached pruned reply still carries its Best so clients can fold
+	// it into their cross-shard cutoff.
+	again, _ := postScan(t, ts.URL, pruned)
+	if again.Best == nil {
+		t.Fatal("cached pruned reply lost its Best")
+	}
+}
+
+// TestRemoteCoordinatorWithCachedServersBitIdentical: the full remote
+// scatter–gather over result-caching shard servers stays bit-identical
+// to the single-engine reference, including on the all-hits repeat
+// pass.
+func TestRemoteCoordinatorWithCachedServersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	models := corpus(rng, 17)
+	ref := scan.New(models, scan.Config{Sim: similarity.DefaultOptions()})
+	targets := corpus(rng, 3)
+	tel := telemetry.NewCollector()
+	r := Router{Shards: 3}
+	addrs := startServers(t, models, r, ServerConfig{ResultCache: 16, Telemetry: tel})
+	co, err := NewRemoteCoordinator(models, addrs, r,
+		scan.Config{Sim: similarity.DefaultOptions()}, RemoteConfig{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for ti, target := range targets {
+			got, err := co.ScanCtx(context.Background(), target)
+			if err != nil {
+				t.Fatalf("pass %d target %d: %v", pass, ti, err)
+			}
+			scanEqual(t, "cached remote scan", got, ref.Scan(target))
+		}
+	}
+	wantEach := uint64(len(targets) * r.Shards)
+	if hits := tel.Counter(telemetry.VCacheHits); hits != wantEach {
+		t.Errorf("hits = %d over the repeat pass, want %d (3 targets x 3 shards)", hits, wantEach)
+	}
+	if misses := tel.Counter(telemetry.VCacheMisses); misses != wantEach {
+		t.Errorf("misses = %d over the cold pass, want %d", misses, wantEach)
+	}
+}

@@ -104,8 +104,24 @@ const (
 	// counted.
 	ShardCutoffBroadcasts
 	// ShardDegradedScans counts coordinator scans that returned partial
-	// results because at least one shard failed.
+	// results because at least one shard failed. One degraded scan
+	// increments this exactly once no matter how many of its shards
+	// died; ShardScanFailures counts the individual shard failures.
 	ShardDegradedScans
+	// VCacheHits counts repository scans served from the verdict result
+	// cache (internal/vcache) without running any comparison — the
+	// memoized whole-scan outcome was reused.
+	VCacheHits
+	// VCacheMisses counts result-cache lookups that had to run the scan
+	// (including lookups bypassed by an injected vcache.lookup fault).
+	VCacheMisses
+	// VCacheEvictions counts result-cache entries dropped by the LRU
+	// bound to make room for newer outcomes.
+	VCacheEvictions
+	// VCacheCollapsed counts concurrent identical scans collapsed onto
+	// another caller's in-flight computation (singleflight): each
+	// increment is one scan that waited instead of recomputing.
+	VCacheCollapsed
 
 	numCounters
 )
@@ -131,6 +147,10 @@ var counterNames = [numCounters]string{
 	ShardRemoteRetries:           "shard_remote_retries",
 	ShardCutoffBroadcasts:        "shard_cutoff_broadcasts",
 	ShardDegradedScans:           "shard_degraded_scans",
+	VCacheHits:                   "vcache_hits",
+	VCacheMisses:                 "vcache_misses",
+	VCacheEvictions:              "vcache_evictions",
+	VCacheCollapsed:              "vcache_collapsed",
 }
 
 // String returns the counter's snapshot/export name.

@@ -264,7 +264,11 @@ func AsPanicError(err error) (*PanicError, bool) { return panicsafe.AsPanic(err)
 // early-abandon across shard boundaries. Exact-mode classification is
 // bit-identical to the single-engine scan; a failing shard degrades a
 // classification to a *ShardPartialError plus the surviving shards'
-// matches. See docs/SHARDING.md.
+// matches. Repeated targets can additionally be served from memory on
+// both sides: Detector.ResultCache memoizes whole scan outcomes in the
+// client process and ShardServerConfig.ResultCache memoizes whole
+// /scan replies in each shard server (internal/vcache). See
+// docs/SHARDING.md.
 type (
 	ShardPolicy       = shard.Policy
 	ShardPartialError = shard.PartialError
