@@ -7,7 +7,7 @@ GO ?= go
 # cancellation and backpressure, where a bug means "stuck forever").
 TEST_TIMEOUT ?= 5m
 
-.PHONY: all build test race vet bench bench-shard bench-vcache vcache-smoke shard-smoke fuzz-short faults cover ci
+.PHONY: all build test race vet bench bench-shard bench-vcache vcache-smoke shard-smoke serve-smoke docs-check fuzz-short faults cover ci
 
 all: build
 
@@ -19,9 +19,10 @@ test:
 
 # Race pass over the concurrent packages (the scan engine, the
 # detector/repository wiring, the streaming pipeline, the shard
-# scatter–gather layer and the verdict result cache).
+# scatter–gather layer, the verdict result cache and the detection
+# service front end).
 race:
-	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/detect ./internal/scan ./internal/stream ./internal/shard ./internal/vcache
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/detect ./internal/scan ./internal/stream ./internal/shard ./internal/vcache ./internal/serve
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +57,18 @@ vcache-smoke:
 shard-smoke:
 	./scripts/shard-smoke.sh
 
+# End-to-end detection-service smoke: a serve front end over two
+# shard-serve processes, 64 concurrent clients with bit-identical
+# verdicts, a zero-downtime /reload with cache re-warm, and a clean
+# SIGTERM drain (docs/SERVING.md).
+serve-smoke:
+	./scripts/serve-smoke.sh
+
+# Every relative markdown link in the repo must resolve; broken links
+# fail CI so the docs can't silently drift from the tree.
+docs-check:
+	./scripts/docs-check.sh
+
 # Short fuzzing pass over the assembler parser: ten seconds of
 # coverage-guided input plus the checked-in seed corpus. Crashers land
 # in internal/isa/testdata/fuzz/ as regression inputs.
@@ -68,12 +81,12 @@ fuzz-short:
 # (docs/ROBUSTNESS.md).
 faults:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) \
-		-run 'Panic|Cancel|Fault|Inject|Stream|Timeout|Limit|Shard|Retry|Partial|LookupFault' \
-		./internal/faultinject ./internal/panicsafe ./internal/scan ./internal/detect ./internal/stream ./internal/isa ./internal/shard ./internal/retry ./internal/vcache
+		-run 'Panic|Cancel|Fault|Inject|Stream|Timeout|Limit|Shard|Retry|Partial|LookupFault|Failpoint|Reload|Drain|Overload|Hedge' \
+		./internal/faultinject ./internal/panicsafe ./internal/scan ./internal/detect ./internal/stream ./internal/isa ./internal/shard ./internal/retry ./internal/vcache ./internal/serve
 
 # Coverage over every package, with the per-function summary printed.
 cover:
 	$(GO) test -coverprofile=coverage.out -timeout $(TEST_TIMEOUT) ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: build vet test race faults vcache-smoke shard-smoke fuzz-short cover
+ci: build vet test race faults vcache-smoke shard-smoke serve-smoke docs-check fuzz-short cover

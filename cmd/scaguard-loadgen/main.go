@@ -1,0 +1,181 @@
+// Command scaguard-loadgen drives a running `scaguard serve` instance
+// from many concurrent clients and verifies the service contract the
+// docs promise: every successful response to the same request is
+// byte-identical (the wire format loses nothing), and overload sheds
+// with 429 instead of hanging.
+//
+// It doubles as the smoke tests' minimal HTTP client (-get/-post), so
+// the scripts need nothing beyond the Go toolchain.
+//
+// Usage:
+//
+//	scaguard-loadgen -addr http://127.0.0.1:9090 -clients 64 -requests 2 -check
+//	scaguard-loadgen -addr http://127.0.0.1:9090 -get /metrics
+//	scaguard-loadgen -addr http://127.0.0.1:9090 -post /reload
+//
+// Load mode exits non-zero on any failed request (shed 429s are
+// failures unless -tolerate-shed) or, with -check, on any divergence
+// between successful verdict bodies.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:9090", "base URL of the scaguard serve instance")
+	spec := flag.String("spec", "attack:FR-IAIK", "target spec every client classifies")
+	clients := flag.Int("clients", 8, "concurrent clients")
+	requests := flag.Int("requests", 4, "requests per client")
+	check := flag.Bool("check", false, "require every successful verdict body to be byte-identical")
+	tolerateShed := flag.Bool("tolerate-shed", false, "count 429 responses instead of failing on them")
+	key := flag.String("key", "", "X-API-Key header value; client index is appended per client")
+	get := flag.String("get", "", "helper mode: GET this path, print the body, exit")
+	post := flag.String("post", "", "helper mode: POST this path with -body, print the body, exit")
+	body := flag.String("body", "", "request body for -post")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	flag.Parse()
+
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if *get != "" || *post != "" {
+		if err := helper(client, base, *get, *post, *body); err != nil {
+			fmt.Fprintln(os.Stderr, "scaguard-loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := load(client, base, *spec, *clients, *requests, *check, *tolerateShed, *key); err != nil {
+		fmt.Fprintln(os.Stderr, "scaguard-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// helper is the one-shot GET/POST mode.
+func helper(client *http.Client, base, get, post, body string) error {
+	var (
+		resp *http.Response
+		err  error
+	)
+	if get != "" {
+		resp, err = client.Get(base + get)
+	} else {
+		resp, err = client.Post(base+post, "application/json", strings.NewReader(body))
+	}
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(b)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return nil
+}
+
+type tally struct {
+	mu       sync.Mutex
+	ok, shed int
+	failures []string
+	// verdict is the first successful body; under -check every later
+	// one must equal it byte for byte.
+	verdict []byte
+}
+
+func load(client *http.Client, base, spec string, clients, requests int, check, tolerateShed bool, key string) error {
+	reqBody := fmt.Sprintf(`{"target":{"spec":%q}}`, spec)
+	var (
+		t  tally
+		wg sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				req, err := http.NewRequest(http.MethodPost, base+"/v1/classify", strings.NewReader(reqBody))
+				if err != nil {
+					t.fail(err.Error())
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if key != "" {
+					req.Header.Set("X-API-Key", fmt.Sprintf("%s-%d", key, c))
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					t.fail(err.Error())
+					continue
+				}
+				b, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.fail(err.Error())
+					continue
+				}
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					t.success(b, check)
+				case resp.StatusCode == http.StatusTooManyRequests && tolerateShed:
+					t.mu.Lock()
+					t.shed++
+					t.mu.Unlock()
+				default:
+					t.fail(fmt.Sprintf("status %s: %s", resp.Status, bytes.TrimSpace(b)))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Printf("scaguard-loadgen: %d clients x %d requests: %d ok, %d shed, %d failed\n",
+		clients, requests, t.ok, t.shed, len(t.failures))
+	if t.verdict != nil {
+		fmt.Printf("verdict: %s\n", bytes.TrimSpace(t.verdict))
+	}
+	if len(t.failures) > 0 {
+		return fmt.Errorf("%d requests failed; first: %s", len(t.failures), t.failures[0])
+	}
+	if t.ok == 0 {
+		return fmt.Errorf("no request succeeded")
+	}
+	return nil
+}
+
+func (t *tally) success(body []byte, check bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.verdict == nil {
+		t.verdict = body
+	} else if check && !bytes.Equal(t.verdict, body) {
+		t.failures = append(t.failures,
+			fmt.Sprintf("verdict diverged across clients:\n  %s\n  %s",
+				bytes.TrimSpace(t.verdict), bytes.TrimSpace(body)))
+	}
+	t.ok++
+}
+
+func (t *tally) fail(msg string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failures = append(t.failures, msg)
+}

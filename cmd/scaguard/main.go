@@ -55,6 +55,8 @@ func main() {
 		err = cmdRepoSave(os.Args[2:])
 	case "shard-serve":
 		err = cmdShardServe(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -75,7 +77,11 @@ commands:
   classify     classify a target against the default repository
   repo-save    build the default repository and write it as JSON
   shard-serve  host one shard of the repository over HTTP for
-               classify -shard-addrs clients (see docs/SHARDING.md)`)
+               classify -shard-addrs clients (see docs/SHARDING.md)
+  serve        long-lived detection service: classify requests from
+               many concurrent clients over HTTP/JSON, with admission
+               control, hot reload and graceful drain
+               (see docs/SERVING.md)`)
 }
 
 func cmdList() error {
@@ -460,6 +466,112 @@ func cmdShardServe(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	return shutdown(ctx)
+}
+
+// cmdServe runs the detection-as-a-service front end: a long-lived
+// HTTP/JSON server classifying targets for many concurrent clients,
+// optionally fronting a shard-serve fleet. It drains gracefully on
+// SIGTERM/SIGINT: intake stops, in-flight requests and streams flush,
+// then the process exits. See docs/SERVING.md.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":9090", "listen address (host:port; port 0 picks a free port)")
+	repoPath := fs.String("repo", "", "serve a saved repository instead of the default; also the default source for POST /reload")
+	workers := fs.Int("workers", 0, "scan worker-pool size (0 = GOMAXPROCS)")
+	fast := fs.Bool("fast", false, "early-abandoning scans: verdicts and best matches stay exact, other scores may be upper bounds")
+	resultCache := fs.Int("result-cache", 0, "memoize whole scan outcomes in a bounded LRU of this many entries (0 = off); invalidated by /reload and repository growth")
+	shards := fs.Int("shards", 0, "partition the repository across this many in-process scan shards (0/1 = single engine)")
+	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard-serve addresses; the repository is scanned across them")
+	shardPolicy := fs.String("shard-policy", "hash", "shard partition policy: hash (rendezvous) or rr (round-robin); must match the servers'")
+	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard share of one scan; a slower shard fails that scan and the verdict degrades to partial (0 = none)")
+	timeout := fs.Duration("timeout", 0, "per-target deadline covering modeling and scanning (0 = none)")
+	maxInflight := fs.Int("max-inflight", 0, "global cap on admitted in-flight requests; excess requests are shed with 429 (0 = 256)")
+	rate := fs.Float64("rate", 0, "per-API-key sustained admission rate in targets/sec (0 = unlimited)")
+	burst := fs.Int("burst", 0, "per-API-key token-bucket burst (0 = 2*rate, min 1)")
+	hedge := fs.Duration("hedge", 0, "launch a parallel second attempt for a unary classification still unresolved after this long (0 = off)")
+	retries := fs.Int("retries", 0, "re-run a failed classification up to this many times on transient errors")
+	retryBackoff := fs.Duration("retry-backoff", 50*time.Millisecond, "delay before the first retry; doubles per retry")
+	streamWorkers := fs.Int("stream-workers", 0, "modeling workers per streaming connection/batch (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "bounded queue size per streaming connection/batch (0 = stream-workers)")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests before giving up")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	det, err := loadDetector(*repoPath)
+	if err != nil {
+		return err
+	}
+	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast}
+	det.Timeout = *timeout
+	det.ResultCache = *resultCache
+	policy, err := scaguard.ParseShardPolicy(*shardPolicy)
+	if err != nil {
+		return err
+	}
+	det.Shards = *shards
+	det.ShardPolicy = policy
+	det.ShardTimeout = *shardTimeout
+	det.ShardRetry = scaguard.RetryPolicy{Attempts: *retries, Backoff: *retryBackoff}
+	if *shardAddrs != "" {
+		det.ShardAddrs = strings.Split(*shardAddrs, ",")
+		for i := range det.ShardAddrs {
+			if err := scaguard.CheckShard(context.Background(), det.Repo, det.ShardAddrs, i, policy); err != nil {
+				return fmt.Errorf("shard %d (%s): %w", i, det.ShardAddrs[i], err)
+			}
+		}
+	}
+	tel := scaguard.NewTelemetry()
+	det.Telemetry = tel
+
+	srv := scaguard.NewDetectionServer(scaguard.ServeConfig{
+		Detector:      det,
+		MaxConcurrent: *maxInflight,
+		RatePerKey:    *rate,
+		BurstPerKey:   *burst,
+		Stream: scaguard.StreamConfig{
+			ModelWorkers:  *streamWorkers,
+			Queue:         *queue,
+			TargetTimeout: *timeout,
+		},
+		Hedge:     *hedge,
+		Retry:     scaguard.RetryPolicy{Attempts: *retries, Backoff: *retryBackoff},
+		Telemetry: tel,
+		Reload: func(path string) (*scaguard.Repository, error) {
+			if path == "" {
+				path = *repoPath
+			}
+			if path == "" {
+				// No saved repository: rebuild the canonical default.
+				d, err := scaguard.NewDetector()
+				if err != nil {
+					return nil, err
+				}
+				return d.Repo, nil
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return scaguard.LoadRepository(f)
+		},
+	})
+	bound, err := srv.Serve(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "scaguard serve: detection service on http://%s (endpoints: /v1/classify, /v1/classify/stream, /reload, /healthz, /metrics) — interrupt to drain and exit\n", bound)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	fmt.Fprintln(os.Stderr, "scaguard serve: draining")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "scaguard serve: drained")
+	return nil
 }
 
 // runStream reads target specs from stdin incrementally and classifies

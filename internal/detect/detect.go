@@ -106,6 +106,30 @@ func (r *Repository) Len() int {
 	return len(r.Entries)
 }
 
+// Version returns the repository's change counter: it starts at zero
+// and increments on every Add or Replace. Detectors key their cached
+// scan engines and verdict-cache entries on it, so observing the same
+// version twice means the contents have not changed in between.
+func (r *Repository) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// Replace atomically swaps the repository's entire contents for
+// entries, bumping the version exactly like Add does. It is the
+// hot-reload primitive: classifications already scanning keep their
+// snapshot of the old contents, the next classification rebuilds its
+// engine over the new ones, and version-keyed verdict-cache entries
+// (Detector.ResultCache) become unreachable without an explicit flush.
+// Replace may race freely with classification, Add and other Replaces.
+func (r *Repository) Replace(entries []Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Entries = append([]Entry(nil), entries...)
+	r.version++
+}
+
 // snapshot returns a stable copy of the entries plus the version that
 // produced it, so detectors can scan while Add keeps inserting.
 func (r *Repository) snapshot() ([]Entry, uint64) {
@@ -695,10 +719,12 @@ func (d *Detector) ClassifyCtx(ctx context.Context, prog *isa.Program, victim *i
 		return Result{}, nil, fmt.Errorf("detect: modeling target %s: %w", progName(prog), err)
 	}
 	res, err := d.classifyBBSCtx(ctx, m.BBS)
-	if err != nil {
+	if err != nil && !isPartial(err) {
 		return Result{}, m, err
 	}
-	return res, m, nil
+	// A *shard.PartialError keeps its usable partial Result, exactly
+	// like ClassifyBBSCtx — callers choose whether degraded is enough.
+	return res, m, err
 }
 
 func progName(p *isa.Program) string {

@@ -67,6 +67,17 @@ const (
 	// scan computes uncached — a cache fault must never fail or corrupt
 	// a classification.
 	VCacheLookup Point = "vcache.lookup"
+	// ServeAdmit fires in the detection server's admission gate
+	// (internal/serve) with the request's API key, before the token
+	// bucket and concurrency cap are consulted. An error action models
+	// a failing admission dependency: the request must be shed with 429
+	// — never hung, never crashed.
+	ServeAdmit Point = "serve.admit"
+	// ServeReload fires at the start of the detection server's POST
+	// /reload handler with the requested repository path. An error
+	// action models a failing repository source: the reload must fail
+	// cleanly with the old repository still serving.
+	ServeReload Point = "serve.reload"
 )
 
 // Action is what an armed failpoint does when fired: return nil to do

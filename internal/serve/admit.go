@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// errOverloaded is the admission gate's shed signal; handlers turn it
+// into 429 + Retry-After. It is never returned to callers of the
+// package API.
+var errOverloaded = errors.New("serve: overloaded")
+
+// gate is the server's admission control: a global concurrency cap
+// (how many admitted requests may be in flight at once, the protection
+// against a thundering herd exhausting the process) and a per-API-key
+// token bucket (fair queueing across clients under sustained overload
+// — one greedy key drains its own bucket, not its neighbors').
+//
+// Admission never blocks: a request that cannot be admitted right now
+// is shed immediately with a Retry-After hint, so overload degrades to
+// fast 429s instead of growing queues — the stream pipeline's
+// backpressure bounds work per admitted connection, the gate bounds
+// how many connections get that far.
+type gate struct {
+	// slots is the global concurrency semaphore.
+	slots chan struct{}
+	// rate is tokens/sec added per key, burst the bucket capacity.
+	// rate <= 0 disables per-key limiting.
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // test seam
+}
+
+// maxKeys bounds the bucket map: under a key-churning client the
+// oldest-refilled buckets are evicted, which at worst refunds an
+// attacker its own burst, never a well-behaved key's standing.
+const maxKeys = 4096
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newGate(maxConcurrent int, rate float64, burst int) *gate {
+	if maxConcurrent <= 0 {
+		maxConcurrent = DefaultMaxConcurrent
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = math.Max(1, 2*rate)
+	}
+	return &gate{
+		slots:   make(chan struct{}, maxConcurrent),
+		rate:    rate,
+		burst:   b,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// admit tries to admit one request charging n rate tokens against key.
+// On success release must be called when the request finishes (it
+// returns the concurrency slot). On overload it returns errOverloaded
+// with the Retry-After hint; admit itself never blocks.
+func (g *gate) admit(key string, n int) (release func(), retryAfter time.Duration, err error) {
+	if err := faultinject.Fire(faultinject.ServeAdmit, key); err != nil {
+		return nil, time.Second, errOverloaded
+	}
+	select {
+	case g.slots <- struct{}{}:
+	default:
+		// Saturated cap: the hint is a guess (we cannot know when a
+		// slot frees), so suggest the shortest honest backoff.
+		return nil, time.Second, errOverloaded
+	}
+	if wait := g.take(key, n); wait > 0 {
+		<-g.slots
+		return nil, wait, errOverloaded
+	}
+	return func() { <-g.slots }, 0, nil
+}
+
+// inflight returns the number of admitted requests currently holding a
+// slot, and the cap.
+func (g *gate) inflight() (int, int) { return len(g.slots), cap(g.slots) }
+
+// keys returns the number of live per-key buckets.
+func (g *gate) keys() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.buckets)
+}
+
+// take consumes n tokens from key's bucket, refilling lazily at g.rate.
+// It returns 0 on success or the wait until enough tokens accrue. A
+// charge above the burst is clamped to it, so an oversized batch is
+// admitted once the bucket is full rather than never.
+func (g *gate) take(key string, n int) time.Duration {
+	if g.rate <= 0 {
+		return 0
+	}
+	charge := math.Min(float64(n), g.burst)
+	if charge < 1 {
+		charge = 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.now()
+	b := g.buckets[key]
+	if b == nil {
+		if len(g.buckets) >= maxKeys {
+			g.evictOldest()
+		}
+		b = &bucket{tokens: g.burst, last: now}
+		g.buckets[key] = b
+	}
+	b.tokens = math.Min(g.burst, b.tokens+g.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens >= charge {
+		b.tokens -= charge
+		return 0
+	}
+	need := (charge - b.tokens) / g.rate
+	return time.Duration(math.Ceil(need * float64(time.Second)))
+}
+
+// evictOldest drops the least-recently-refilled bucket. Caller holds
+// g.mu.
+func (g *gate) evictOldest() {
+	var oldest string
+	var when time.Time
+	for k, b := range g.buckets {
+		if oldest == "" || b.last.Before(when) {
+			oldest, when = k, b.last
+		}
+	}
+	delete(g.buckets, oldest)
+}
+
+// retryAfterSeconds rounds a wait up to the whole seconds Retry-After
+// carries, with a 1s floor so clients never busy-loop.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the gate's refill math deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestGate(maxConcurrent int, rate float64, burst int) (*gate, *fakeClock) {
+	g := newGate(maxConcurrent, rate, burst)
+	c := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	g.now = c.now
+	return g, c
+}
+
+func TestGateConcurrencyCap(t *testing.T) {
+	g, _ := newTestGate(2, 0, 0)
+	r1, _, err := g.admit("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := g.admit("b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.admit("c", 1); err == nil {
+		t.Fatal("third admit above cap 2 succeeded")
+	}
+	if used, capacity := g.inflight(); used != 2 || capacity != 2 {
+		t.Fatalf("inflight = %d/%d, want 2/2", used, capacity)
+	}
+	r1()
+	r3, _, err := g.admit("c", 1)
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	r2()
+	r3()
+	if used, _ := g.inflight(); used != 0 {
+		t.Fatalf("inflight after releases = %d, want 0", used)
+	}
+}
+
+func TestGateTokenRefill(t *testing.T) {
+	g, clock := newTestGate(16, 1, 2) // 1 token/sec, burst 2
+	take := func(n int) (time.Duration, bool) {
+		release, wait, err := g.admit("k", n)
+		if err == nil {
+			release()
+		}
+		return wait, err == nil
+	}
+	if _, ok := take(2); !ok {
+		t.Fatal("full bucket refused its burst")
+	}
+	wait, ok := take(1)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("retry hint %v, want (0, 1s]", wait)
+	}
+	clock.advance(1500 * time.Millisecond)
+	if _, ok := take(1); !ok {
+		t.Fatal("refilled bucket refused one token")
+	}
+}
+
+func TestGateBurstClampAdmitsOversizedBatch(t *testing.T) {
+	g, _ := newTestGate(16, 1, 4)
+	// A batch larger than the burst is charged the burst, so a full
+	// bucket admits it rather than shedding it forever.
+	release, _, err := g.admit("k", 100)
+	if err != nil {
+		t.Fatalf("oversized batch against full bucket shed: %v", err)
+	}
+	release()
+	if _, wait, err := g.admit("k", 1); err == nil {
+		t.Fatal("bucket should be empty after the clamped charge")
+	} else if wait <= 0 {
+		t.Fatal("shed without a retry hint")
+	}
+}
+
+func TestGateKeyEviction(t *testing.T) {
+	g, clock := newTestGate(16, 1000, 1000)
+	for i := 0; i < maxKeys+10; i++ {
+		clock.advance(time.Millisecond)
+		release, _, err := g.admit(fmt.Sprintf("key-%d", i), 1)
+		if err != nil {
+			t.Fatalf("key %d shed: %v", i, err)
+		}
+		release()
+	}
+	if n := g.keys(); n > maxKeys {
+		t.Fatalf("bucket map grew to %d, cap is %d", n, maxKeys)
+	}
+}
+
+func TestGateUnlimitedWithoutRate(t *testing.T) {
+	g, _ := newTestGate(16, 0, 0)
+	for i := 0; i < 50; i++ {
+		release, _, err := g.admit("k", 10)
+		if err != nil {
+			t.Fatalf("rateless gate shed request %d: %v", i, err)
+		}
+		release()
+	}
+}
+
+func TestRetryAfterSecondsFloor(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{10 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1100 * time.Millisecond, 2},
+		{5 * time.Second, 5},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/faultinject"
+)
+
+// TestAdmitFailpoint proves serve.admit converts an injected admission
+// failure into the shed path: 429 with a Retry-After, counted.
+func TestAdmitFailpoint(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	faultinject.Enable(faultinject.ServeAdmit, faultinject.Error(errors.New("injected admission failure")))
+	t.Cleanup(faultinject.Reset)
+	resp := postJSON(t, ts.URL+"/v1/classify", classifyRequest{Target: &TargetSpec{Spec: "attack:FR-IAIK"}})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if n := srv.tel.Snapshot().Counters["serve_rejected"]; n == 0 {
+		t.Error("serve_rejected not counted")
+	}
+	faultinject.Reset()
+	resp = postJSON(t, ts.URL+"/v1/classify", classifyRequest{Target: &TargetSpec{Spec: "attack:FR-IAIK"}})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after reset: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReloadFailpoint proves a failed reload is a clean 500: the old
+// repository keeps serving, its version does not move.
+func TestReloadFailpoint(t *testing.T) {
+	entries := corpus(t)
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.Reload = func(string) (*detect.Repository, error) {
+			r := &detect.Repository{}
+			r.Replace(entries)
+			return r, nil
+		}
+	})
+	before := srv.det.Repo.Version()
+	faultinject.Enable(faultinject.ServeReload, faultinject.Error(errors.New("injected reload failure")))
+	t.Cleanup(faultinject.Reset)
+	resp := postJSON(t, ts.URL+"/reload", reloadRequest{})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if got := srv.det.Repo.Version(); got != before {
+		t.Errorf("failed reload moved the version: %d -> %d", before, got)
+	}
+	// The old contents still serve.
+	cresp := postJSON(t, ts.URL+"/v1/classify", classifyRequest{Target: &TargetSpec{Spec: "attack:FR-IAIK"}})
+	cr := decodeBody[classifyResponse](t, cresp)
+	if cresp.StatusCode != http.StatusOK || cr.Verdict == nil || cr.Verdict.Error != "" {
+		t.Errorf("classification broken after failed reload: %d %+v", cresp.StatusCode, cr.Verdict)
+	}
+	faultinject.Reset()
+	resp = postJSON(t, ts.URL+"/reload", reloadRequest{})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload after reset: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHedgeBeatsSlowShard proves request hedging: with one shard's
+// first scan stalled far beyond the hedge delay, the hedged second
+// attempt resolves the request long before the stall ends, and its
+// verdict is the real one.
+func TestHedgeBeatsSlowShard(t *testing.T) {
+	spec := TargetSpec{Spec: "attack:FR-IAIK"}
+	want := canon(t, expectVerdict(t, spec, 0))
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.Detector.Shards = 2
+		c.Hedge = 150 * time.Millisecond
+	})
+	const stall = 6 * time.Second
+	// Only the first scan on shard 1 stalls: the primary attempt hangs,
+	// the hedge's own shard-1 scan passes.
+	faultinject.Enable(faultinject.ShardScan,
+		faultinject.Match("1", faultinject.OnCall(1, faultinject.Sleep(stall))))
+	t.Cleanup(faultinject.Reset)
+
+	start := time.Now()
+	resp := postJSON(t, ts.URL+"/v1/classify", classifyRequest{Target: &spec})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	cr := decodeBody[classifyResponse](t, resp)
+	if cr.Verdict == nil {
+		t.Fatal("no verdict")
+	}
+	if got := canon(t, *cr.Verdict); got != want {
+		t.Errorf("hedged verdict diverged\n got %s\nwant %s", got, want)
+	}
+	if elapsed >= stall {
+		t.Errorf("request took %v — the hedge never rescued it from the %v stall", elapsed, stall)
+	}
+	snap := srv.tel.Snapshot()
+	if snap.Counters["serve_hedges"] == 0 {
+		t.Error("serve_hedges not counted")
+	}
+	if snap.Counters["serve_hedge_wins"] == 0 {
+		t.Error("serve_hedge_wins not counted")
+	}
+}
+
+// TestDeadShardPartialVerdict proves degradation end to end: with one
+// in-process shard persistently dead, the service still answers 200
+// with a verdict marked partial, built from the surviving shards.
+func TestDeadShardPartialVerdict(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Detector.Shards = 2
+	})
+	faultinject.Enable(faultinject.ShardScan,
+		faultinject.Match("1", faultinject.Error(errors.New("shard down"))))
+	t.Cleanup(faultinject.Reset)
+
+	resp := postJSON(t, ts.URL+"/v1/classify", classifyRequest{Target: &TargetSpec{Spec: "attack:FR-IAIK"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (degraded, not failed)", resp.StatusCode)
+	}
+	cr := decodeBody[classifyResponse](t, resp)
+	if cr.Verdict == nil {
+		t.Fatal("no verdict")
+	}
+	if !cr.Verdict.Partial {
+		t.Errorf("verdict not marked partial: %+v", cr.Verdict)
+	}
+	if cr.Verdict.Error != "" {
+		t.Errorf("partial verdict carries an error: %q", cr.Verdict.Error)
+	}
+	if cr.Verdict.Predicted == "" {
+		t.Error("partial verdict has no prediction")
+	}
+}
+
+// TestStreamSurvivesInjectedPanic proves per-target fault isolation on
+// the streaming path: a panic injected into one target's scan becomes
+// that line's error verdict, and the following line still classifies.
+func TestStreamSurvivesInjectedPanic(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	faultinject.Enable(faultinject.ScanWorker,
+		faultinject.OnCall(1, faultinject.Panic("injected scan panic")))
+	t.Cleanup(faultinject.Reset)
+
+	body := `{"spec":"attack:FR-IAIK"}` + "\n" + `{"spec":"benign:crypto/aes-ttable/7"}` + "\n"
+	resp, err := http.Post(ts.URL+"/v1/classify/stream", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	verdicts := readNDJSON(t, resp.Body)
+	if len(verdicts) != 2 {
+		t.Fatalf("got %d verdict lines, want 2", len(verdicts))
+	}
+	if verdicts[0].Error == "" {
+		t.Errorf("panicked target did not fail: %+v", verdicts[0])
+	}
+	if verdicts[1].Error != "" {
+		t.Errorf("panic leaked into the next target: %+v", verdicts[1])
+	}
+}

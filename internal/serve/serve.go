@@ -1,0 +1,564 @@
+// Package serve is the detection-as-a-service front end: a long-lived
+// HTTP/JSON server that accepts classification requests from many
+// concurrent clients and fronts whatever scan backend its detector is
+// configured with — one engine, in-process shards, or a remote
+// `scaguard shard-serve` fleet. It is the deployment shape the
+// ROADMAP's "millions of users" story asks for: callers stop owning a
+// process and start sharing one.
+//
+// Per connection the server reuses the streaming pipeline
+// (internal/stream): bounded queues, per-target deadlines and
+// per-target fault isolation, so one malformed program in a batch or a
+// stream becomes one error verdict, never a failed request. Across
+// connections it adds what a multi-tenant front end needs and a single
+// pipeline cannot provide:
+//
+//   - Admission control: a global concurrency cap plus a per-API-key
+//     token bucket. Requests that cannot be admitted are shed
+//     immediately with 429 and a Retry-After hint — overload degrades
+//     to fast rejections, never to hangs or unbounded queues.
+//   - Request hedging: a unary classification that outlives
+//     Config.Hedge gets a parallel second attempt, and the first to
+//     resolve wins — a slow shard delays one attempt, not the client.
+//   - Zero-downtime hot reload: POST /reload swaps the repository's
+//     contents atomically (detect.Repository.Replace). In-flight scans
+//     keep their snapshot, the next classification sees the new
+//     contents, and version-keyed verdict-cache entries invalidate
+//     naturally.
+//   - Graceful drain: Shutdown stops intake (new requests get 503,
+//     /healthz flips to draining so load balancers route away),
+//     flushes every in-flight request and stream, then returns. No
+//     accepted request is ever dropped.
+//
+// Endpoints: POST /v1/classify (single + batch), POST
+// /v1/classify/stream (NDJSON in/out), POST /reload, GET /healthz, GET
+// /metrics (the telemetry snapshot, JSON or Prometheus). The wire
+// format preserves scores exactly, so exact-mode verdicts served over
+// HTTP are bit-identical to direct detect.Classify calls — enforced by
+// this package's golden-corpus tests. See docs/SERVING.md for the
+// operator guide.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/faultinject"
+	"repro/internal/isa"
+	"repro/internal/model"
+	"repro/internal/panicsafe"
+	"repro/internal/retry"
+	"repro/internal/shard"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// DefaultMaxConcurrent is the global concurrency cap when Config
+// leaves it unset: high enough for a healthy fleet's worth of
+// concurrent clients, low enough to bound memory under a stampede.
+const DefaultMaxConcurrent = 256
+
+// DefaultKeyHeader is the request header admission control reads the
+// client identity from.
+const DefaultKeyHeader = "X-API-Key"
+
+// maxRequestBody bounds a /v1/classify request body (32 MiB — far
+// above any sane batch of inline programs, far below harm).
+const maxRequestBody = 32 << 20
+
+// Config tunes the detection server. Detector is required; the zero
+// value of everything else is a working single-tenant default.
+type Config struct {
+	// Detector serves every classification. It must not be reconfigured
+	// while the server runs; its repository may grow through Add and be
+	// swapped through /reload.
+	Detector *detect.Detector
+	// MaxConcurrent caps admitted in-flight requests across all
+	// clients; <= 0 selects DefaultMaxConcurrent. Excess requests are
+	// shed with 429, never queued.
+	MaxConcurrent int
+	// RatePerKey, when > 0, is each API key's sustained admission rate
+	// in targets/sec (a batch of n charges n tokens, clamped to the
+	// burst). BurstPerKey is the bucket size; <= 0 selects
+	// max(1, 2*RatePerKey).
+	RatePerKey  float64
+	BurstPerKey int
+	// KeyHeader names the header carrying the client identity for
+	// per-key limiting; empty selects DefaultKeyHeader. Absent headers
+	// share the "" bucket.
+	KeyHeader string
+	// Stream tunes the per-connection pipeline for batch requests and
+	// /v1/classify/stream connections (worker count, queue bound,
+	// per-target deadline, retries). Ordered is forced on: responses
+	// always align with request order.
+	Stream stream.Config
+	// Hedge, when > 0, launches a parallel second attempt for a unary
+	// classification still unresolved after this long; the first
+	// outcome wins and the loser is cancelled. Effective against slow
+	// shards; note that an in-process Detector.ResultCache collapses
+	// identical concurrent scans (singleflight), which makes the hedge
+	// wait on the primary instead of racing it — hedge a remote shard
+	// fleet, not a result-cached local engine.
+	Hedge time.Duration
+	// Retry re-runs a failed unary classification on transient errors
+	// (the zero policy runs once). Batch and stream targets use
+	// Stream.Retries; when that is zero it inherits this policy.
+	Retry retry.Policy
+	// Reload, when non-nil, supplies the repository contents for POST
+	// /reload: it receives the request's optional path override and
+	// returns the freshly loaded repository, whose entries replace the
+	// serving repository's atomically. nil disables the endpoint (501).
+	Reload func(path string) (*detect.Repository, error)
+	// Telemetry instruments the server (serve_* counters, the
+	// serve_request stage, the "serve" gauge source) and is served at
+	// /metrics. Share it with the Detector to get one unified snapshot.
+	// nil disables instrumentation; /metrics then serves empty
+	// snapshots.
+	Telemetry *telemetry.Collector
+}
+
+// Server is the detection service. Create with New, expose with
+// Handler (any http.Server or httptest) or Serve (own listener), stop
+// with Shutdown.
+type Server struct {
+	cfg  Config
+	det  *detect.Detector
+	tel  *telemetry.Collector
+	gate *gate
+
+	// drainMu orders the draining flag against in-flight accounting:
+	// enter() may not admit a request after Shutdown decided to wait.
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+	drainCh  chan struct{}
+
+	// reloadMu serializes /reload swaps (each is atomic either way; the
+	// lock keeps responses' entry counts truthful).
+	reloadMu sync.Mutex
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+}
+
+// New builds a server from cfg. It panics on a nil Detector — there is
+// nothing to serve.
+func New(cfg Config) *Server {
+	if cfg.Detector == nil {
+		panic("serve: Config.Detector is required")
+	}
+	if cfg.KeyHeader == "" {
+		cfg.KeyHeader = DefaultKeyHeader
+	}
+	s := &Server{
+		cfg:     cfg,
+		det:     cfg.Detector,
+		tel:     cfg.Telemetry,
+		gate:    newGate(cfg.MaxConcurrent, cfg.RatePerKey, cfg.BurstPerKey),
+		drainCh: make(chan struct{}),
+	}
+	s.tel.RegisterGauges("serve", s.gaugeSnapshot)
+	return s
+}
+
+// gaugeSnapshot is the "serve" gauge source: admitted in-flight
+// requests, the cap, live rate-limit keys and the draining flag.
+func (s *Server) gaugeSnapshot() map[string]uint64 {
+	used, capacity := s.gate.inflight()
+	var draining uint64
+	s.drainMu.Lock()
+	if s.draining {
+		draining = 1
+	}
+	s.drainMu.Unlock()
+	return map[string]uint64{
+		"inflight":     uint64(used),
+		"max_inflight": uint64(capacity),
+		"keys":         uint64(s.gate.keys()),
+		"draining":     draining,
+	}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/v1/classify/stream", s.handleClassifyStream)
+	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", telemetry.Handler(s.tel))
+	return mux
+}
+
+// Serve binds addr (port 0 picks a free port) and serves until
+// Shutdown. It returns the bound address immediately; serving happens
+// on a background goroutine.
+func (s *Server) Serve(addr string) (bound string, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the server: stop intake (new requests are rejected
+// with 503 and /healthz reports draining), signal in-flight streaming
+// connections to stop reading further targets, wait for every admitted
+// request to finish, then close the listener. ctx bounds the wait; on
+// expiry Shutdown returns the context's error with requests possibly
+// still in flight (the caller is giving up, the server did not drop
+// them). Safe to call without Serve (e.g. behind httptest) and more
+// than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
+	s.drainMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv != nil {
+		return srv.Shutdown(ctx)
+	}
+	return nil
+}
+
+// enter admits a request into the in-flight account unless the server
+// is draining. Every true return must be paired with s.inflight.Done().
+func (s *Server) enter() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// writeJSON writes v with status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the error reply form.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// shed writes the 429 overload reply with its Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter, retryAfter time.Duration) {
+	s.tel.Inc(telemetry.ServeRejected)
+	secs := retryAfterSeconds(retryAfter)
+	w.Header().Set("Retry-After", fmt.Sprint(secs))
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{
+		Error:             "overloaded: admission gate saturated",
+		RetryAfterSeconds: secs,
+	})
+}
+
+// drainingReply writes the 503 sent while shutting down.
+func drainingReply(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error:             "draining: server is shutting down",
+		RetryAfterSeconds: 1,
+	})
+}
+
+// handleClassify is POST /v1/classify: one target (unary reply) or a
+// batch (array reply). Per-target failures become error verdicts; only
+// a malformed request fails the call.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.enter() {
+		drainingReply(w)
+		return
+	}
+	defer s.inflight.Done()
+
+	var req classifyRequest
+	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad classify request: "+err.Error())
+		return
+	}
+	if req.Target != nil && len(req.Targets) > 0 {
+		writeError(w, http.StatusBadRequest, "set target or targets, not both")
+		return
+	}
+	targets := req.Targets
+	if req.Target != nil {
+		targets = []TargetSpec{*req.Target}
+	}
+	if len(targets) == 0 {
+		writeError(w, http.StatusBadRequest, "no targets")
+		return
+	}
+
+	release, retryAfter, err := s.gate.admit(r.Header.Get(s.cfg.KeyHeader), len(targets))
+	if err != nil {
+		s.shed(w, retryAfter)
+		return
+	}
+	defer release()
+	s.tel.Inc(telemetry.ServeRequests)
+	start := s.tel.Now()
+	defer func() { s.tel.ObserveSince(telemetry.StageServeRequest, start) }()
+
+	if req.Target != nil {
+		v := s.classifyOne(r.Context(), targets[0], 0)
+		writeJSON(w, http.StatusOK, classifyResponse{Verdict: &v})
+		return
+	}
+	writeJSON(w, http.StatusOK, classifyResponse{Verdicts: s.classifyBatch(r.Context(), targets)})
+}
+
+// classifyOne resolves and classifies one target with the unary
+// extras: panic isolation, hedging and the serve-layer retry policy.
+func (s *Server) classifyOne(ctx context.Context, t TargetSpec, pos int) Verdict {
+	id := t.label(pos)
+	prog, victim, err := t.resolve()
+	if err != nil {
+		return Verdict{ID: id, Error: "resolve: " + err.Error()}
+	}
+	var (
+		res detect.Result
+		m   *model.Model
+	)
+	rerr := s.cfg.Retry.Do(ctx, transientNotPartial,
+		func(int, error) { s.tel.Inc(telemetry.ServeRetries) },
+		func() error {
+			res, m, err = s.hedged(ctx, prog, victim)
+			return err
+		})
+	return verdictFor(id, res, m, rerr)
+}
+
+// transientNotPartial retries transient failures but accepts degraded
+// partial results as final — a partial verdict is usable, and under a
+// persistently dead shard retrying would only burn the budget to land
+// on the same partial.
+func transientNotPartial(err error) bool {
+	var pe *shard.PartialError
+	return retry.Transient(err) && !errors.As(err, &pe)
+}
+
+// hedged runs one classification, racing a delayed second attempt
+// against the first when Config.Hedge is set. Whichever attempt
+// resolves first wins; the loser's context is cancelled and its
+// goroutine drains into the buffered channel.
+func (s *Server) hedged(ctx context.Context, prog, victim *isa.Program) (detect.Result, *model.Model, error) {
+	if s.cfg.Hedge <= 0 {
+		return s.classifySafe(ctx, prog, victim)
+	}
+	type outcome struct {
+		res   detect.Result
+		m     *model.Model
+		err   error
+		hedge bool
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan outcome, 2)
+	run := func(hedge bool) {
+		var o outcome
+		o.hedge = hedge
+		o.res, o.m, o.err = s.classifySafe(hctx, prog, victim)
+		ch <- o
+	}
+	go run(false)
+	timer := time.NewTimer(s.cfg.Hedge)
+	defer timer.Stop()
+	var o outcome
+	select {
+	case o = <-ch:
+	case <-timer.C:
+		s.tel.Inc(telemetry.ServeHedges)
+		go run(true)
+		o = <-ch
+		if o.hedge {
+			s.tel.Inc(telemetry.ServeHedgeWins)
+		}
+	}
+	return o.res, o.m, o.err
+}
+
+// classifySafe is ClassifyCtx under panic isolation: a panic anywhere
+// in one request's modeling or scanning becomes that request's error,
+// never the process's crash.
+func (s *Server) classifySafe(ctx context.Context, prog, victim *isa.Program) (detect.Result, *model.Model, error) {
+	var (
+		res detect.Result
+		m   *model.Model
+	)
+	err := panicsafe.DoNotify(func() error {
+		var err error
+		res, m, err = s.det.ClassifyCtx(ctx, prog, victim)
+		return err
+	}, func(*panicsafe.PanicError) { s.tel.Inc(telemetry.PanicsRecovered) })
+	return res, m, err
+}
+
+// streamConfig is the per-connection pipeline configuration: ordered
+// emission always, the serve retry policy unless the stream one is
+// set.
+func (s *Server) streamConfig() stream.Config {
+	cfg := s.cfg.Stream
+	cfg.Ordered = true
+	if cfg.Retries == (retry.Policy{}) {
+		cfg.Retries = s.cfg.Retry
+	}
+	return cfg
+}
+
+// classifyBatch runs a batch through the streaming pipeline: bounded
+// queues, per-target deadlines, per-target fault isolation, ordered
+// results. Unresolvable specs get error verdicts without occupying the
+// pipeline.
+func (s *Server) classifyBatch(ctx context.Context, targets []TargetSpec) []Verdict {
+	verdicts := make([]Verdict, len(targets))
+
+	// Resolve up front so the producer goroutine shares nothing mutable
+	// with the result loop: work[seq] maps the pipeline's acceptance
+	// order back to request positions.
+	type resolved struct {
+		idx          int
+		id           string
+		prog, victim *isa.Program
+	}
+	work := make([]resolved, 0, len(targets))
+	for i, t := range targets {
+		id := t.label(i)
+		prog, victim, err := t.resolve()
+		if err != nil {
+			verdicts[i] = Verdict{ID: id, Error: "resolve: " + err.Error()}
+			continue
+		}
+		work = append(work, resolved{idx: i, id: id, prog: prog, victim: victim})
+	}
+
+	in := make(chan stream.Target)
+	out := stream.Classify(ctx, s.det, in, s.streamConfig())
+	go func() {
+		defer close(in)
+		for _, wk := range work {
+			select {
+			case in <- stream.Target{ID: wk.id, Program: wk.prog, Victim: wk.victim}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for r := range out {
+		verdicts[work[r.Seq].idx] = verdictFor(r.ID, r.Verdict, r.Model, r.Err)
+	}
+	// Work the producer never sent (cancellation mid-batch) fails with
+	// the context's error; label() never yields an empty ID, so an
+	// empty ID marks the unfilled slots.
+	for _, wk := range work {
+		if verdicts[wk.idx].ID == "" {
+			v := Verdict{ID: wk.id, Error: "target was not classified"}
+			if err := ctx.Err(); err != nil {
+				v.Error = err.Error()
+			}
+			verdicts[wk.idx] = v
+		}
+	}
+	return verdicts
+}
+
+// handleReload is POST /reload: load fresh repository contents through
+// Config.Reload and swap them in atomically. In-flight scans keep
+// their snapshot; the version bump invalidates verdict-cache entries
+// and triggers the next classification's engine rebuild.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.enter() {
+		drainingReply(w)
+		return
+	}
+	defer s.inflight.Done()
+	if s.cfg.Reload == nil {
+		writeError(w, http.StatusNotImplemented, "reload not configured")
+		return
+	}
+	// An empty body means "reload the default source"; anything else
+	// must parse.
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad reload request: "+err.Error())
+		return
+	}
+	if err := faultinject.Fire(faultinject.ServeReload, req.Path); err != nil {
+		writeError(w, http.StatusInternalServerError, "reload failed: "+err.Error())
+		return
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	fresh, err := s.cfg.Reload(req.Path)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reload failed: "+err.Error())
+		return
+	}
+	s.det.Repo.Replace(fresh.Entries)
+	s.tel.Inc(telemetry.ServeReloads)
+	writeJSON(w, http.StatusOK, reloadResponse{
+		Entries: s.det.Repo.Len(),
+		Version: s.det.Repo.Version(),
+	})
+}
+
+// handleHealthz is GET /healthz: 200 {"status":"ok"} while serving,
+// 503 {"status":"draining"} during shutdown so load balancers route
+// away before intake actually stops.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.drainMu.Lock()
+	draining := s.draining
+	s.drainMu.Unlock()
+	resp := healthzResponse{
+		Status:   "ok",
+		Entries:  s.det.Repo.Len(),
+		Version:  s.det.Repo.Version(),
+		Draining: draining,
+	}
+	status := http.StatusOK
+	if draining {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// handleClassifyStream is POST /v1/classify/stream: newline-delimited
+// JSON TargetSpec values in, one NDJSON Verdict line per input line
+// out, in input order. The connection is one streaming pipeline
+// (internal/stream): targets are classified as they arrive with
+// bounded buffering and per-target fault isolation, and a slow reader
+// of the response exerts backpressure all the way to the request body.
+//
+// A line that fails to resolve gets an error verdict line; a line that
+// fails to parse as JSON gets an error verdict line and ends the
+// stream (the byte stream is no longer trustworthy). On server drain
+// the connection stops reading further targets, flushes verdicts for
+// everything accepted, and closes.
+func (s *Server) handleClassifyStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.enter() {
+		drainingReply(w)
+		return
+	}
+	defer s.inflight.Done()
+	release, retryAfter, err := s.gate.admit(r.Header.Get(s.cfg.KeyHeader), 1)
+	if err != nil {
+		s.shed(w, retryAfter)
+		return
+	}
+	defer release()
+	s.tel.Inc(telemetry.ServeRequests)
+	start := s.tel.Now()
+	defer func() { s.tel.ObserveSince(telemetry.StageServeRequest, start) }()
+
+	// HTTP/1 servers are half-duplex by default: the first response
+	// write would try to drain the unread request body, deadlocking
+	// against a client that streams targets as verdicts come back.
+	// Full duplex is exactly this endpoint's contract. (HTTP/2 is
+	// always full duplex; the call failing is fine.)
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	// Send the headers now: a client streaming targets interactively
+	// blocks on them before it writes its first line.
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	emit := func(v Verdict) {
+		_ = enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	ctx := r.Context()
+	in := make(chan stream.Target)
+	out := stream.Classify(ctx, s.det, in, s.streamConfig())
+
+	// The reader assigns every input line an output slot; targets that
+	// never enter the pipeline (bad lines) park their error verdict in
+	// bad, and slotOf maps pipeline sequence numbers back to slots so
+	// the writer can interleave both streams in input order.
+	var (
+		mu     sync.Mutex
+		bad    = map[int]Verdict{}
+		slotOf []int
+	)
+
+	// A blocked body read must not stall a drain forever: when the
+	// server starts draining, expire the connection's read deadline so
+	// the decoder unblocks and the reader stops intake cleanly.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-s.drainCh:
+			_ = rc.SetReadDeadline(time.Now())
+		case <-ctx.Done():
+		case <-done:
+		}
+	}()
+
+	go func() {
+		defer close(in)
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+		slot := 0
+		for {
+			select {
+			case <-s.drainCh:
+				return
+			case <-ctx.Done():
+				return
+			default:
+			}
+			var ts TargetSpec
+			if err := dec.Decode(&ts); err != nil {
+				if errors.Is(err, io.EOF) || s.isDraining() || isTimeout(err) {
+					return
+				}
+				mu.Lock()
+				bad[slot] = Verdict{ID: "line", Error: "bad target line: " + err.Error()}
+				mu.Unlock()
+				return
+			}
+			id := ts.label(slot)
+			prog, victim, rerr := ts.resolve()
+			if rerr != nil {
+				mu.Lock()
+				bad[slot] = Verdict{ID: id, Error: "resolve: " + rerr.Error()}
+				mu.Unlock()
+				slot++
+				continue
+			}
+			mu.Lock()
+			slotOf = append(slotOf, slot)
+			mu.Unlock()
+			slot++
+			select {
+			case in <- stream.Target{ID: id, Program: prog, Victim: victim}:
+			case <-ctx.Done():
+				mu.Lock()
+				slotOf = slotOf[:len(slotOf)-1]
+				mu.Unlock()
+				return
+			}
+		}
+	}()
+
+	// Writer: pipeline results arrive ordered by Seq, hence by slot;
+	// every bad slot below the next pipeline slot was recorded before
+	// that target was sent, so flushing gaps first preserves exact
+	// input order.
+	next := 0
+	flushBadBelow := func(limit int) {
+		for {
+			mu.Lock()
+			v, ok := bad[next]
+			mu.Unlock()
+			if !ok || next >= limit {
+				return
+			}
+			emit(v)
+			next++
+		}
+	}
+	for res := range out {
+		mu.Lock()
+		slot := slotOf[res.Seq]
+		mu.Unlock()
+		flushBadBelow(slot)
+		emit(verdictFor(res.ID, res.Verdict, res.Model, res.Err))
+		next = slot + 1
+	}
+	// The pipeline closed, so the reader is done and every remaining
+	// verdict is a parked bad line.
+	flushBadBelow(int(^uint(0) >> 1))
+}
+
+// isDraining reports the server's drain flag.
+func (s *Server) isDraining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// isTimeout reports a deadline-expired read — the drain watcher's way
+// of unblocking the decoder.
+func isTimeout(err error) bool {
+	var ne interface{ Timeout() bool }
+	if errors.As(err, &ne) {
+		return ne.Timeout()
+	}
+	return errors.Is(err, os.ErrDeadlineExceeded)
+}

@@ -122,6 +122,29 @@ const (
 	// another caller's in-flight computation (singleflight): each
 	// increment is one scan that waited instead of recomputing.
 	VCacheCollapsed
+	// ServeRequests counts classification requests admitted by the
+	// detection server (internal/serve): unary and batch /v1/classify
+	// calls and /v1/classify/stream connections, after admission
+	// control let them through.
+	ServeRequests
+	// ServeRejected counts requests shed by the server's admission gate
+	// with 429 (per-key token bucket empty, global concurrency cap
+	// saturated, or an injected serve.admit fault).
+	ServeRejected
+	// ServeRetries counts serve-layer re-runs of a failed unary
+	// classification (serve.Config.Retry): each increment is one
+	// additional attempt after a transient failure.
+	ServeRetries
+	// ServeHedges counts hedge attempts launched: a unary
+	// classification outlived serve.Config.Hedge and a parallel second
+	// attempt was started against the same target.
+	ServeHedges
+	// ServeHedgeWins counts hedged requests whose hedge attempt
+	// resolved first — the primary was genuinely slow, not just the
+	// timer short.
+	ServeHedgeWins
+	// ServeReloads counts successful POST /reload repository hot-swaps.
+	ServeReloads
 
 	numCounters
 )
@@ -151,6 +174,12 @@ var counterNames = [numCounters]string{
 	VCacheMisses:                 "vcache_misses",
 	VCacheEvictions:              "vcache_evictions",
 	VCacheCollapsed:              "vcache_collapsed",
+	ServeRequests:                "serve_requests",
+	ServeRejected:                "serve_rejected",
+	ServeRetries:                 "serve_retries",
+	ServeHedges:                  "serve_hedges",
+	ServeHedgeWins:               "serve_hedge_wins",
+	ServeReloads:                 "serve_reloads",
 }
 
 // String returns the counter's snapshot/export name.
@@ -182,6 +211,11 @@ const (
 	// coordinator observes each (target, shard) call, so the histogram's
 	// spread is the straggler profile across shards.
 	StageShardScan
+	// StageServeRequest is one admitted request's end-to-end latency in
+	// the detection server: admission to response written, resolution,
+	// modeling and scan included (streaming connections observe the
+	// whole connection).
+	StageServeRequest
 
 	numStages
 )
@@ -194,6 +228,7 @@ var stageNames = [numStages]string{
 	StageScan:         "scan",
 	StageStreamTarget: "stream_target",
 	StageShardScan:    "shard_scan",
+	StageServeRequest: "serve_request",
 }
 
 // String returns the stage's snapshot/export name.

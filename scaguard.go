@@ -35,6 +35,7 @@ import (
 	"repro/internal/panicsafe"
 	"repro/internal/retry"
 	"repro/internal/scan"
+	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/similarity"
 	"repro/internal/stream"
@@ -301,6 +302,25 @@ func ServeShard(repo *Repository, shards, index int, policy ShardPolicy, addr st
 	slice := shard.ShardModels(models, shard.Router{Shards: shards, Policy: policy}, index)
 	return shard.NewServer(slice, cfg).Serve(addr)
 }
+
+// Detection-as-a-service front end (internal/serve): a long-lived
+// HTTP/JSON server fronting a detector — and through it, optionally, a
+// shard fleet — for many concurrent clients, with per-key admission
+// control (429 + Retry-After under overload), request hedging against
+// slow shards, zero-downtime repository hot-reload (POST /reload) and
+// graceful drain. This is what `scaguard serve` runs; the endpoint
+// reference and operator guide are in docs/SERVING.md.
+type (
+	ServeConfig     = serve.Config
+	DetectionServer = serve.Server
+	ServeTargetSpec = serve.TargetSpec
+	ServeVerdict    = serve.Verdict
+)
+
+// NewDetectionServer builds the detection service from cfg
+// (cfg.Detector is required). Expose it with Serve or mount Handler
+// yourself; stop it with Shutdown, which drains in-flight requests.
+func NewDetectionServer(cfg ServeConfig) *DetectionServer { return serve.New(cfg) }
 
 // CheckShard verifies a shard server at addr is alive and holds the
 // slice the router says it should — the partition handshake used by

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Intra-repo markdown link checker: every relative link target in every
+# tracked .md file must exist. External links (http/https/mailto) and
+# pure #anchors are skipped — the check catches the drift that actually
+# happens here: a doc renamed or a section moved while another doc
+# still points at the old path.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in $(git ls-files '*.md'); do
+    dir=$(dirname "$f")
+    # Pull out the (target) of every [text](target), one per line.
+    # Inline code spans are stripped first so `[i](j)` examples in code
+    # don't count as links.
+    targets=$(sed 's/`[^`]*`//g' "$f" \
+        | grep -o '\[[^][]*\]([^()]*)' \
+        | sed 's/.*](\([^()]*\))/\1/') || continue
+    for t in $targets; do
+        case "$t" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${t%%#*}
+        [ -n "$path" ] || continue
+        case "$path" in
+        /*) resolved=".$path" ;;
+        *) resolved="$dir/$path" ;;
+        esac
+        if [ ! -e "$resolved" ]; then
+            echo "docs-check: $f links to missing $t" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" != 0 ]; then
+    echo "docs-check: FAILED — fix the links above" >&2
+    exit 1
+fi
+echo "docs-check: OK (all intra-repo markdown links resolve)"
