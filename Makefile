@@ -7,7 +7,7 @@ GO ?= go
 # cancellation and backpressure, where a bug means "stuck forever").
 TEST_TIMEOUT ?= 5m
 
-.PHONY: all build test race vet bench bench-shard bench-vcache vcache-smoke shard-smoke serve-smoke docs-check fuzz-short faults cover ci
+.PHONY: all build test race vet bench bench-shard bench-vcache bench-cascade bench-check alloc-check vcache-smoke shard-smoke serve-smoke docs-check fuzz-short faults cover ci
 
 all: build
 
@@ -46,6 +46,25 @@ bench-shard:
 bench-vcache:
 	$(GO) test -run xxx -bench BenchmarkVerdictCache -benchmem ./internal/detect
 
+# Lower-bound cascade figures: repository scan Serial vs Engine vs
+# Pruned vs Cascade, best-of-3, written to BENCH_cascade.json. A longer
+# benchtime than the CI guard, for quoting in docs/PERFORMANCE.md.
+bench-cascade:
+	BENCHTIME=1.5s COUNT=3 ./scripts/bench-check.sh
+
+# CI regression guard over the same benchmark: fails if the cascade
+# scan regresses more than 1.25x RELATIVE to the plain pruned scan in
+# the same run (intra-run ratio — absolute ns/op thresholds don't
+# survive CI machine variance).
+bench-check:
+	./scripts/bench-check.sh
+
+# The warm scan path — exact, pruned and cascade — must perform zero
+# allocations per full repository pass (testing.AllocsPerRun-pinned;
+# see docs/PERFORMANCE.md "Allocation-free scan kernel").
+alloc-check:
+	$(GO) test -timeout $(TEST_TIMEOUT) -run TestScanZeroAllocWarmPath -v ./internal/scan
+
 # Cache-hit smoke: the differential + all-hits repeat-pass tests across
 # the detector, the shard servers and the golden corpus.
 vcache-smoke:
@@ -69,11 +88,13 @@ serve-smoke:
 docs-check:
 	./scripts/docs-check.sh
 
-# Short fuzzing pass over the assembler parser: ten seconds of
-# coverage-guided input plus the checked-in seed corpus. Crashers land
-# in internal/isa/testdata/fuzz/ as regression inputs.
+# Short fuzzing pass: ten seconds each over the assembler parser and
+# the lower-bound cascade soundness property (every tier <= the exact
+# DTW distance), plus the checked-in seed corpora. Crashers land in the
+# package's testdata/fuzz/ as regression inputs.
 fuzz-short:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s -timeout $(TEST_TIMEOUT) ./internal/isa
+	$(GO) test -fuzz=FuzzLowerBoundCascade -fuzztime=10s -timeout $(TEST_TIMEOUT) ./internal/similarity
 
 # Fault-injection suite under the race detector: panic isolation,
 # cancellation promptness and leak freedom across the scan engine, the
@@ -89,4 +110,4 @@ cover:
 	$(GO) test -coverprofile=coverage.out -timeout $(TEST_TIMEOUT) ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: build vet test race faults vcache-smoke shard-smoke serve-smoke docs-check fuzz-short cover
+ci: build vet test race faults alloc-check bench-check vcache-smoke shard-smoke serve-smoke docs-check fuzz-short cover

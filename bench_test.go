@@ -411,6 +411,14 @@ func BenchmarkRepositoryScan(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(entries)), "entries")
 	})
+	b.Run("Cascade", func(b *testing.B) {
+		eng := scan.New(entries, scan.Config{Prune: true, Cascade: true, Sim: similarity.DefaultOptions()})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Scan(targets[i%len(targets)])
+		}
+		b.ReportMetric(float64(len(entries)), "entries")
+	})
 }
 
 // BenchmarkTelemetryOverhead measures the cost of instrumentation on

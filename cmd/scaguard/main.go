@@ -321,6 +321,7 @@ func cmdClassify(args []string) error {
 	repoPath := fs.String("repo", "", "classify against a saved repository instead of the default")
 	workers := fs.Int("workers", 0, "scan worker-pool size (0 = GOMAXPROCS)")
 	fast := fs.Bool("fast", false, "early-abandoning scan: the verdict and best match stay exact, other scores may be upper bounds (marked ~)")
+	cascade := fs.Bool("cascade", false, "with -fast: order candidates by a cheap O(1) lower bound and escalate through the tier-2/tier-3 bounds lazily (same exact verdict, fewer full comparisons); no effect without -fast")
 	stats := fs.Bool("stats", false, "print a telemetry report after the run (pruning rate, DistCache hit rate, stage latencies)")
 	metricsAddr := fs.String("metrics-addr", "", "serve the live telemetry snapshot over HTTP on this address (e.g. :8080); JSON by default, Prometheus text via Accept or ?format=prometheus; blocks after the run until interrupted")
 	timeout := fs.Duration("timeout", 0, "per-classification deadline covering modeling and scanning (e.g. 500ms); 0 = none")
@@ -337,7 +338,7 @@ func cmdClassify(args []string) error {
 	if err != nil {
 		return err
 	}
-	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast}
+	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast, Cascade: *cascade}
 	det.Timeout = *timeout
 	det.ResultCache = *resultCache
 	policy, err := scaguard.ParseShardPolicy(*shardPolicy)
@@ -479,6 +480,7 @@ func cmdServe(args []string) error {
 	repoPath := fs.String("repo", "", "serve a saved repository instead of the default; also the default source for POST /reload")
 	workers := fs.Int("workers", 0, "scan worker-pool size (0 = GOMAXPROCS)")
 	fast := fs.Bool("fast", false, "early-abandoning scans: verdicts and best matches stay exact, other scores may be upper bounds")
+	cascade := fs.Bool("cascade", false, "with -fast: order candidates by a cheap O(1) lower bound and escalate through the tier-2/tier-3 bounds lazily (same exact verdict, fewer full comparisons); no effect without -fast")
 	resultCache := fs.Int("result-cache", 0, "memoize whole scan outcomes in a bounded LRU of this many entries (0 = off); invalidated by /reload and repository growth")
 	shards := fs.Int("shards", 0, "partition the repository across this many in-process scan shards (0/1 = single engine)")
 	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard-serve addresses; the repository is scanned across them")
@@ -501,7 +503,7 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast}
+	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast, Cascade: *cascade}
 	det.Timeout = *timeout
 	det.ResultCache = *resultCache
 	policy, err := scaguard.ParseShardPolicy(*shardPolicy)

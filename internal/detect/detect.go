@@ -312,6 +312,7 @@ type repoScanner interface {
 type engineKey struct {
 	workers      int
 	prune        bool
+	cascade      bool
 	sim          similarity.Options
 	tel          *telemetry.Collector
 	shards       int
@@ -324,7 +325,8 @@ type engineKey struct {
 
 func (d *Detector) key() engineKey {
 	return engineKey{
-		workers: d.Scan.Workers, prune: d.Scan.Prune, sim: d.SimOpts, tel: d.Telemetry,
+		workers: d.Scan.Workers, prune: d.Scan.Prune, cascade: d.Scan.Cascade,
+		sim: d.SimOpts, tel: d.Telemetry,
 		shards: d.Shards, policy: d.ShardPolicy, addrs: strings.Join(d.ShardAddrs, ","),
 		shardTimeout: d.ShardTimeout, shardRetry: d.ShardRetry, resultCache: d.ResultCache,
 	}
@@ -386,11 +388,12 @@ func (d *Detector) wrapCached(sc repoScanner, ver uint64, cfg scan.Config) repoS
 	}
 	d.Telemetry.RegisterGauges("vcache", d.vc.TelemetryGauges)
 	return &cachedScanner{
-		inner: sc,
-		cache: d.vc,
-		ver:   ver,
-		prune: cfg.Prune,
-		sim:   cfg.Sim.WithDefaults(),
+		inner:   sc,
+		cache:   d.vc,
+		ver:     ver,
+		prune:   cfg.Prune,
+		cascade: cfg.Cascade,
+		sim:     cfg.Sim.WithDefaults(),
 	}
 }
 
@@ -398,11 +401,12 @@ func (d *Detector) wrapCached(sc repoScanner, ver uint64, cfg scan.Config) repoS
 // seam, so every classification entry point — single, batch, streaming
 // — shares one result cache without knowing it exists.
 type cachedScanner struct {
-	inner repoScanner
-	cache *vcache.Cache
-	ver   uint64
-	prune bool
-	sim   similarity.Options
+	inner   repoScanner
+	cache   *vcache.Cache
+	ver     uint64
+	prune   bool
+	cascade bool
+	sim     similarity.Options
 }
 
 func (s *cachedScanner) key(bbs *model.CSTBBS) vcache.Key {
@@ -410,6 +414,7 @@ func (s *cachedScanner) key(bbs *model.CSTBBS) vcache.Key {
 		Target:  vcache.TargetHash(bbs),
 		Version: s.ver,
 		Prune:   s.prune,
+		Cascade: s.cascade,
 		Window:  s.sim.Window,
 		ISW:     s.sim.ISWeight,
 		CSP:     s.sim.CSPWeight,

@@ -129,78 +129,7 @@ func DistanceAbandon(n, m int, d DistFunc, opts Options, cutoff float64) (sum fl
 }
 
 func distanceAbandon(n, m int, d DistFunc, opts Options, cutoff float64) (float64, int, bool) {
-	switch {
-	case n == 0 && m == 0:
-		return 0, 0, false
-	case n == 0 || m == 0:
-		return math.Inf(1), 0, false
-	}
-	w := opts.Window
-	if w > 0 {
-		diff := n - m
-		if diff < 0 {
-			diff = -diff
-		}
-		if w < diff {
-			w = diff
-		}
-	}
-	inf := math.Inf(1)
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
-	prevLen := make([]int, m+1)
-	curLen := make([]int, m+1)
-	for j := range prev {
-		prev[j] = inf
-	}
-	prev[0] = 0
-	for i := 1; i <= n; i++ {
-		for j := range cur {
-			cur[j] = inf
-		}
-		lo, hi := 1, m
-		if w > 0 {
-			lo = i - w
-			if lo < 1 {
-				lo = 1
-			}
-			hi = i + w
-			if hi > m {
-				hi = m
-			}
-		}
-		rowMin := inf
-		for j := lo; j <= hi; j++ {
-			cost := d(i-1, j-1)
-			diag, up, left := prev[j-1], prev[j], cur[j-1]
-			// Predecessor choice mirrors Path's backtracking exactly so
-			// the tracked path length matches len(Path(...)).
-			var best float64
-			var blen int
-			switch {
-			case diag <= up && diag <= left:
-				best, blen = diag, prevLen[j-1]
-			case up <= left:
-				best, blen = up, prevLen[j]
-			default:
-				best, blen = left, curLen[j-1]
-			}
-			cur[j] = cost + best
-			curLen[j] = blen + 1
-			if cur[j] < rowMin {
-				rowMin = cur[j]
-			}
-		}
-		if rowMin > cutoff {
-			// Every admissible path crosses row i at one of these cells
-			// and point costs are non-negative, so the final sum is at
-			// least rowMin > cutoff: abandon with the proof in hand.
-			return rowMin, 0, true
-		}
-		prev, cur = cur, prev
-		prevLen, curLen = curLen, prevLen
-	}
-	return prev[m], prevLen[m], false
+	return DistanceAbandonScratch(n, m, d, opts, cutoff, &Scratch{})
 }
 
 // Path additionally returns one optimal warping path as (i,j) index

@@ -1,0 +1,107 @@
+package model
+
+import "sync"
+
+// The flattened CST-BBS representation behind the scan engine's
+// allocation-free comparison kernel (internal/scan, docs/PERFORMANCE.md):
+// every normalized instruction token is interned to a dense uint32
+// symbol through a shared SymTab, and a model's blocks become one
+// contiguous symbol array plus offsets. The Levenshtein term then
+// compares machine words instead of strings, with no per-block slice
+// headers or string data chased through the heap.
+//
+// The mapping is injective — two tokens share a symbol exactly when the
+// strings are equal — so an edit distance over symbols equals the edit
+// distance over the original token sequences, and the flattened path is
+// bit-identical to the string path it replaces.
+
+// maxSymbols caps the symbol table. The normalized instruction
+// vocabulary is tiny by construction (opcode × {reg,imm,mem}² shapes,
+// see isa.Normalize), so the cap exists only so hand-built or
+// wire-received models with pathological tokens cannot grow the table
+// without bound; once full, Intern reports failure and callers fall
+// back to the string path.
+const maxSymbols = 1 << 20
+
+// SymTab interns normalized instruction tokens to dense uint32 symbols.
+// All methods are safe for concurrent use.
+type SymTab struct {
+	mu   sync.RWMutex
+	syms map[string]uint32
+}
+
+// NewSymTab returns an empty symbol table.
+func NewSymTab() *SymTab {
+	return &SymTab{syms: make(map[string]uint32)}
+}
+
+// Intern returns the symbol for tok, assigning the next dense id on
+// first sight. ok is false when the table is full and tok is new; equal
+// tokens always receive equal symbols.
+func (t *SymTab) Intern(tok string) (sym uint32, ok bool) {
+	t.mu.RLock()
+	sym, ok = t.syms[tok]
+	t.mu.RUnlock()
+	if ok {
+		return sym, true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sym, ok = t.syms[tok]; ok {
+		return sym, true
+	}
+	if len(t.syms) >= maxSymbols {
+		return 0, false
+	}
+	sym = uint32(len(t.syms))
+	t.syms[tok] = sym
+	return sym, true
+}
+
+// Len returns the number of distinct tokens interned.
+func (t *SymTab) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.syms)
+}
+
+// FlatBBS is the flattened form of one CSTBBS: the symbols of every
+// block's normalized instruction sequence laid out contiguously, with
+// Off delimiting blocks (block i is Syms[Off[i]:Off[i+1]]). Immutable
+// after FlattenBBS and safe to share across goroutines.
+type FlatBBS struct {
+	Syms []uint32
+	Off  []int32
+}
+
+// FlattenBBS interns every token of s through tab and returns the
+// contiguous form. ok is false — and the FlatBBS nil — when the table
+// filled up mid-flatten; callers keep the string representation for
+// such models.
+func FlattenBBS(s *CSTBBS, tab *SymTab) (*FlatBBS, bool) {
+	total := 0
+	for i := range s.Seq {
+		total += len(s.Seq[i].NormInsns)
+	}
+	f := &FlatBBS{
+		Syms: make([]uint32, 0, total),
+		Off:  make([]int32, 1, s.Len()+1),
+	}
+	for i := range s.Seq {
+		for _, tok := range s.Seq[i].NormInsns {
+			sym, ok := tab.Intern(tok)
+			if !ok {
+				return nil, false
+			}
+			f.Syms = append(f.Syms, sym)
+		}
+		f.Off = append(f.Off, int32(len(f.Syms)))
+	}
+	return f, true
+}
+
+// Block returns block i's symbol sequence (a view into Syms; do not
+// mutate).
+func (f *FlatBBS) Block(i int) []uint32 {
+	return f.Syms[f.Off[i]:f.Off[i+1]]
+}

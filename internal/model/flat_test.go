@@ -1,0 +1,118 @@
+package model
+
+import (
+	"sync"
+	"testing"
+)
+
+func flatBBS(blocks ...[]string) *CSTBBS {
+	s := &CSTBBS{Name: "t"}
+	for _, b := range blocks {
+		s.Seq = append(s.Seq, CST{NormInsns: b})
+	}
+	return s
+}
+
+// FlattenBBS must reproduce every block through an injective mapping:
+// equal tokens share a symbol, distinct tokens never do, and Block(i)
+// decodes back to Seq[i].NormInsns token for token.
+func TestFlattenBBSRoundtrip(t *testing.T) {
+	tab := NewSymTab()
+	s := flatBBS(
+		[]string{"mov reg, mem", "clflush mem"},
+		nil,
+		[]string{"clflush mem", "clflush mem", "rdtscp reg"},
+	)
+	f, ok := FlattenBBS(s, tab)
+	if !ok {
+		t.Fatal("flatten failed on a tiny model")
+	}
+	if got, want := len(f.Off), s.Len()+1; got != want {
+		t.Fatalf("offsets = %d, want %d", got, want)
+	}
+	sym := map[string]uint32{}
+	rev := map[uint32]string{}
+	for i, c := range s.Seq {
+		blk := f.Block(i)
+		if len(blk) != len(c.NormInsns) {
+			t.Fatalf("block %d length %d, want %d", i, len(blk), len(c.NormInsns))
+		}
+		for k, tok := range c.NormInsns {
+			if prev, seen := sym[tok]; seen && prev != blk[k] {
+				t.Fatalf("token %q got symbols %d and %d", tok, prev, blk[k])
+			}
+			if prevTok, seen := rev[blk[k]]; seen && prevTok != tok {
+				t.Fatalf("symbol %d maps to %q and %q — not injective", blk[k], prevTok, tok)
+			}
+			sym[tok] = blk[k]
+			rev[blk[k]] = tok
+		}
+	}
+	if tab.Len() != len(sym) {
+		t.Errorf("table holds %d symbols, saw %d distinct tokens", tab.Len(), len(sym))
+	}
+}
+
+// Two models flattened through one shared table must agree on symbols
+// for shared tokens — the property that lets the scan engine compare
+// any target block against any repository block by symbol.
+func TestFlattenBBSSharedTable(t *testing.T) {
+	tab := NewSymTab()
+	a, _ := FlattenBBS(flatBBS([]string{"x", "y"}), tab)
+	b, _ := FlattenBBS(flatBBS([]string{"y", "x", "z"}), tab)
+	if a.Block(0)[0] != b.Block(0)[1] || a.Block(0)[1] != b.Block(0)[0] {
+		t.Errorf("shared tokens disagree: a=%v b=%v", a.Block(0), b.Block(0))
+	}
+	if b.Block(0)[2] == a.Block(0)[0] || b.Block(0)[2] == a.Block(0)[1] {
+		t.Errorf("fresh token aliases an existing symbol: %v", b.Block(0))
+	}
+}
+
+func TestSymTabIntern(t *testing.T) {
+	tab := NewSymTab()
+	s1, ok := tab.Intern("a")
+	if !ok {
+		t.Fatal("intern failed")
+	}
+	s2, _ := tab.Intern("b")
+	s3, _ := tab.Intern("a")
+	if s1 == s2 {
+		t.Error("distinct tokens share a symbol")
+	}
+	if s1 != s3 {
+		t.Error("equal tokens got distinct symbols")
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tab.Len())
+	}
+}
+
+// Concurrent interning of an overlapping token set must stay injective.
+func TestSymTabConcurrent(t *testing.T) {
+	tab := NewSymTab()
+	toks := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var wg sync.WaitGroup
+	got := make([][]uint32, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			syms := make([]uint32, len(toks))
+			for i, tok := range toks {
+				syms[i], _ = tab.Intern(tok)
+			}
+			got[w] = syms
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < 8; w++ {
+		for i := range toks {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d: token %q symbol %d != %d", w, toks[i], got[w][i], got[0][i])
+			}
+		}
+	}
+	if tab.Len() != len(toks) {
+		t.Errorf("table holds %d symbols, want %d", tab.Len(), len(toks))
+	}
+}

@@ -165,6 +165,40 @@ func (c *DistCache) normalized(ia uint32, sa []string, ib uint32, sb []string) f
 	return v
 }
 
+// normalizedFlat is normalized over the flattened symbol form: the same
+// memo map, the same (min,max)-id keys and the same hit/miss counters,
+// but a miss computes the Levenshtein over interned symbols
+// (textdist.Scratch.NormalizedU32) in caller-owned scratch rows —
+// bit-identical to the string computation under the injective symbol
+// mapping, allocation-free when the pair is already memoized. Both
+// blocks must be interned; callers route noID blocks to normalized.
+func (c *DistCache) normalizedFlat(ia uint32, sa []uint32, ib uint32, sb []uint32, s *textdist.Scratch) float64 {
+	if ia == ib {
+		c.pairHits.Add(1)
+		return 0
+	}
+	lo, hi := ia, ib
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	k := uint64(lo)<<32 | uint64(hi)
+	c.mu.RLock()
+	v, ok := c.dists[k]
+	c.mu.RUnlock()
+	if ok {
+		c.pairHits.Add(1)
+		return v
+	}
+	c.pairMisses.Add(1)
+	v = s.NormalizedU32(sa, sb)
+	c.mu.Lock()
+	if len(c.dists) < maxMemoized {
+		c.dists[k] = v
+	}
+	c.mu.Unlock()
+	return v
+}
+
 // Stats reports the number of interned blocks and memoized pair
 // distances, for diagnostics and tests.
 func (c *DistCache) Stats() (blocks, pairs int) {

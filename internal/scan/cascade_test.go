@@ -1,0 +1,218 @@
+package scan
+
+// Differential, tie-break, telemetry and allocation tests for the
+// cascade scan path (Config.Cascade): the lazy lower-bound escalation
+// must preserve every invariant of plain pruning — exact best match,
+// true upper bounds on pruned scores — while the warm comparison path
+// runs allocation-free.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/similarity"
+	"repro/internal/telemetry"
+)
+
+func bestMatch(ms []Match) (int, float64) {
+	bi, bs := -1, math.Inf(-1)
+	for i, m := range ms {
+		if m.Score > bs {
+			bi, bs = i, m.Score
+		}
+	}
+	return bi, bs
+}
+
+// The cascade scan obeys the pruned-scan contract: exact best (lowest
+// index on ties), bit-identical best score, and every pruned score a
+// true upper bound — against the serial reference, over randomized
+// corpora and worker counts.
+func TestCascadeScanKeepsBestExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		entries := randomCorpus(rng, 2+rng.Intn(12), 8)
+		eng := New(entries, Config{Workers: 1 + rng.Intn(4), Prune: true, Cascade: true, Sim: similarity.DefaultOptions()})
+		for trial := 0; trial < 4; trial++ {
+			target := randomBBS(rng, 8)
+			got := eng.Scan(target)
+			want := eng.ScanSerial(target)
+			wi, ws := bestMatch(want)
+			gi, gs := bestMatch(got)
+			if got[wi].Pruned {
+				t.Logf("seed=%d: true best entry %d was pruned", seed, wi)
+				return false
+			}
+			if gi != wi || gs != ws {
+				t.Logf("seed=%d: cascade best (%d,%v) != serial best (%d,%v)", seed, gi, gs, wi, ws)
+				return false
+			}
+			for i, m := range got {
+				if m.Pruned {
+					if m.Score < want[i].Score {
+						t.Logf("seed=%d entry %d: pruned bound %v below exact %v", seed, i, m.Score, want[i].Score)
+						return false
+					}
+				} else if m.Score != want[i].Score {
+					t.Logf("seed=%d entry %d: non-pruned score %v != exact %v", seed, i, m.Score, want[i].Score)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cascade=true without Prune must be a no-op: bit-identical to the
+// exact scan (and therefore to the serial reference).
+func TestCascadeWithoutPruneIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	entries := randomCorpus(rng, 10, 8)
+	plain := New(entries, Config{Sim: similarity.DefaultOptions()})
+	casc := New(entries, Config{Cascade: true, Sim: similarity.DefaultOptions()})
+	for trial := 0; trial < 8; trial++ {
+		target := randomBBS(rng, 8)
+		got, want := casc.Scan(target), plain.Scan(target)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d entry %d: cascade-no-prune %+v != exact %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Candidate reordering must not disturb tie-breaking: with duplicate
+// repository entries tying for best, every tied copy is scored exactly
+// (the pruneCutoff margin forbids pruning a tie), scores are identical,
+// and the positional result keeps the first index as max-score winner.
+func TestCascadeTieBreakOnDuplicateBest(t *testing.T) {
+	dup := randomBBS(rand.New(rand.NewSource(3)), 6)
+	for dup.Len() == 0 {
+		dup = randomBBS(rand.New(rand.NewSource(4)), 6)
+	}
+	rng := rand.New(rand.NewSource(5))
+	// entries: decoys around two identical copies of the target model.
+	corpus := append(randomCorpus(rng, 3, 8), dup, randomBBS(rng, 8), dup, randomBBS(rng, 8))
+	for _, workers := range []int{1, 4} {
+		eng := New(corpus, Config{Workers: workers, Prune: true, Cascade: true, Sim: similarity.DefaultOptions()})
+		for trial := 0; trial < 6; trial++ {
+			ms := eng.Scan(dup)
+			if ms[3].Pruned || ms[5].Pruned {
+				t.Fatalf("workers=%d trial=%d: a tied-best duplicate was pruned: %+v / %+v", workers, trial, ms[3], ms[5])
+			}
+			if ms[3].Score != 1 || ms[5].Score != 1 {
+				t.Fatalf("workers=%d trial=%d: self-match scores (%v, %v), want (1, 1)", workers, trial, ms[3].Score, ms[5].Score)
+			}
+			if bi, _ := bestMatch(ms); bi != 3 {
+				t.Fatalf("workers=%d trial=%d: max-score index %d, want first duplicate 3", workers, trial, bi)
+			}
+		}
+	}
+}
+
+// Per-tier prune counters must account for every entry exactly once:
+// kim-skipped + keogh-skipped + lowerbound-skipped + abandoned + exact
+// = entries × scans, and the cheap tiers actually fire on a corpus with
+// obvious outliers.
+func TestCascadeTelemetryCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	entries := randomCorpus(rng, 16, 8)
+	for i, e := range entries {
+		if e.Len() == 0 {
+			entries[i] = randomBBS(rand.New(rand.NewSource(int64(100+i))), 7)
+		}
+	}
+	tel := telemetry.NewCollector()
+	eng := New(entries, Config{Prune: true, Cascade: true, Telemetry: tel, Sim: similarity.DefaultOptions()})
+	const scans = 5
+	for trial := 0; trial < scans; trial++ {
+		eng.Scan(randomBBS(rng, 8))
+	}
+	sum := tel.Counter(telemetry.ScanEntriesKimSkipped) +
+		tel.Counter(telemetry.ScanEntriesKeoghSkipped) +
+		tel.Counter(telemetry.ScanEntriesLowerBoundSkipped) +
+		tel.Counter(telemetry.ScanEntriesAbandoned) +
+		tel.Counter(telemetry.ScanEntriesExact)
+	if want := uint64(len(entries) * scans); sum != want {
+		t.Errorf("tier counters sum to %d, want %d (kim=%d keogh=%d lb=%d abandoned=%d exact=%d)",
+			sum, want,
+			tel.Counter(telemetry.ScanEntriesKimSkipped),
+			tel.Counter(telemetry.ScanEntriesKeoghSkipped),
+			tel.Counter(telemetry.ScanEntriesLowerBoundSkipped),
+			tel.Counter(telemetry.ScanEntriesAbandoned),
+			tel.Counter(telemetry.ScanEntriesExact))
+	}
+	if tel.Counter(telemetry.ScanEntriesExact) == 0 {
+		t.Error("no entry was scored exactly — the best must always be")
+	}
+}
+
+// The warm comparison path allocates nothing: once the engine, target,
+// scratch, memo cache and cutoff are warm, scoring every entry again
+// performs zero allocations per scan — exact mode, pruned mode and the
+// full cascade alike. This pins the flattened-kernel design (scratch
+// DTW/Levenshtein rows, prebuilt dist closure, map-read-only memo).
+func TestScanZeroAllocWarmPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	entries := randomCorpus(rng, 24, 8)
+	target := randomBBS(rng, 8)
+	for target.Len() == 0 {
+		target = randomBBS(rng, 8)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"Exact", Config{Sim: similarity.DefaultOptions()}},
+		{"Pruned", Config{Prune: true, Sim: similarity.DefaultOptions()}},
+		{"Cascade", Config{Prune: true, Cascade: true, Sim: similarity.DefaultOptions()}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			eng := New(entries, c.cfg)
+			tgt := eng.newTarget(target)
+			var lbs, kims []float64
+			if c.cfg.Prune {
+				lbs = make([]float64, len(entries))
+				if c.cfg.Cascade {
+					// Mirror scanBatchCtx: tier-1 bound kept for skip
+					// attribution, lbs carries max(kim, keogh).
+					kims = make([]float64, len(entries))
+					var keo similarity.KeoghScratch
+					for ei := range entries {
+						kims[ei] = similarity.LowerBoundKim(tgt.prof, eng.profs[ei], eng.sim)
+						lbs[ei] = kims[ei]
+						if b := similarity.LowerBoundKeogh(tgt.prof, eng.profs[ei], eng.sim, &keo); b > lbs[ei] {
+							lbs[ei] = b
+						}
+					}
+				} else {
+					for ei := range entries {
+						lbs[ei] = similarity.LowerBound(tgt.prof, eng.profs[ei], eng.sim)
+					}
+				}
+			}
+			cut := NewCutoff()
+			s := eng.newScratch()
+			// Warm pass: fills the Levenshtein memo for every cell the
+			// measured pass can visit (a tighter cutoff only shrinks the
+			// visited set), grows every scratch buffer, settles the cutoff.
+			for ei := range entries {
+				eng.scoreOne(tgt, ei, lbs, kims, cut, s)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				for ei := range entries {
+					eng.scoreOne(tgt, ei, lbs, kims, cut, s)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("warm scan path allocates %.1f times per full repository pass, want 0", allocs)
+			}
+		})
+	}
+}

@@ -59,6 +59,16 @@ type Config struct {
 	// Pruned=true. Which entries get pruned depends on scheduling, so
 	// full match lists are only reproducible with Prune=false.
 	Prune bool
+	// Cascade layers the full lower-bound cascade over Prune: entries
+	// are ordered by the O(1) aggregate bound (similarity.LowerBoundKim)
+	// and escalated lazily through the O(n+m) envelope bound
+	// (similarity.LowerBoundKeogh) and the exact per-row bound
+	// (similarity.LowerBound) only while they survive — most entries of
+	// a large repository are pruned before any per-row work. Every tier
+	// is prune-only and conservative, so the invariants of Prune hold
+	// unchanged: best match, prediction and explanation stay exact.
+	// Ignored when Prune is false.
+	Cascade bool
 	// Sim is the similarity configuration shared by every comparison.
 	Sim similarity.Options
 	// Cache optionally shares a Levenshtein memo across engines (e.g.
@@ -102,18 +112,22 @@ type Engine struct {
 	models []*model.CSTBBS
 	profs  []*similarity.Profile
 	ids    [][]uint32
+	flats  []*model.FlatBBS // flattened symbol form; nil entries fall back to strings
+	tab    *model.SymTab
 	cache  *DistCache
 }
 
 // New builds an engine over a snapshot of models. Construction interns
-// every repository block into the cache and precomputes the per-entry
-// profiles the lower bound needs; it is cheap (linear in total blocks)
-// next to a single repository scan.
+// every repository block into the cache, flattens every model into the
+// contiguous symbol form the comparison kernel runs on, and precomputes
+// the per-entry profiles the lower bounds need; it is cheap (linear in
+// total blocks) next to a single repository scan.
 func New(models []*model.CSTBBS, cfg Config) *Engine {
 	e := &Engine{
 		cfg:    cfg,
 		sim:    cfg.Sim.WithDefaults(),
 		models: append([]*model.CSTBBS(nil), models...),
+		tab:    model.NewSymTab(),
 		cache:  cfg.Cache,
 	}
 	if e.cache == nil {
@@ -121,9 +135,11 @@ func New(models []*model.CSTBBS, cfg Config) *Engine {
 	}
 	e.profs = make([]*similarity.Profile, len(e.models))
 	e.ids = make([][]uint32, len(e.models))
+	e.flats = make([]*model.FlatBBS, len(e.models))
 	for i, m := range e.models {
 		e.profs[i] = similarity.NewProfile(m)
 		e.ids[i] = e.internBlocks(m)
+		e.flats[i], _ = model.FlattenBBS(m, e.tab)
 	}
 	return e
 }
@@ -147,10 +163,13 @@ type target struct {
 	bbs  *model.CSTBBS
 	prof *similarity.Profile
 	ids  []uint32
+	flat *model.FlatBBS // nil when flattening failed (symbol table full)
 }
 
 func (e *Engine) newTarget(bbs *model.CSTBBS) *target {
-	return &target{bbs: bbs, prof: similarity.NewProfile(bbs), ids: e.internBlocks(bbs)}
+	t := &target{bbs: bbs, prof: similarity.NewProfile(bbs), ids: e.internBlocks(bbs)}
+	t.flat, _ = model.FlattenBBS(bbs, e.tab)
+	return t
 }
 
 // Scan scores one target against every repository model. The result is
@@ -243,6 +262,7 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 	ts := make([]*target, len(targets))
 	orders := make([][]int, len(targets))
 	bounds := make([][]float64, len(targets))
+	kims := make([][]float64, len(targets))
 	if cuts == nil {
 		cuts = make([]*Cutoff, len(targets))
 	}
@@ -257,10 +277,29 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 		}
 		if e.cfg.Prune {
 			// Cheap lower bounds, and a most-promising-first order so
-			// the shared best tightens as early as possible.
+			// the shared best tightens as early as possible. Without the
+			// cascade the ordering bound is the exact per-row bound
+			// (O((n+m)·w) per entry); with it, the O(1) Kim tier plus the
+			// O(n+m) Keogh envelope tier — a ~w-times cheaper pass whose
+			// ordering is nearly as sharp, leaving the per-row tier to
+			// run lazily in scoreOne for the few entries within striking
+			// distance of the cutoff.
 			lbs := make([]float64, nE)
-			for ei := range e.models {
-				lbs[ei] = similarity.LowerBound(ts[ti].prof, e.profs[ei], e.sim)
+			if e.cfg.Cascade {
+				kim := make([]float64, nE)
+				var keo similarity.KeoghScratch
+				for ei := range e.models {
+					kim[ei] = similarity.LowerBoundKim(ts[ti].prof, e.profs[ei], e.sim)
+					lbs[ei] = kim[ei]
+					if b := similarity.LowerBoundKeogh(ts[ti].prof, e.profs[ei], e.sim, &keo); b > lbs[ei] {
+						lbs[ei] = b
+					}
+				}
+				kims[ti] = kim
+			} else {
+				for ei := range e.models {
+					lbs[ei] = similarity.LowerBound(ts[ti].prof, e.profs[ei], e.sim)
+				}
 			}
 			order := make([]int, nE)
 			for i := range order {
@@ -280,13 +319,21 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 		}
 		return k
 	}
-	run := func(k int) error {
+	run := func(k int, s *scratch) error {
 		if err := faultinject.Fire(faultinject.ScanWorker, ""); err != nil {
 			return err
 		}
 		ti, ei := k/nE, entryAt(k/nE, k%nE)
-		results[ti][ei] = e.scoreOne(ts[ti], ei, bounds[ti], cuts[ti])
+		results[ti][ei] = e.scoreOne(ts[ti], ei, bounds[ti], kims[ti], cuts[ti], s)
 		return nil
+	}
+	// Each worker owns one scratch (DTW rows, Levenshtein rows, Keogh
+	// deques, the bound dist closure and the panicsafe trampoline), so
+	// the per-item loop below allocates nothing once warm.
+	newWorkerScratch := func() *scratch {
+		s := e.newScratch()
+		s.runFn = func() error { return run(s.runK, s) }
+		return s
 	}
 	// First failure (recovered panic or injected fault) stops the
 	// batch: stop flags the claim loops, failOnce keeps the error.
@@ -295,8 +342,9 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 		failOnce sync.Once
 		failErr  error
 	)
-	runSafe := func(k int) {
-		err := panicsafe.Do(func() error { return run(k) })
+	runSafe := func(k int, s *scratch) {
+		s.runK = k
+		err := panicsafe.Do(s.runFn)
 		if err == nil {
 			return
 		}
@@ -314,6 +362,7 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 		workers = total
 	}
 	if workers <= 1 {
+		s := newWorkerScratch()
 		for k := 0; k < total; k++ {
 			if stop.Load() {
 				break
@@ -321,7 +370,7 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 			if err := ctx.Err(); err != nil {
 				return results, err
 			}
-			runSafe(k)
+			runSafe(k, s)
 		}
 		return results, failErr
 	}
@@ -331,6 +380,7 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			s := newWorkerScratch()
 			for {
 				if stop.Load() || ctx.Err() != nil {
 					return
@@ -339,7 +389,7 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 				if k >= int64(total) {
 					return
 				}
-				runSafe(int(k))
+				runSafe(int(k), s)
 			}
 		}()
 	}
@@ -350,21 +400,55 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 	return results, ctx.Err()
 }
 
+// cascadeEscalateFrac gates the lazy tier-3 escalation: the exact
+// per-row bound (similarity.LowerBound) runs only for entries whose
+// tier-1/2 bound already reaches this fraction of the cutoff. A bound
+// far below the cutoff is almost never bridged by the modest tightening
+// tier 3 adds, so spending O((n+m)·w) on it costs more than the banded
+// DTW rows it would save — early abandoning catches those entries a few
+// rows in anyway. The gate is a pure performance heuristic: it decides
+// whether an extra prune-only bound is consulted, never how an entry is
+// scored, so verdicts are unaffected by its value.
+const cascadeEscalateFrac = 0.75
+
 // scoreOne scores a single (target, entry) pair, consulting and
-// updating the target's shared best distance when pruning.
-func (e *Engine) scoreOne(t *target, ei int, lbs []float64, cut *Cutoff) Match {
+// updating the target's shared best distance when pruning. With the
+// cascade enabled, lbs carries the running maximum of the tier-1/tier-2
+// bounds (computed at order-build time; kims the tier-1 bound alone,
+// for attribution) and the tier-3 per-row bound escalates lazily behind
+// cascadeEscalateFrac. Every tier is a true lower bound and the code
+// keeps their running maximum, so each tier stays prune-only and the
+// reported pruned score stays a true upper bound.
+func (e *Engine) scoreOne(t *target, ei int, lbs, kims []float64, cut *Cutoff, s *scratch) Match {
 	tel := e.cfg.Telemetry
 	if !e.cfg.Prune {
-		d, _ := e.compare(t, ei, math.Inf(1))
+		d, _ := e.compare(t, ei, math.Inf(1), s)
 		tel.Inc(telemetry.ScanEntriesExact)
 		return Match{Index: ei, Score: dtw.Similarity(d)}
 	}
 	cutoff := pruneCutoff(cut.Best())
-	if lbs[ei] > cutoff {
-		tel.Inc(telemetry.ScanEntriesLowerBoundSkipped)
-		return Match{Index: ei, Score: dtw.Similarity(lbs[ei]), Pruned: true}
+	bound := lbs[ei]
+	if bound > cutoff {
+		switch {
+		case !e.cfg.Cascade:
+			tel.Inc(telemetry.ScanEntriesLowerBoundSkipped)
+		case kims[ei] > cutoff:
+			tel.Inc(telemetry.ScanEntriesKimSkipped)
+		default:
+			tel.Inc(telemetry.ScanEntriesKeoghSkipped)
+		}
+		return Match{Index: ei, Score: dtw.Similarity(bound), Pruned: true}
 	}
-	d, abandoned := e.compare(t, ei, cutoff)
+	if e.cfg.Cascade && bound > cutoff*cascadeEscalateFrac {
+		if b := similarity.LowerBound(t.prof, e.profs[ei], e.sim); b > bound {
+			bound = b
+		}
+		if bound > cutoff {
+			tel.Inc(telemetry.ScanEntriesLowerBoundSkipped)
+			return Match{Index: ei, Score: dtw.Similarity(bound), Pruned: true}
+		}
+	}
+	d, abandoned := e.compare(t, ei, cutoff, s)
 	if abandoned {
 		tel.Inc(telemetry.ScanEntriesAbandoned)
 		return Match{Index: ei, Score: dtw.Similarity(d), Pruned: true}
@@ -386,34 +470,3 @@ func pruneCutoff(best float64) float64 {
 	return best + best*1e-9 + 1e-15
 }
 
-// compare computes the normalized CST-BBS distance of target vs entry
-// ei, mirroring similarity.BBSDistanceAbandon operation-for-operation
-// (same float expressions, same DTW) but with the Levenshtein term
-// served from the shared cache. A +Inf cutoff yields the exact
-// distance; a finite cutoff may return (lower bound, true) instead.
-func (e *Engine) compare(t *target, ei int, cutoff float64) (float64, bool) {
-	eb := e.models[ei]
-	n, m := t.bbs.Len(), eb.Len()
-	switch {
-	case n == 0 && m == 0:
-		return 0, false
-	case n == 0 || m == 0:
-		return math.Inf(1), false
-	}
-	o := e.sim
-	eids, eprof := e.ids[ei], e.profs[ei]
-	d := func(i, j int) float64 {
-		dis := e.cache.normalized(t.ids[i], t.bbs.Seq[i].NormInsns, eids[j], eb.Seq[j].NormInsns)
-		dcsp := t.prof.Deltas[i] - eprof.Deltas[j]
-		if dcsp < 0 {
-			dcsp = -dcsp
-		}
-		return o.ISWeight*dis + o.CSPWeight*dcsp
-	}
-	rawCutoff := cutoff * float64(n+m-1)
-	sum, pathLen, abandoned := dtw.DistanceAbandon(n, m, d, dtw.Options{Window: o.Window}, rawCutoff)
-	if abandoned {
-		return sum / float64(n+m-1), true
-	}
-	return sum / float64(pathLen), false
-}

@@ -1,0 +1,89 @@
+package scan
+
+import (
+	"math"
+
+	"repro/internal/dtw"
+	"repro/internal/model"
+	"repro/internal/similarity"
+	"repro/internal/textdist"
+)
+
+// scratch is one scan worker's reusable state: the DTW rolling rows,
+// the Levenshtein rows, the Keogh envelope deques and the one point-
+// distance closure the DTW kernel calls. Everything a (target, entry)
+// comparison needs beyond the memo cache lives here, so the warm scan
+// path runs at zero allocations per comparison — pinned by
+// TestScanZeroAllocWarmPath. A scratch belongs to exactly one worker
+// goroutine at a time.
+type scratch struct {
+	dtw dtw.Scratch
+	lev textdist.Scratch
+	keo similarity.KeoghScratch
+
+	// The current (target, entry) pair, rebound by compare before each
+	// DTW. The dist closure below reads these fields instead of
+	// capturing per-pair values, so no new closure is allocated per
+	// comparison.
+	t     *target
+	eb    *model.CSTBBS
+	eids  []uint32
+	eprof *similarity.Profile
+	eflat *model.FlatBBS
+
+	dist dtw.DistFunc // built once per scratch by newScratch
+
+	// Work-item trampoline: runK is the claimed item index and runFn
+	// the prebuilt closure handed to panicsafe.Do, so the dispatch loop
+	// allocates nothing per item either.
+	runK  int
+	runFn func() error
+}
+
+// newScratch builds a worker scratch bound to this engine: its dist
+// closure serves D_IS from the shared cache — over the flattened symbol
+// arrays when both sides flattened, over the original token strings
+// otherwise — and mixes in the exact D_CSP term, mirroring
+// similarity.DistanceOpts operation-for-operation.
+func (e *Engine) newScratch() *scratch {
+	s := &scratch{}
+	s.dist = func(i, j int) float64 {
+		var dis float64
+		ia, ib := s.t.ids[i], s.eids[j]
+		if ia != noID && ib != noID && s.t.flat != nil && s.eflat != nil {
+			dis = e.cache.normalizedFlat(ia, s.t.flat.Block(i), ib, s.eflat.Block(j), &s.lev)
+		} else {
+			dis = e.cache.normalized(ia, s.t.bbs.Seq[i].NormInsns, ib, s.eb.Seq[j].NormInsns)
+		}
+		dcsp := s.t.prof.Deltas[i] - s.eprof.Deltas[j]
+		if dcsp < 0 {
+			dcsp = -dcsp
+		}
+		return e.sim.ISWeight*dis + e.sim.CSPWeight*dcsp
+	}
+	return s
+}
+
+// compare computes the normalized CST-BBS distance of target vs entry
+// ei, mirroring similarity.BBSDistanceAbandon operation-for-operation
+// (same float expressions, same DTW recurrence) but with the
+// Levenshtein term served from the shared cache and every scratch
+// buffer reused from s. A +Inf cutoff yields the exact distance; a
+// finite cutoff may return (lower bound, true) instead.
+func (e *Engine) compare(t *target, ei int, cutoff float64, s *scratch) (float64, bool) {
+	eb := e.models[ei]
+	n, m := t.bbs.Len(), eb.Len()
+	switch {
+	case n == 0 && m == 0:
+		return 0, false
+	case n == 0 || m == 0:
+		return math.Inf(1), false
+	}
+	s.t, s.eb, s.eids, s.eprof, s.eflat = t, eb, e.ids[ei], e.profs[ei], e.flats[ei]
+	rawCutoff := cutoff * float64(n+m-1)
+	sum, pathLen, abandoned := dtw.DistanceAbandonScratch(n, m, s.dist, dtw.Options{Window: e.sim.Window}, rawCutoff, &s.dtw)
+	if abandoned {
+		return sum / float64(n+m-1), true
+	}
+	return sum / float64(pathLen), false
+}

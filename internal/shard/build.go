@@ -75,7 +75,7 @@ func NewRemoteCoordinator(models []*model.CSTBBS, addrs []string, r Router, scfg
 	parts := PartitionModels(models, r)
 	shards := make([]Shard, len(parts))
 	for i, part := range parts {
-		shards[i] = NewRemoteShard(addrs[i], len(part), scfg.Prune, scfg.Sim, rcfg)
+		shards[i] = NewRemoteShard(addrs[i], len(part), scfg.Prune, scfg.Cascade, scfg.Sim, rcfg)
 	}
 	return NewCoordinator(shards, parts, ccfg)
 }

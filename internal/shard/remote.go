@@ -78,6 +78,7 @@ type RemoteShard struct {
 	base     string // normalized URL prefix
 	expected int    // partition-derived entry count
 	prune    bool
+	cascade  bool
 	sim      similarity.Options
 	cfg      RemoteConfig
 	client   *http.Client
@@ -85,9 +86,9 @@ type RemoteShard struct {
 
 // NewRemoteShard builds a client for the shard at addr ("host:port" or
 // a full http:// URL) which both sides' Routers agree holds expected
-// entries. prune and sim are the scan semantics this client's detector
-// wants; they travel with every request.
-func NewRemoteShard(addr string, expected int, prune bool, sim similarity.Options, cfg RemoteConfig) *RemoteShard {
+// entries. prune, cascade and sim are the scan semantics this client's
+// detector wants; they travel with every request.
+func NewRemoteShard(addr string, expected int, prune, cascade bool, sim similarity.Options, cfg RemoteConfig) *RemoteShard {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -100,7 +101,7 @@ func NewRemoteShard(addr string, expected int, prune bool, sim similarity.Option
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &RemoteShard{addr: addr, base: base, expected: expected, prune: prune, sim: sim.WithDefaults(), cfg: cfg, client: client}
+	return &RemoteShard{addr: addr, base: base, expected: expected, prune: prune, cascade: cascade, sim: sim.WithDefaults(), cfg: cfg, client: client}
 }
 
 // Name implements Shard (the address identifies the shard in errors and
@@ -140,6 +141,7 @@ func (s *RemoteShard) Scan(ctx context.Context, bbs *model.CSTBBS, cut *scan.Cut
 	base := scanRequest{
 		Target:    toWireBBS(bbs),
 		Prune:     s.prune,
+		Cascade:   s.cascade,
 		Window:    s.sim.Window,
 		ISWeight:  s.sim.ISWeight,
 		CSPWeight: s.sim.CSPWeight,

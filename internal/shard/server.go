@@ -45,6 +45,7 @@ type ServerConfig struct {
 // weights do not change.
 type engineKey struct {
 	prune    bool
+	cascade  bool
 	window   int
 	isw, csp float64
 }
@@ -106,6 +107,7 @@ func (s *Server) engine(k engineKey) *scan.Engine {
 	e := scan.New(s.models, scan.Config{
 		Workers:   s.cfg.Workers,
 		Prune:     k.prune,
+		Cascade:   k.cascade,
 		Sim:       similarity.Options{Window: k.window, ISWeight: k.isw, CSPWeight: k.csp},
 		Cache:     s.cache,
 		Telemetry: s.cfg.Telemetry,
@@ -141,12 +143,13 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	// design), and concurrent identical requests collapse onto one scan.
 	// A nil cache passes straight through to scanOnce.
 	key := vcache.Key{
-		Target: vcache.TargetHash(bbs),
-		Slice:  s.sliceHash,
-		Prune:  req.Prune,
-		Window: req.Window,
-		ISW:    req.ISWeight,
-		CSP:    req.CSPWeight,
+		Target:  vcache.TargetHash(bbs),
+		Slice:   s.sliceHash,
+		Prune:   req.Prune,
+		Cascade: req.Cascade,
+		Window:  req.Window,
+		ISW:     req.ISWeight,
+		CSP:     req.CSPWeight,
 	}
 	res, _, err := s.results.Do(r.Context(), key, func() (vcache.Result, bool, error) {
 		return s.scanOnce(r.Context(), req, bbs)
@@ -176,7 +179,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 // memoized engine for the requested semantics, seed the pruning cutoff,
 // register the scan id for mid-flight /cutoff broadcasts, scan.
 func (s *Server) scanOnce(ctx context.Context, req scanRequest, bbs *model.CSTBBS) (vcache.Result, bool, error) {
-	eng := s.engine(engineKey{prune: req.Prune, window: req.Window, isw: req.ISWeight, csp: req.CSPWeight})
+	eng := s.engine(engineKey{prune: req.Prune, cascade: req.Cascade, window: req.Window, isw: req.ISWeight, csp: req.CSPWeight})
 
 	cut := scan.NewCutoff()
 	if req.Cutoff != nil {

@@ -49,6 +49,7 @@ type scanRequest struct {
 	// distance known at send time (nil = none yet).
 	Cutoff    *float64 `json:"cutoff,omitempty"`
 	Prune     bool     `json:"prune"`
+	Cascade   bool     `json:"cascade,omitempty"`
 	Window    int      `json:"window"`
 	ISWeight  float64  `json:"is_weight"`
 	CSPWeight float64  `json:"csp_weight"`

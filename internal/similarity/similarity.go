@@ -142,12 +142,20 @@ func BBSDistanceAbandon(a, b *model.CSTBBS, opts Options, cutoff float64) (float
 	return sum / float64(pathLen), false
 }
 
-// Profile caches the per-block scalars LowerBound consumes: the cache
-// deltas and the normalized-instruction counts of each CST-BBS entry.
+// Profile caches the per-block scalars the lower-bound cascade
+// consumes: the cache deltas and the normalized-instruction counts of
+// each CST-BBS entry, plus their ranges (the O(1) tier's aggregates).
 // Profiles are immutable and safe to share across goroutines.
 type Profile struct {
 	Deltas []float64
 	Lens   []int
+
+	// Aggregate ranges over Deltas and Lens, precomputed at profile
+	// build so LowerBoundKim costs O(1) per entry. Zero-length profiles
+	// leave them at their zero values (never read: the empty cases
+	// short-circuit first).
+	MinDelta, MaxDelta float64
+	MinLen, MaxLen     int
 }
 
 // NewProfile extracts a Profile from a behavior model.
@@ -160,7 +168,29 @@ func NewProfile(s *model.CSTBBS) *Profile {
 		p.Deltas[i] = c.Delta()
 		p.Lens[i] = len(c.NormInsns)
 	}
+	p.aggregate()
 	return p
+}
+
+// aggregate fills the range fields from Deltas and Lens.
+func (p *Profile) aggregate() {
+	if len(p.Deltas) == 0 {
+		return
+	}
+	p.MinDelta, p.MaxDelta = p.Deltas[0], p.Deltas[0]
+	p.MinLen, p.MaxLen = p.Lens[0], p.Lens[0]
+	for i := 1; i < len(p.Deltas); i++ {
+		if d := p.Deltas[i]; d < p.MinDelta {
+			p.MinDelta = d
+		} else if d > p.MaxDelta {
+			p.MaxDelta = d
+		}
+		if l := p.Lens[i]; l < p.MinLen {
+			p.MinLen = l
+		} else if l > p.MaxLen {
+			p.MaxLen = l
+		}
+	}
 }
 
 // LowerBound returns a cheap lower bound on BBSDistance for the models
@@ -200,7 +230,9 @@ func LowerBound(a, b *Profile, opts Options) float64 {
 	if s := rowEnvelope(b, a, opts, w); s > sum {
 		sum = s // the column-wise bound is equally valid; keep the tighter
 	}
-	return sum / float64(n+m-1)
+	// lbSafety (cascade.go) absorbs the ulps by which the DTW's own
+	// float accumulation can land below an independently summed bound.
+	return sum / float64(n+m-1) * lbSafety
 }
 
 // rowEnvelope sums, over each row of the (banded) cost matrix, the

@@ -111,9 +111,19 @@ func ratio(num, den uint64) float64 {
 	return float64(num) / float64(den)
 }
 
+// boundSkips sums every lower-bound-based skip: the per-row bound plus
+// the cascade's tier-1/2 bounds (which replace it when Cascade is on).
+// All three are "entry pruned before DTW", so the derived rates treat
+// them as one bucket regardless of which tier fired.
+func boundSkips(s Snapshot) uint64 {
+	return s.Counters[ScanEntriesLowerBoundSkipped.String()] +
+		s.Counters[ScanEntriesKimSkipped.String()] +
+		s.Counters[ScanEntriesKeoghSkipped.String()]
+}
+
 func derive(s Snapshot) Derived {
 	exact := s.Counters[ScanEntriesExact.String()]
-	skipped := s.Counters[ScanEntriesLowerBoundSkipped.String()]
+	skipped := boundSkips(s)
 	abandoned := s.Counters[ScanEntriesAbandoned.String()]
 	total := exact + skipped + abandoned
 	d := Derived{
@@ -145,7 +155,7 @@ func (s Snapshot) WriteReport(w io.Writer) {
 		fmt.Fprintf(w, "  %-28s %d\n", n, s.Counters[n])
 	}
 	exact := s.Counters[ScanEntriesExact.String()]
-	skipped := s.Counters[ScanEntriesLowerBoundSkipped.String()]
+	skipped := boundSkips(s)
 	abandoned := s.Counters[ScanEntriesAbandoned.String()]
 	if total := exact + skipped + abandoned; total > 0 {
 		fmt.Fprintf(w, "  pruning:  %.1f%% of %d comparisons (%.1f%% lower-bound skips, %.1f%% DTW abandons)\n",

@@ -49,8 +49,18 @@ const (
 	ScanEntriesExact
 	// ScanEntriesLowerBoundSkipped counts lower-bound cutoff hits:
 	// entries skipped before any DTW because the cheap lower bound
-	// already exceeded the running best.
+	// already exceeded the running best. With the cascade enabled this
+	// is the tier-3 (exact per-row envelope) skip; the cheaper tiers
+	// count under ScanEntriesKimSkipped / ScanEntriesKeoghSkipped.
 	ScanEntriesLowerBoundSkipped
+	// ScanEntriesKimSkipped counts cascade tier-1 skips: entries pruned
+	// by the O(1) aggregate bound (similarity.LowerBoundKim) before any
+	// per-row work.
+	ScanEntriesKimSkipped
+	// ScanEntriesKeoghSkipped counts cascade tier-2 skips: entries
+	// pruned by the O(n+m) envelope bound (similarity.LowerBoundKeogh)
+	// after tier 1 failed to prune them.
+	ScanEntriesKeoghSkipped
 	// ScanEntriesAbandoned counts entries whose DTW was abandoned
 	// row-wise partway through (dtw.DistanceAbandon proved the entry
 	// cannot win).
@@ -153,6 +163,8 @@ var counterNames = [numCounters]string{
 	ScanTargets:                  "scan_targets",
 	ScanEntriesExact:             "scan_entries_exact",
 	ScanEntriesLowerBoundSkipped: "scan_entries_lb_skipped",
+	ScanEntriesKimSkipped:        "scan_entries_kim_skipped",
+	ScanEntriesKeoghSkipped:      "scan_entries_keogh_skipped",
 	ScanEntriesAbandoned:         "scan_entries_abandoned",
 	DetectClassifications:        "detect_classifications",
 	DetectGated:                  "detect_gated",

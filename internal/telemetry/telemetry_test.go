@@ -80,6 +80,22 @@ func TestDerivedRates(t *testing.T) {
 	}
 }
 
+// Cascade tier skips count as lower-bound skips in the derived rates:
+// with the cascade enabled an entry pruned by the Kim or Keogh tier
+// must raise prune_rate and lb_skip_rate exactly like a per-row skip.
+func TestDerivedRatesCascadeTiers(t *testing.T) {
+	c := NewCollector()
+	c.Add(ScanEntriesExact, 50)
+	c.Add(ScanEntriesKimSkipped, 20)
+	c.Add(ScanEntriesKeoghSkipped, 5)
+	c.Add(ScanEntriesLowerBoundSkipped, 5)
+	c.Add(ScanEntriesAbandoned, 20)
+	d := c.Snapshot().Derived
+	if d.PruneRate != 0.5 || d.LowerBoundSkipRate != 0.3 || d.AbandonRate != 0.2 {
+		t.Fatalf("derived cascade rates wrong: %+v", d)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	c := NewCollector()
 	c.Observe(StageScan, 500*time.Nanosecond) // bucket 0 (<1µs)

@@ -55,3 +55,75 @@ func Normalized(a, b []string) float64 {
 	}
 	return float64(Levenshtein(a, b)) / float64(m)
 }
+
+// Scratch holds the two rolling Levenshtein rows the symbol-sequence
+// variants reuse across calls, so a scan worker computing thousands of
+// block distances allocates its edit-distance state once. A Scratch is
+// not safe for concurrent use; the zero value is ready.
+type Scratch struct {
+	prev, cur []int
+}
+
+func (s *Scratch) resize(n int) {
+	if cap(s.prev) >= n {
+		s.prev = s.prev[:n]
+		s.cur = s.cur[:n]
+		return
+	}
+	s.prev = make([]int, n, 2*n)
+	s.cur = make([]int, n, 2*n)
+}
+
+// LevenshteinU32 is Levenshtein over interned symbol sequences: token
+// strings mapped through an injective table (model.SymTab) compare equal
+// exactly when the strings do, so the result is identical to
+// Levenshtein on the original sequences — integer comparisons instead
+// of string comparisons, and zero allocations once the scratch rows
+// have grown.
+func (s *Scratch) LevenshteinU32(a, b []uint32) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	s.resize(len(b) + 1)
+	prev, cur := s.prev, s.cur
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// NormalizedU32 is Normalized over interned symbol sequences, with the
+// same float expression: float64(lev) / float64(max-len). Under an
+// injective symbol mapping it is bit-identical to Normalized on the
+// original token sequences.
+func (s *Scratch) NormalizedU32(a, b []uint32) float64 {
+	m := len(a)
+	if len(b) > m {
+		m = len(b)
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(s.LevenshteinU32(a, b)) / float64(m)
+}
+
+// LevenshteinU32 is the scratch-free convenience form (tests, one-off
+// callers); hot paths should hold a Scratch instead.
+func LevenshteinU32(a, b []uint32) int {
+	var s Scratch
+	return s.LevenshteinU32(a, b)
+}

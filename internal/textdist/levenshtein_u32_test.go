@@ -1,0 +1,96 @@
+package textdist
+
+// Differential tests for the symbol-sequence Levenshtein variants: over
+// any injective token↔symbol mapping, LevenshteinU32 and NormalizedU32
+// must be bit-identical to the string forms — this is the equivalence
+// the scan engine's flattened comparison kernel (internal/scan) rests
+// on.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randTokenPair draws two random token sequences plus their symbol
+// encodings under one shared injective mapping (token i of the
+// vocabulary ↔ symbol i).
+func randTokenPair(rng *rand.Rand) (sa, sb []string, ua, ub []uint32) {
+	vocab := []string{"mov reg, mem", "clflush mem", "add reg, imm", "rdtscp reg", "jmp imm", "mfence"}
+	draw := func() ([]string, []uint32) {
+		n := rng.Intn(12)
+		toks := make([]string, n)
+		syms := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			k := rng.Intn(len(vocab))
+			toks[i] = vocab[k]
+			syms[i] = uint32(k)
+		}
+		return toks, syms
+	}
+	sa, ua = draw()
+	sb, ub = draw()
+	return sa, sb, ua, ub
+}
+
+func TestLevenshteinU32MatchesString(t *testing.T) {
+	var scratch Scratch // reused across all iterations, as in the scan path
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sa, sb, ua, ub := randTokenPair(rng)
+		if got, want := scratch.LevenshteinU32(ua, ub), Levenshtein(sa, sb); got != want {
+			t.Logf("seed=%d: LevenshteinU32 = %d, Levenshtein = %d", seed, got, want)
+			return false
+		}
+		if got, want := scratch.NormalizedU32(ua, ub), Normalized(sa, sb); got != want {
+			t.Logf("seed=%d: NormalizedU32 = %v, Normalized = %v", seed, got, want)
+			return false
+		}
+		if got, want := LevenshteinU32(ua, ub), Levenshtein(sa, sb); got != want {
+			t.Logf("seed=%d: package-level LevenshteinU32 = %d, want %d", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinU32Edges(t *testing.T) {
+	var s Scratch
+	if got := s.LevenshteinU32(nil, nil); got != 0 {
+		t.Errorf("empty vs empty = %d", got)
+	}
+	if got := s.LevenshteinU32([]uint32{1, 2, 3}, nil); got != 3 {
+		t.Errorf("vs empty = %d, want 3", got)
+	}
+	if got := s.NormalizedU32(nil, nil); got != 0 {
+		t.Errorf("normalized empty = %v", got)
+	}
+	if got := s.NormalizedU32([]uint32{1, 2}, []uint32{1, 2}); got != 0 {
+		t.Errorf("normalized identical = %v", got)
+	}
+	if got := s.NormalizedU32([]uint32{1, 2}, []uint32{3, 4}); got != 1 {
+		t.Errorf("normalized disjoint = %v, want 1", got)
+	}
+}
+
+// A shared scratch must not leak state between calls: interleave
+// differently sized computations and re-verify each against the fresh
+// package-level form.
+func TestScratchReuseIsStateless(t *testing.T) {
+	var s Scratch
+	seqs := [][]uint32{
+		{}, {9}, {1, 2, 3, 4, 5, 6, 7, 8}, {2, 2, 2}, {8, 7, 6, 5, 4, 3, 2, 1, 0},
+	}
+	for range [3]int{} {
+		for _, a := range seqs {
+			for _, b := range seqs {
+				if got, want := s.LevenshteinU32(a, b), LevenshteinU32(a, b); got != want {
+					t.Fatalf("reused scratch: lev(%v, %v) = %d, want %d", a, b, got, want)
+				}
+			}
+		}
+	}
+}

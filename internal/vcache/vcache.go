@@ -59,9 +59,12 @@ type Key struct {
 	// Slice fingerprints the served repository slice (SliceHash) for
 	// shard-side caching; empty for whole-repository scans.
 	Slice string
-	// Prune, Window, ISW and CSP are the scan semantics: early
-	// abandoning plus the similarity options that shape every score.
+	// Prune, Cascade, Window, ISW and CSP are the scan semantics: early
+	// abandoning, the lower-bound cascade, plus the similarity options
+	// that shape every score. Cascade changes which entries a pruned
+	// scan skips, so results from the two orderings must never alias.
 	Prune    bool
+	Cascade  bool
 	Window   int
 	ISW, CSP float64
 }

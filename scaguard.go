@@ -331,6 +331,6 @@ func CheckShard(ctx context.Context, repo *Repository, addrs []string, index int
 		models[i] = e.BBS
 	}
 	parts := shard.PartitionModels(models, shard.Router{Shards: len(addrs), Policy: policy})
-	rs := shard.NewRemoteShard(addrs[index], len(parts[index]), false, similarity.DefaultOptions(), shard.RemoteConfig{})
+	rs := shard.NewRemoteShard(addrs[index], len(parts[index]), false, false, similarity.DefaultOptions(), shard.RemoteConfig{})
 	return rs.Check(ctx)
 }

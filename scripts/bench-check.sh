@@ -1,0 +1,75 @@
+#!/bin/sh
+# Cascade benchmark regression guard. Runs the repository-scan
+# benchmark (Serial / Engine / Pruned / Cascade over the full attack
+# corpus), writes the measured ns/op figures to BENCH_cascade.json, and
+# fails if the cascade regresses RELATIVE to the plain pruned scan on
+# the same run. Absolute thresholds are useless across machines — CI
+# boxes here vary 2x run to run — so the guard is the intra-run ratio:
+#
+#   cascade <= pruned * TOLERANCE      (default 1.25)
+#   pruned  <= serial                  (pruning must never lose outright)
+#
+# The first is the property this tree actually promises (see
+# docs/PERFORMANCE.md "The pruning cascade"): ordering by the cheap
+# tier-1/2 bounds and gating the tier-3 bound must beat — or at worst,
+# within scheduler noise, match — computing the tier-3 bound for every
+# entry. The best-of-COUNT minimum is compared, which filters most
+# scheduler noise out of both sides of the ratio.
+set -eu
+
+GO=${GO:-go}
+COUNT=${COUNT:-3}
+BENCHTIME=${BENCHTIME:-0.5s}
+TOLERANCE=${TOLERANCE:-1.25}
+OUT=${OUT:-BENCH_cascade.json}
+
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT INT TERM
+
+$GO test -run xxx -bench BenchmarkRepositoryScan \
+    -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$raw"
+
+awk -v tol="$TOLERANCE" -v out="$OUT" '
+/^BenchmarkRepositoryScan\// {
+    # BenchmarkRepositoryScan/Cascade-8  20416  94561 ns/op ...
+    name = $1
+    sub(/^BenchmarkRepositoryScan\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns = $3 + 0
+    if (!(name in best) || ns < best[name]) best[name] = ns
+}
+END {
+    split("Serial Engine Pruned Cascade", want, " ")
+    for (i in want) {
+        if (!(want[i] in best)) {
+            printf "bench-check: missing benchmark %s\n", want[i] > "/dev/stderr"
+            exit 1
+        }
+    }
+    ratio = best["Cascade"] / best["Pruned"]
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkRepositoryScan\",\n" > out
+    printf "  \"unit\": \"ns/op\",\n" > out
+    printf "  \"serial\": %.0f,\n", best["Serial"] > out
+    printf "  \"engine\": %.0f,\n", best["Engine"] > out
+    printf "  \"pruned\": %.0f,\n", best["Pruned"] > out
+    printf "  \"cascade\": %.0f,\n", best["Cascade"] > out
+    printf "  \"cascade_vs_pruned\": %.3f,\n", ratio > out
+    printf "  \"tolerance\": %.3f\n", tol > out
+    printf "}\n" > out
+    printf "bench-check: serial=%.0f engine=%.0f pruned=%.0f cascade=%.0f (cascade/pruned = %.3f, tolerance %.2f)\n",
+        best["Serial"], best["Engine"], best["Pruned"], best["Cascade"], ratio, tol
+    if (ratio > tol) {
+        printf "bench-check: FAILED — cascade regressed %.3fx vs pruned (limit %.2fx)\n", ratio, tol > "/dev/stderr"
+        exit 1
+    }
+    if (best["Pruned"] > best["Serial"]) {
+        printf "bench-check: FAILED — pruned scan (%.0f ns/op) slower than serial (%.0f ns/op)\n",
+            best["Pruned"], best["Serial"] > "/dev/stderr"
+        exit 1
+    }
+}' "$raw"
+
+echo "bench-check: OK — figures written to $OUT"
