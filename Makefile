@@ -7,7 +7,7 @@ GO ?= go
 # cancellation and backpressure, where a bug means "stuck forever").
 TEST_TIMEOUT ?= 5m
 
-.PHONY: all build test race vet bench bench-shard bench-vcache bench-cascade bench-check alloc-check vcache-smoke shard-smoke serve-smoke docs-check fuzz-short faults cover ci
+.PHONY: all build test race vet bench bench-shard bench-vcache bench-cascade bench-check alloc-check vcache-smoke shard-smoke serve-smoke chaos chaos-smoke docs-check fuzz-short faults cover ci
 
 all: build
 
@@ -19,10 +19,10 @@ test:
 
 # Race pass over the concurrent packages (the scan engine, the
 # detector/repository wiring, the streaming pipeline, the shard
-# scatter–gather layer, the verdict result cache and the detection
-# service front end).
+# scatter–gather layer, the circuit breakers, the chaos harness, the
+# verdict result cache and the detection service front end).
 race:
-	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/detect ./internal/scan ./internal/stream ./internal/shard ./internal/vcache ./internal/serve
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/detect ./internal/scan ./internal/stream ./internal/shard ./internal/breaker ./internal/chaos ./internal/vcache ./internal/serve
 
 vet:
 	$(GO) vet ./...
@@ -83,6 +83,20 @@ shard-smoke:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
+# Full chaos soak under the race detector: a replicated loopback fleet
+# under concurrent load while replicas are killed, revived, slowed and
+# flapped. Asserts bit-identical verdicts while >=1 replica per
+# partition lives, exactly-once degraded accounting during blackouts,
+# breaker re-admission after recovery and zero goroutine leaks
+# (docs/ROBUSTNESS.md). CHAOS_SEED/CHAOS_ROUNDS tune the schedule.
+chaos:
+	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) -v -run TestChaosSoak ./internal/chaos
+
+# CLI-level failure-ladder smoke (healthy fleet bit-identity, one-dead
+# failover, whole-partition refusal) plus a short in-process soak.
+chaos-smoke:
+	./scripts/chaos-smoke.sh
+
 # Every relative markdown link in the repo must resolve; broken links
 # fail CI so the docs can't silently drift from the tree.
 docs-check:
@@ -102,12 +116,12 @@ fuzz-short:
 # (docs/ROBUSTNESS.md).
 faults:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) \
-		-run 'Panic|Cancel|Fault|Inject|Stream|Timeout|Limit|Shard|Retry|Partial|LookupFault|Failpoint|Reload|Drain|Overload|Hedge' \
-		./internal/faultinject ./internal/panicsafe ./internal/scan ./internal/detect ./internal/stream ./internal/isa ./internal/shard ./internal/retry ./internal/vcache ./internal/serve
+		-run 'Panic|Cancel|Fault|Inject|Stream|Timeout|Limit|Shard|Retry|Partial|LookupFault|Failpoint|Reload|Drain|Overload|Hedge|Breaker|Prober|Replica|Chaos|Leak|Flap' \
+		./internal/faultinject ./internal/panicsafe ./internal/scan ./internal/detect ./internal/stream ./internal/isa ./internal/shard ./internal/retry ./internal/breaker ./internal/chaos ./internal/vcache ./internal/serve
 
 # Coverage over every package, with the per-function summary printed.
 cover:
 	$(GO) test -coverprofile=coverage.out -timeout $(TEST_TIMEOUT) ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: build vet test race faults alloc-check bench-check vcache-smoke shard-smoke serve-smoke docs-check fuzz-short cover
+ci: build vet test race faults alloc-check bench-check vcache-smoke shard-smoke serve-smoke chaos-smoke docs-check fuzz-short cover

@@ -18,7 +18,12 @@
 //	scaguard classify -target ER-IAIK -shards 4
 //	scaguard shard-serve -shards 2 -index 0 -addr :9101 -result-cache 256
 //	scaguard classify -target ER-IAIK -shard-addrs 127.0.0.1:9101,127.0.0.1:9102
+//	scaguard classify -target ER-IAIK -shard-addrs '127.0.0.1:9101|127.0.0.1:9111,127.0.0.1:9102|127.0.0.1:9112'
 //	printf 'attack:FR-IAIK\nbenign:crypto/aes-ttable/7\n' | scaguard classify -stream
+//
+// The |-separated form names replicas: two shard-serve processes with
+// the same -shards/-index serve the same partition, and scans fail
+// over between them (docs/ROBUSTNESS.md).
 package main
 
 import (
@@ -328,8 +333,11 @@ func cmdClassify(args []string) error {
 	streamMode := fs.Bool("stream", false, "read target specs (attack:NAME, benign:kind/template/seed, file:PATH) line by line from stdin and classify them as a fault-isolated stream")
 	resultCache := fs.Int("result-cache", 0, "memoize whole scan outcomes for repeated targets in a bounded LRU of this many entries (0 = off); invalidated automatically when the repository grows")
 	shards := fs.Int("shards", 0, "partition the repository across this many in-process scan shards (0/1 = single engine)")
-	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard-serve addresses; the repository is scanned across them instead of in process")
+	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard-serve addresses; the repository is scanned across them instead of in process. Each address may name |-separated replicas serving the same partition (\"a:9101|b:9101\"): scans fail over between them")
 	shardPolicy := fs.String("shard-policy", "hash", "shard partition policy: hash (rendezvous) or rr (round-robin); must match the servers'")
+	shardAttemptTimeout := fs.Duration("shard-attempt-timeout", 0, "per-replica attempt budget within a replicated shard; a slower replica fails over to the next one (0 = none)")
+	shardProbe := fs.Duration("shard-probe", 0, "background health-probe interval for replicated shard backends; quarantined replicas are re-admitted within one interval of recovering (0 = off)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures that open a shard replica's circuit breaker (0 = default 3, negative = disable breaking)")
 	tf := registerTargetFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -347,15 +355,22 @@ func cmdClassify(args []string) error {
 	}
 	det.Shards = *shards
 	det.ShardPolicy = policy
+	det.ShardAttemptTimeout = *shardAttemptTimeout
+	det.ShardProbeInterval = *shardProbe
+	det.ShardBreaker = scaguard.BreakerSettings{Threshold: *breakerThreshold}
 	if *shardAddrs != "" {
 		det.ShardAddrs = strings.Split(*shardAddrs, ",")
-		// Handshake before classifying: every shard must be alive and
-		// hold the slice the router assigns it, else partition drift
-		// would silently misclassify.
-		for i := range det.ShardAddrs {
-			if err := scaguard.CheckShard(context.Background(), det.Repo, det.ShardAddrs, i, policy); err != nil {
-				return fmt.Errorf("shard %d (%s): %w", i, det.ShardAddrs[i], err)
-			}
+		defer det.Close()
+		// Handshake before classifying: every partition needs at least
+		// one healthy replica holding the slice the router assigns it,
+		// else partition drift would silently misclassify. Dead replicas
+		// behind live ones only warn — failover covers them.
+		unhealthy, err := scaguard.CheckShardFleet(context.Background(), det.Repo, det.ShardAddrs, policy)
+		if err != nil {
+			return err
+		}
+		for _, a := range unhealthy {
+			fmt.Fprintf(os.Stderr, "warning: shard replica %s unhealthy; failover will cover it\n", a)
 		}
 	}
 	var tel *scaguard.Telemetry
@@ -483,9 +498,12 @@ func cmdServe(args []string) error {
 	cascade := fs.Bool("cascade", false, "with -fast: order candidates by a cheap O(1) lower bound and escalate through the tier-2/tier-3 bounds lazily (same exact verdict, fewer full comparisons); no effect without -fast")
 	resultCache := fs.Int("result-cache", 0, "memoize whole scan outcomes in a bounded LRU of this many entries (0 = off); invalidated by /reload and repository growth")
 	shards := fs.Int("shards", 0, "partition the repository across this many in-process scan shards (0/1 = single engine)")
-	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard-serve addresses; the repository is scanned across them")
+	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard-serve addresses; the repository is scanned across them. Each address may name |-separated replicas serving the same partition (\"a:9101|b:9101\"): scans fail over between them")
 	shardPolicy := fs.String("shard-policy", "hash", "shard partition policy: hash (rendezvous) or rr (round-robin); must match the servers'")
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard share of one scan; a slower shard fails that scan and the verdict degrades to partial (0 = none)")
+	shardAttemptTimeout := fs.Duration("shard-attempt-timeout", 0, "per-replica attempt budget within a replicated shard; a slower replica fails over to the next one (0 = none)")
+	shardProbe := fs.Duration("shard-probe", 5*time.Second, "background health-probe interval for replicated shard backends; quarantined replicas are re-admitted within one interval of recovering (0 = off)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures that open a shard replica's circuit breaker (0 = default 3, negative = disable breaking)")
 	timeout := fs.Duration("timeout", 0, "per-target deadline covering modeling and scanning (0 = none)")
 	maxInflight := fs.Int("max-inflight", 0, "global cap on admitted in-flight requests; excess requests are shed with 429 (0 = 256)")
 	rate := fs.Float64("rate", 0, "per-API-key sustained admission rate in targets/sec (0 = unlimited)")
@@ -513,13 +531,19 @@ func cmdServe(args []string) error {
 	det.Shards = *shards
 	det.ShardPolicy = policy
 	det.ShardTimeout = *shardTimeout
-	det.ShardRetry = scaguard.RetryPolicy{Attempts: *retries, Backoff: *retryBackoff}
+	det.ShardAttemptTimeout = *shardAttemptTimeout
+	det.ShardProbeInterval = *shardProbe
+	det.ShardBreaker = scaguard.BreakerSettings{Threshold: *breakerThreshold}
+	det.ShardRetry = scaguard.RetryPolicy{Attempts: *retries, Backoff: *retryBackoff, Jitter: true}
 	if *shardAddrs != "" {
 		det.ShardAddrs = strings.Split(*shardAddrs, ",")
-		for i := range det.ShardAddrs {
-			if err := scaguard.CheckShard(context.Background(), det.Repo, det.ShardAddrs, i, policy); err != nil {
-				return fmt.Errorf("shard %d (%s): %w", i, det.ShardAddrs[i], err)
-			}
+		defer det.Close()
+		unhealthy, err := scaguard.CheckShardFleet(context.Background(), det.Repo, det.ShardAddrs, policy)
+		if err != nil {
+			return err
+		}
+		for _, a := range unhealthy {
+			fmt.Fprintf(os.Stderr, "warning: shard replica %s unhealthy; failover will cover it\n", a)
 		}
 	}
 	tel := scaguard.NewTelemetry()
@@ -536,7 +560,7 @@ func cmdServe(args []string) error {
 			TargetTimeout: *timeout,
 		},
 		Hedge:     *hedge,
-		Retry:     scaguard.RetryPolicy{Attempts: *retries, Backoff: *retryBackoff},
+		Retry:     scaguard.RetryPolicy{Attempts: *retries, Backoff: *retryBackoff, Jitter: true},
 		Telemetry: tel,
 		Reload: func(path string) (*scaguard.Repository, error) {
 			if path == "" {

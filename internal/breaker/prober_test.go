@@ -1,0 +1,149 @@
+package breaker
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestProberReadmitsRecoveredBackend(t *testing.T) {
+	tel := telemetry.NewCollector()
+	b := New("backend", Settings{Threshold: 1, OpenInterval: time.Millisecond}, tel)
+	var healthy atomic.Bool
+	p := NewProber(10*time.Millisecond, []Probe{{
+		Name:    "backend",
+		Breaker: b,
+		Check: func(ctx context.Context) error {
+			if healthy.Load() {
+				return nil
+			}
+			return errors.New("still down")
+		},
+	}})
+	b.Report(errors.New("dead"))
+	if b.State() != Open {
+		t.Fatal("breaker should be open")
+	}
+	p.Start()
+	defer p.Stop()
+
+	// While unhealthy, probes fail and the breaker stays quarantined.
+	time.Sleep(30 * time.Millisecond)
+	if b.State() == Closed {
+		t.Fatal("prober closed the breaker on a failing backend")
+	}
+
+	// Recovery: the next due probe must re-close the breaker.
+	healthy.Store(true)
+	waitFor(t, 2*time.Second, func() bool { return b.State() == Closed },
+		"prober never re-admitted the recovered backend")
+	if tel.Counter(telemetry.BreakerCloses) == 0 {
+		t.Fatal("breaker_closes not counted")
+	}
+}
+
+func TestProberLeavesClosedBackendsAlone(t *testing.T) {
+	b := New("backend", Settings{}, nil)
+	var checks atomic.Int64
+	p := NewProber(10*time.Millisecond, []Probe{{
+		Name:    "backend",
+		Breaker: b,
+		Check:   func(ctx context.Context) error { checks.Add(1); return nil },
+	}})
+	p.Start()
+	time.Sleep(50 * time.Millisecond)
+	p.Stop()
+	if n := checks.Load(); n != 0 {
+		t.Fatalf("prober probed a closed backend %d times", n)
+	}
+}
+
+func TestProberProbeFailpoint(t *testing.T) {
+	defer faultinject.Reset()
+	b := New("backend", Settings{Threshold: 1, OpenInterval: time.Millisecond}, nil)
+	var checks atomic.Int64
+	// The failpoint injects a probe failure before Check runs: the
+	// backend is healthy but unreachable from the prober — the breaker
+	// must stay open.
+	faultinject.Enable(faultinject.BreakerProbe, faultinject.Error(errors.New("probe path down")))
+	p := NewProber(10*time.Millisecond, []Probe{{
+		Name:    "backend",
+		Breaker: b,
+		Check:   func(ctx context.Context) error { checks.Add(1); return nil },
+	}})
+	b.Report(errors.New("dead"))
+	p.Start()
+	defer p.Stop()
+	time.Sleep(50 * time.Millisecond)
+	if b.State() == Closed {
+		t.Fatal("breaker closed despite failing probes")
+	}
+	if checks.Load() != 0 {
+		t.Fatal("failpoint did not preempt the health check")
+	}
+	// Disarm: the real (healthy) check must now close the breaker.
+	faultinject.Reset()
+	waitFor(t, 2*time.Second, func() bool { return b.State() == Closed },
+		"breaker never closed after failpoint disarmed")
+}
+
+// TestProberStopDoesNotLeak is the goroutine-leak regression test for
+// the health prober: Start/Stop cycles — including a Stop that lands
+// mid-probe on a slow health check — must return the process to its
+// baseline goroutine count.
+func TestProberStopDoesNotLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		b := New("backend", Settings{Threshold: 1, OpenInterval: time.Millisecond}, nil)
+		b.Report(errors.New("dead"))
+		p := NewProber(10*time.Millisecond, []Probe{{
+			Name:    "backend",
+			Breaker: b,
+			Check: func(ctx context.Context) error {
+				// A slow check: Stop must cancel it, not wait it out.
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(10 * time.Second):
+					return nil
+				}
+			},
+		}})
+		p.Start()
+		p.Start() // idempotent
+		time.Sleep(15 * time.Millisecond)
+		p.Stop()
+		p.Stop() // idempotent
+	}
+	// Settle loop: give exiting goroutines a moment to unwind before
+	// declaring a leak.
+	waitFor(t, 2*time.Second, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	}, "prober leaked goroutines")
+}
+
+func TestProberNilSafe(t *testing.T) {
+	var p *Prober
+	p.Start()
+	p.Stop()
+}

@@ -1,0 +1,476 @@
+// Package chaos is the fault-injection soak harness for the replicated
+// shard fleet (internal/shard + internal/breaker): it stands up a real
+// loopback HTTP fleet — P partitions × R replicas, each a shard.Server
+// on its own port — drives concurrent classification load through a
+// detect.Detector configured with replica failover, and meanwhile
+// kills, revives, slows and flaps backends, asserting after every
+// disruption that the robustness contract held:
+//
+//   - While at least one replica per partition lives, every verdict is
+//     complete and bit-identical to a single-engine reference detector
+//     over the same repository. Failover must never change a score.
+//   - When a whole partition goes dark (a blackout), every scan
+//     degrades with a *shard.PartialError and the shard_degraded_scans
+//     counter advances exactly once per scan — no silent gaps, no
+//     double counting.
+//   - After every backend is revived, the circuit breakers converge
+//     back to closed within a few probe intervals (breaker_closes
+//     advances), and a quiet load burst records zero further
+//     shard_failovers — recovery is total, not merely tolerated.
+//   - The run leaks no goroutines: detector Close stops the health
+//     prober, scan cancellation reaps the scatter–gather workers.
+//
+// Scenarios are driven by a seeded math/rand source, so a failing run
+// reproduces from its seed alone. Run is meant to be called from test
+// binaries only (`make chaos`, scripts/chaos-smoke.sh): it arms
+// faultinject points (the package-wide convention reserves Enable for
+// tests) and asserts via returned errors, never panics.
+//
+// See docs/ROBUSTNESS.md for the failure-mode matrix this harness
+// enforces.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/attacks"
+	"repro/internal/breaker"
+	"repro/internal/cache"
+	"repro/internal/detect"
+	"repro/internal/faultinject"
+	"repro/internal/model"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// Options tunes a soak run. The zero value selects a small but
+// complete run (every scenario kind at least once when Rounds >= 4).
+type Options struct {
+	// Seed drives every random choice; a run reproduces from it.
+	Seed int64
+	// Partitions is the number of shard groups (default 2).
+	Partitions int
+	// Replicas per partition (default 2).
+	Replicas int
+	// Clients is the concurrent classification goroutines per burst
+	// (default 4).
+	Clients int
+	// ScansPerClient per burst (default 3).
+	ScansPerClient int
+	// Rounds of disruption (default 6).
+	Rounds int
+	// Entries in the synthetic repository (default 24).
+	Entries int
+	// Targets is how many distinct targets the load draws from
+	// (default 6).
+	Targets int
+	// Log, when non-nil, receives one line per scenario step
+	// (testing.T.Logf fits).
+	Log func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Partitions <= 0 {
+		o.Partitions = 2
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.ScansPerClient <= 0 {
+		o.ScansPerClient = 3
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 6
+	}
+	if o.Entries <= 0 {
+		o.Entries = 24
+	}
+	if o.Targets <= 0 {
+		o.Targets = 6
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return o
+}
+
+// Report summarizes a completed soak for assertions and logging.
+type Report struct {
+	// Rounds actually executed.
+	Rounds int
+	// Scans issued across all bursts.
+	Scans int
+	// DegradedScans observed (all during blackout phases).
+	DegradedScans uint64
+	// Failovers recorded by telemetry.
+	Failovers uint64
+	// BreakerOpens / BreakerCloses recorded by telemetry; Closes > 0
+	// proves re-admission actually happened.
+	BreakerOpens  uint64
+	BreakerCloses uint64
+	// Blackouts is how many whole-group outages were staged.
+	Blackouts int
+}
+
+// replica is one controllable backend: a shard.Server the harness can
+// stop and restart on the same address.
+type replica struct {
+	slice []*model.CSTBBS
+	ver   uint64
+
+	mu       sync.Mutex
+	addr     string // bound on first Start, stable afterwards
+	shutdown func(context.Context) error
+}
+
+func (r *replica) start() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.shutdown != nil {
+		return nil
+	}
+	addr := r.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	srv := shard.NewServer(r.slice, shard.ServerConfig{Version: r.ver})
+	bound, shutdown, err := srv.Serve(addr)
+	if err != nil {
+		return fmt.Errorf("chaos: start replica %s: %w", addr, err)
+	}
+	r.addr, r.shutdown = bound, shutdown
+	return nil
+}
+
+func (r *replica) stop() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.shutdown == nil {
+		return nil
+	}
+	// A chaos kill is abrupt by design: a short grace period, then the
+	// shutdown func force-closes (deadline expiry is the expected
+	// outcome of killing a backend with live keep-alive conns, not a
+	// failure).
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	err := r.shutdown(ctx)
+	r.shutdown = nil
+	if errors.Is(err, context.DeadlineExceeded) {
+		return nil
+	}
+	return err
+}
+
+func (r *replica) alive() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shutdown != nil
+}
+
+// slowMap is the shard.replica.rpc dispatcher state: replica name →
+// injected pre-attempt failure. The harness arms one dispatcher for
+// the whole run and toggles entries per scenario.
+type slowMap struct{ m sync.Map }
+
+func (s *slowMap) action(p faultinject.Point, detail string) error {
+	if v, ok := s.m.Load(detail); ok {
+		d := v.(time.Duration)
+		time.Sleep(d)
+		return fmt.Errorf("chaos: replica %s too slow (simulated %v stall)", detail, d)
+	}
+	return nil
+}
+
+// Run executes one soak and returns its report; any broken invariant
+// comes back as an error naming the seed, round and scenario.
+func Run(o Options) (Report, error) {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	var rep Report
+
+	// Synthetic repository: deterministic models long enough to clear
+	// the detector's MinModelLen gate.
+	repo := &detect.Repository{}
+	for i, bbs := range corpus(rng, o.Entries) {
+		repo.Add(bbs.Name, attacks.Families()[i%len(attacks.Families())], bbs)
+	}
+	targets := corpus(rng, o.Targets)
+
+	// Reference verdicts from a single-engine detector over the same
+	// repository — the bit-identity oracle.
+	refDet := detect.NewDetector(repo)
+	refs := make([]detect.Result, len(targets))
+	for i, tgt := range targets {
+		refs[i] = refDet.ClassifyBBS(tgt)
+	}
+
+	// The fleet: Partitions × Replicas servers over the router's slices.
+	router := shard.Router{Shards: o.Partitions}
+	models := make([]*model.CSTBBS, repo.Len())
+	for i, e := range repo.Entries {
+		models[i] = e.BBS
+	}
+	fleet := make([][]*replica, o.Partitions)
+	addrs := make([]string, o.Partitions)
+	defer func() {
+		for _, group := range fleet {
+			for _, r := range group {
+				_ = r.stop()
+			}
+		}
+	}()
+	for p := 0; p < o.Partitions; p++ {
+		fleet[p] = make([]*replica, o.Replicas)
+		names := make([]string, o.Replicas)
+		for j := 0; j < o.Replicas; j++ {
+			fleet[p][j] = &replica{slice: shard.ShardModels(models, router, p), ver: repo.Version()}
+			if err := fleet[p][j].start(); err != nil {
+				return rep, err
+			}
+			names[j] = fleet[p][j].addr
+		}
+		addrs[p] = strings.Join(names, "|")
+	}
+
+	// The detector under test: replica failover, aggressive breakers and
+	// a fast prober so convergence is observable within a short soak.
+	tel := telemetry.NewCollector()
+	det := detect.NewDetector(repo)
+	det.ShardAddrs = addrs
+	det.ShardTimeout = 10 * time.Second
+	det.ShardAttemptTimeout = time.Second
+	det.ShardBreaker = breaker.Settings{Threshold: 2, OpenInterval: 25 * time.Millisecond, MaxOpenInterval: 200 * time.Millisecond}
+	det.ShardProbeInterval = 20 * time.Millisecond
+	det.Telemetry = tel
+	defer det.Close()
+
+	// One dispatcher owns the shard.replica.rpc failpoint for the whole
+	// run; scenarios toggle per-replica entries in the map.
+	slow := &slowMap{}
+	faultinject.Enable(faultinject.ShardReplicaRPC, slow.action)
+	defer faultinject.Disable(faultinject.ShardReplicaRPC)
+
+	goroutinesBefore := runtime.NumGoroutine()
+
+	// burst drives Clients×ScansPerClient concurrent classifications.
+	// wantComplete asserts bit-identity against the reference; else
+	// every scan must degrade with a *shard.PartialError.
+	burst := func(tag string, wantComplete bool) error {
+		var wg sync.WaitGroup
+		var firstErr atomic.Value
+		fail := func(err error) {
+			firstErr.CompareAndSwap(nil, err) //nolint:errcheck // only first error kept
+		}
+		for c := 0; c < o.Clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for s := 0; s < o.ScansPerClient; s++ {
+					ti := (c + s) % len(targets)
+					res, err := det.ClassifyBBSCtx(context.Background(), targets[ti])
+					if wantComplete {
+						if err != nil {
+							fail(fmt.Errorf("%s: scan failed: %w", tag, err))
+							return
+						}
+						if !reflect.DeepEqual(res, refs[ti]) {
+							fail(fmt.Errorf("%s: verdict for target %d diverged from the single-engine reference", tag, ti))
+							return
+						}
+						continue
+					}
+					var pe *shard.PartialError
+					if !errors.As(err, &pe) {
+						fail(fmt.Errorf("%s: blackout scan returned %v, want *shard.PartialError", tag, err))
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		rep.Scans += o.Clients * o.ScansPerClient
+		if err, ok := firstErr.Load().(error); ok && err != nil {
+			return err
+		}
+		return nil
+	}
+
+	// converge waits for every breaker to return to closed.
+	converge := func(tag string) error {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			open := 0
+			for _, st := range det.ShardBreakerStates() {
+				if st != breaker.Closed {
+					open++
+				}
+			}
+			if open == 0 {
+				return nil
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return fmt.Errorf("%s: breakers never converged to closed: %v", tag, det.ShardBreakerStates())
+	}
+
+	// Warm up: build the engine, prove the healthy fleet is complete
+	// and bit-identical before any faults.
+	if err := burst("warmup", true); err != nil {
+		return rep, fmt.Errorf("seed %d: %w", o.Seed, err)
+	}
+
+	for round := 0; round < o.Rounds; round++ {
+		p := rng.Intn(o.Partitions)
+		j := rng.Intn(o.Replicas)
+		victim := fleet[p][j]
+		// The first four rounds walk every scenario once (single-kill
+		// failover, whole-group blackout, slow replica, flapper) so a
+		// default soak covers each; later rounds draw from the full set.
+		kind := round
+		if round >= 4 {
+			kind = rng.Intn(4)
+		}
+		tag := fmt.Sprintf("seed %d round %d", o.Seed, round)
+
+		switch kind {
+		case 0: // kill one replica: scans stay complete via failover
+			o.Log("%s: kill %s", tag, victim.addr)
+			if err := victim.stop(); err != nil {
+				return rep, err
+			}
+			if err := burst(tag+" (one replica down)", true); err != nil {
+				return rep, err
+			}
+		case 1: // blackout: the whole group goes dark
+			o.Log("%s: blackout partition %d", tag, p)
+			rep.Blackouts++
+			for _, r := range fleet[p] {
+				if err := r.stop(); err != nil {
+					return rep, err
+				}
+			}
+			before := tel.Counter(telemetry.ShardDegradedScans)
+			scans := o.Clients * o.ScansPerClient
+			if err := burst(tag+" (blackout)", false); err != nil {
+				return rep, err
+			}
+			if got := tel.Counter(telemetry.ShardDegradedScans) - before; got != uint64(scans) {
+				return rep, fmt.Errorf("%s: %d scans degraded %d times, want exactly once each", tag, scans, got)
+			}
+		case 2: // slow replica: attempt stalls, failover keeps bit-identity
+			o.Log("%s: slow %s", tag, victim.addr)
+			slow.m.Store(victim.addr, 50*time.Millisecond)
+			if err := burst(tag+" (slow replica)", true); err != nil {
+				return rep, err
+			}
+			slow.m.Delete(victim.addr)
+		case 3: // flap: kill and revive twice, quarantine must absorb it
+			o.Log("%s: flap %s", tag, victim.addr)
+			for f := 0; f < 2; f++ {
+				if err := victim.stop(); err != nil {
+					return rep, err
+				}
+				if err := burst(tag+" (flap down)", true); err != nil {
+					return rep, err
+				}
+				if err := victim.start(); err != nil {
+					return rep, err
+				}
+				if err := converge(tag + " (flap revive)"); err != nil {
+					return rep, err
+				}
+			}
+		}
+
+		// Heal everything and require total recovery: breakers closed,
+		// then a quiet burst with zero further failovers.
+		for _, group := range fleet {
+			for _, r := range group {
+				if !r.alive() {
+					if err := r.start(); err != nil {
+						return rep, err
+					}
+				}
+			}
+		}
+		if err := converge(tag + " (healed)"); err != nil {
+			return rep, err
+		}
+		failoversBefore := tel.Counter(telemetry.ShardFailovers)
+		if err := burst(tag+" (recovered)", true); err != nil {
+			return rep, err
+		}
+		if d := tel.Counter(telemetry.ShardFailovers) - failoversBefore; d != 0 {
+			return rep, fmt.Errorf("%s: %d failovers on a fully healed fleet, want 0", tag, d)
+		}
+		rep.Rounds++
+	}
+
+	rep.DegradedScans = tel.Counter(telemetry.ShardDegradedScans)
+	rep.Failovers = tel.Counter(telemetry.ShardFailovers)
+	rep.BreakerOpens = tel.Counter(telemetry.BreakerOpens)
+	rep.BreakerCloses = tel.Counter(telemetry.BreakerCloses)
+	if rep.BreakerOpens == 0 || rep.BreakerCloses == 0 {
+		return rep, fmt.Errorf("seed %d: breakers never cycled (opens=%d closes=%d) — the soak did not exercise quarantine",
+			o.Seed, rep.BreakerOpens, rep.BreakerCloses)
+	}
+
+	// No goroutine leaks: stop the prober and let the fleet drain.
+	det.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		// The fleet's listeners are still up (deferred stops run after
+		// this check), so allow their accept loops plus slack.
+		if runtime.NumGoroutine() <= goroutinesBefore+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return rep, fmt.Errorf("seed %d: goroutine leak: %d before soak, %d after",
+				o.Seed, goroutinesBefore, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return rep, nil
+}
+
+// corpus synthesizes deterministic CST-BBS models: every model is at
+// least MinModelLen blocks and reads a timer, so none are gated out of
+// classification.
+func corpus(rng *rand.Rand, n int) []*model.CSTBBS {
+	vocab := [][]string{
+		{"clflush mem"},
+		{"mov reg, mem", "rdtscp reg"},
+		{"mov reg, mem", "add reg, imm", "cmp reg, imm"},
+		{"rdtscp reg", "mov reg, mem", "rdtscp reg", "sub reg, reg"},
+		{"add reg, imm"},
+		{"mov reg, mem"},
+	}
+	out := make([]*model.CSTBBS, n)
+	for i := range out {
+		b := &model.CSTBBS{Name: fmt.Sprintf("chaos-%03d", i), TimerReads: 1}
+		for k, kn := 0, detect.MinModelLen+rng.Intn(6); k < kn; k++ {
+			d := float64(rng.Intn(10)) / 16
+			b.Seq = append(b.Seq, model.CST{
+				NormInsns: vocab[rng.Intn(len(vocab))],
+				Before:    cache.State{AO: 0, IO: 1},
+				After:     cache.State{AO: d, IO: 1 - d},
+			})
+		}
+		out[i] = b
+	}
+	return out
+}

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/attacks"
+	"repro/internal/breaker"
 	"repro/internal/isa"
 	"repro/internal/model"
 	"repro/internal/panicsafe"
@@ -240,10 +241,14 @@ type Detector struct {
 	// ShardAddrs lists remote shard servers ("host:port" or http://
 	// URLs, one shard per address in router order — each typically a
 	// `scaguard shard-serve` process over the same repository file).
-	// When non-empty the repository scan is scattered over them; a dead
-	// or slow shard degrades classification to the surviving shards'
-	// entries (see the partial-result notes on the classify methods)
-	// instead of hanging it.
+	// An address may name several "|"-separated replicas serving the
+	// same partition ("a:7070|b:7070"): scans fail over between them,
+	// so classification stays complete while at least one replica per
+	// partition lives. When non-empty the repository scan is scattered
+	// over them; a whole replica group going dark degrades
+	// classification to the surviving shards' entries (see the
+	// partial-result notes on the classify methods) instead of hanging
+	// it.
 	ShardAddrs []string
 	// ShardPolicy selects how repository entries map to shards
 	// (default shard.PolicyHash, rendezvous hashing).
@@ -255,6 +260,23 @@ type Detector struct {
 	// ShardRetry re-sends failed remote-shard RPCs (transient network
 	// errors only); the zero policy sends once.
 	ShardRetry retry.Policy
+	// ShardAttemptTimeout, when positive, bounds each replica attempt
+	// within a replicated shard, so a slow replica fails over instead of
+	// consuming the whole per-shard budget (ShardTimeout still bounds
+	// the group as a whole).
+	ShardAttemptTimeout time.Duration
+	// ShardBreaker tunes the per-replica circuit breakers of replicated
+	// remote shards: after Threshold consecutive failures a backend is
+	// skipped (scans fail over without paying its timeout) until it
+	// probes healthy again. The zero value selects the breaker
+	// defaults; Threshold -1 disables breaking.
+	ShardBreaker breaker.Settings
+	// ShardProbeInterval, when positive, runs a background health
+	// prober over every remote replica so quarantined backends are
+	// re-admitted within one interval of recovering, without waiting
+	// for a scan to re-probe them. The prober goroutine lives until the
+	// engine is rebuilt or Close is called.
+	ShardProbeInterval time.Duration
 	// ResultCache, when > 0, memoizes whole scan outcomes in a bounded
 	// LRU of that many entries (internal/vcache), keyed by the target's
 	// CST-BBS content hash, the repository version and the scan
@@ -290,6 +312,9 @@ type Detector struct {
 	engEntries []Entry
 	engVer     uint64
 	engKey     engineKey
+	// engCoord is the shard coordinator behind eng (nil unless
+	// sharded); rebuilds and Close stop its background prober.
+	engCoord *shard.Coordinator
 	// vc is the verdict result cache behind ResultCache. It outlives
 	// engine rebuilds on purpose: version-keyed entries from before an
 	// Add are unreachable anyway, while a pure configuration flip (e.g.
@@ -310,17 +335,20 @@ type repoScanner interface {
 
 // engineKey captures the configuration a scanner was built under.
 type engineKey struct {
-	workers      int
-	prune        bool
-	cascade      bool
-	sim          similarity.Options
-	tel          *telemetry.Collector
-	shards       int
-	policy       shard.Policy
-	addrs        string
-	shardTimeout time.Duration
-	shardRetry   retry.Policy
-	resultCache  int
+	workers        int
+	prune          bool
+	cascade        bool
+	sim            similarity.Options
+	tel            *telemetry.Collector
+	shards         int
+	policy         shard.Policy
+	addrs          string
+	shardTimeout   time.Duration
+	shardRetry     retry.Policy
+	attemptTimeout time.Duration
+	brk            breaker.Settings
+	probeInterval  time.Duration
+	resultCache    int
 }
 
 func (d *Detector) key() engineKey {
@@ -328,7 +356,9 @@ func (d *Detector) key() engineKey {
 		workers: d.Scan.Workers, prune: d.Scan.Prune, cascade: d.Scan.Cascade,
 		sim: d.SimOpts, tel: d.Telemetry,
 		shards: d.Shards, policy: d.ShardPolicy, addrs: strings.Join(d.ShardAddrs, ","),
-		shardTimeout: d.ShardTimeout, shardRetry: d.ShardRetry, resultCache: d.ResultCache,
+		shardTimeout: d.ShardTimeout, shardRetry: d.ShardRetry,
+		attemptTimeout: d.ShardAttemptTimeout, brk: d.ShardBreaker, probeInterval: d.ShardProbeInterval,
+		resultCache: d.ResultCache,
 	}
 }
 
@@ -364,16 +394,44 @@ func (d *Detector) engine() (repoScanner, []Entry, error) {
 	d.Telemetry.RegisterGauges("repository", func() map[string]uint64 {
 		return map[string]uint64{"entries": uint64(repo.Len())}
 	})
-	sc, err := d.buildScanner(models, cfg)
+	sc, co, err := d.buildScanner(models, cfg, ver)
 	if err != nil {
 		return nil, nil, fmt.Errorf("detect: building sharded scanner: %w", err)
 	}
 	if d.ResultCache > 0 {
 		sc = d.wrapCached(sc, ver, cfg)
 	}
-	d.eng = sc
+	// The outgoing coordinator's background prober must not outlive the
+	// engine it served.
+	d.engCoord.Close()
+	d.eng, d.engCoord = sc, co
 	d.engEntries, d.engVer, d.engKey = entries, ver, k
 	return d.eng, d.engEntries, nil
+}
+
+// Close releases the detector's background resources — today the
+// health prober of a replicated remote-shard engine. Idempotent; a
+// closed detector may keep classifying (the next engine rebuild starts
+// a fresh prober), so Close belongs at detector end-of-life or right
+// before dropping the last reference.
+func (d *Detector) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.engCoord.Close()
+	d.engCoord = nil
+}
+
+// ShardBreakerStates reports each remote replica backend's circuit
+// breaker state, keyed by address. Empty when the current engine is not
+// a replicated remote fleet (or no engine is built yet).
+func (d *Detector) ShardBreakerStates() map[string]breaker.State {
+	d.mu.Lock()
+	co := d.engCoord
+	d.mu.Unlock()
+	if co == nil {
+		return nil
+	}
+	return co.BreakerStates()
 }
 
 // wrapCached layers the verdict result cache over the scan backend.
@@ -462,28 +520,39 @@ func (s *cachedScanner) ScanBatchCtx(ctx context.Context, targets []*model.CSTBB
 
 // buildScanner constructs the scan backend the configuration asks for:
 // a single engine (the default), a local sharded coordinator, or a
-// remote one. Sharded coordinators register their per-shard stats as
-// the "shards" telemetry gauge source.
-func (d *Detector) buildScanner(models []*model.CSTBBS, cfg scan.Config) (repoScanner, error) {
+// remote one (co is the coordinator when sharded, nil otherwise).
+// Sharded coordinators register their per-shard stats as the "shards"
+// telemetry gauge source; replicated remote fleets additionally expose
+// per-backend breaker state as "breakers".
+func (d *Detector) buildScanner(models []*model.CSTBBS, cfg scan.Config, ver uint64) (repoScanner, *shard.Coordinator, error) {
 	if !d.sharded() {
-		return scan.New(models, cfg), nil
+		return scan.New(models, cfg), nil, nil
 	}
-	ccfg := shard.Config{ShardTimeout: d.ShardTimeout, Telemetry: d.Telemetry}
+	ccfg := shard.Config{
+		ShardTimeout:   d.ShardTimeout,
+		AttemptTimeout: d.ShardAttemptTimeout,
+		Breaker:        d.ShardBreaker,
+		ProbeInterval:  d.ShardProbeInterval,
+		Telemetry:      d.Telemetry,
+	}
 	var (
 		co  *shard.Coordinator
 		err error
 	)
 	if len(d.ShardAddrs) > 0 {
 		co, err = shard.NewRemoteCoordinator(models, d.ShardAddrs, shard.Router{Policy: d.ShardPolicy},
-			cfg, shard.RemoteConfig{Retry: d.ShardRetry, Telemetry: d.Telemetry}, ccfg)
+			cfg, shard.RemoteConfig{Retry: d.ShardRetry, Telemetry: d.Telemetry, Version: ver}, ccfg)
 	} else {
 		co, err = shard.NewLocalCoordinator(models, shard.Router{Shards: d.Shards, Policy: d.ShardPolicy}, cfg, ccfg)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	d.Telemetry.RegisterGauges("shards", co.TelemetryGauges)
-	return co, nil
+	if len(d.ShardAddrs) > 0 {
+		d.Telemetry.RegisterGauges("breakers", co.BreakerGauges)
+	}
+	return co, co, nil
 }
 
 // NewDetector returns a detector with the paper's defaults.

@@ -61,6 +61,20 @@ const (
 	// loop — an OnCall(1, Error(...)) action models a transient network
 	// failure the retry policy must absorb.
 	ShardRemoteRPC Point = "shard.remote.rpc"
+	// ShardReplicaRPC fires in a replica group (internal/shard) before
+	// each replica attempt of a scan, with the replica's name. An error
+	// action here models one dead replica of a group — the group must
+	// fail over to the next replica and the scan must stay complete; a
+	// sleep action models a slow replica the attempt timeout must cut
+	// off. The chaos harness (internal/chaos) drives its slow-replica
+	// scenarios through this point.
+	ShardReplicaRPC Point = "shard.replica.rpc"
+	// BreakerProbe fires in the background health prober
+	// (internal/breaker) before each probe of a quarantined backend,
+	// with the backend's name. An error action models a probe that
+	// cannot reach a recovered backend: the breaker must stay open and
+	// re-probe later instead of re-admitting blindly.
+	BreakerProbe Point = "breaker.probe"
 	// VCacheLookup fires in the verdict result cache (internal/vcache)
 	// before each lookup with the target's content hash. An error action
 	// here models an unavailable cache: the lookup is bypassed and the

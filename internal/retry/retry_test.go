@@ -80,6 +80,60 @@ func TestDoStopsBackoffOnCancel(t *testing.T) {
 	}
 }
 
+func TestDelayDoublesAndCaps(t *testing.T) {
+	p := Policy{Attempts: 10, Backoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for attempt, w := range want {
+		if d := p.delay(attempt); d != w*time.Millisecond {
+			t.Errorf("delay(%d) = %v, want %v", attempt, d, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayDefaultCap(t *testing.T) {
+	p := Policy{Backoff: time.Millisecond}
+	if d := p.delay(20); d != time.Millisecond<<defaultCapFactor {
+		t.Errorf("delay(20) = %v, want default cap %v", d, time.Millisecond<<defaultCapFactor)
+	}
+}
+
+func TestDelaySurvivesHugeAttemptCounts(t *testing.T) {
+	// Backoff << attempt overflows int64 well before attempt 100; the
+	// delay must stay pinned at the cap instead of going negative or
+	// zero.
+	p := Policy{Backoff: time.Second, MaxBackoff: 8 * time.Second}
+	for _, attempt := range []int{40, 62, 63, 64, 100, 1 << 20} {
+		if d := p.delay(attempt); d != 8*time.Second {
+			t.Errorf("delay(%d) = %v, want cap 8s", attempt, d)
+		}
+	}
+}
+
+func TestDelayFullJitterStaysInWindow(t *testing.T) {
+	defer func(f func() float64) { randFloat = f }(randFloat)
+	for _, r := range []float64{0, 0.25, 0.5, 0.999} {
+		randFloat = func() float64 { return r }
+		p := Policy{Backoff: 100 * time.Millisecond, MaxBackoff: 100 * time.Millisecond, Jitter: true}
+		d := p.delay(0)
+		if d <= 0 || d > 100*time.Millisecond+1 {
+			t.Errorf("jittered delay(r=%v) = %v, want within (0, 100ms]", r, d)
+		}
+		if want := time.Duration(r*float64(100*time.Millisecond)) + 1; d != want {
+			t.Errorf("jittered delay(r=%v) = %v, want %v", r, d, want)
+		}
+	}
+}
+
+func TestDelayZeroBackoffStaysImmediate(t *testing.T) {
+	// The zero policy — and any policy without a Backoff — must not
+	// invent a sleep, jittered or not.
+	for _, p := range []Policy{{}, {Attempts: 3}, {Attempts: 3, Jitter: true}, {Attempts: 3, MaxBackoff: time.Second}} {
+		if d := p.delay(0); d != 0 {
+			t.Errorf("delay(%+v) = %v, want 0", p, d)
+		}
+	}
+}
+
 func TestDoCustomRetryable(t *testing.T) {
 	permanent := errors.New("permanent")
 	calls := 0

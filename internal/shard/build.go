@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"strconv"
+	"strings"
 
+	"repro/internal/breaker"
 	"repro/internal/model"
 	"repro/internal/scan"
+	"repro/internal/vcache"
 )
 
 // PartitionModels applies the router to the models' names, returning
@@ -60,22 +63,82 @@ func NewLocalCoordinator(models []*model.CSTBBS, r Router, scfg scan.Config, ccf
 	return NewCoordinator(shards, parts, ccfg)
 }
 
+// SplitReplicas parses one shard-address argument into its replica
+// addresses: "host1:7070|host2:7070" names two interchangeable backends
+// for the same partition, attempted in the order written. A plain
+// address is a single-replica group. Whitespace around separators is
+// tolerated; empty elements are rejected.
+func SplitReplicas(addr string) ([]string, error) {
+	parts := strings.Split(addr, "|")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("shard: empty replica address in %q", addr)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
 // NewRemoteCoordinator builds a coordinator whose shards live behind
-// the given addresses, one per shard in router order (r.Shards is
-// forced to len(addrs)). scfg supplies the scan semantics every remote
-// request carries (Prune, Sim); Workers and Cache are server-side
-// concerns and ignored here. No connection is made until the first
-// scan: a dead address degrades scans rather than failing construction
-// — call (*RemoteShard).Check to handshake eagerly.
+// the given addresses, one replica group per shard in router order
+// (r.Shards is forced to len(addrs)). Each address may name several
+// "|"-separated replicas serving the same partition — scans fail over
+// between them (see ReplicaGroup), with per-replica circuit breakers
+// tuned by ccfg.Breaker and, when ccfg.ProbeInterval is set, a
+// background health prober re-admitting recovered backends (stop it
+// with Coordinator.Close). scfg supplies the scan semantics every
+// remote request carries (Prune, Sim); Workers and Cache are
+// server-side concerns and ignored here. rcfg.Version plus each
+// partition's content fingerprint become the replicas' health
+// expectation, so a stale backend probes unhealthy. No connection is
+// made until the first scan: a dead address degrades scans rather than
+// failing construction — call (*RemoteShard).Check to handshake
+// eagerly.
 func NewRemoteCoordinator(models []*model.CSTBBS, addrs []string, r Router, scfg scan.Config, rcfg RemoteConfig, ccfg Config) (*Coordinator, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("shard: remote coordinator needs at least one address")
 	}
 	r.Shards = len(addrs)
 	parts := PartitionModels(models, r)
+	gcfg := GroupConfig{AttemptTimeout: ccfg.AttemptTimeout, Breaker: ccfg.Breaker, Telemetry: ccfg.Telemetry}
 	shards := make([]Shard, len(parts))
+	var probes []breaker.Probe
 	for i, part := range parts {
-		shards[i] = NewRemoteShard(addrs[i], len(part), scfg.Prune, scfg.Cascade, scfg.Sim, rcfg)
+		reps, err := SplitReplicas(addrs[i])
+		if err != nil {
+			return nil, err
+		}
+		slice := vcache.SliceHash(sliceModels(models, part))
+		replicas := make([]Shard, len(reps))
+		for j, a := range reps {
+			rs := NewRemoteShard(a, len(part), scfg.Prune, scfg.Cascade, scfg.Sim, rcfg)
+			rs.ExpectContent(rcfg.Version, slice)
+			replicas[j] = rs
+		}
+		g, err := NewReplicaGroup(replicas, gcfg)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = g
+		if ccfg.ProbeInterval > 0 {
+			for j, rep := range g.Replicas() {
+				probes = append(probes, breaker.Probe{
+					Name:    rep.Name(),
+					Breaker: g.Breakers()[j],
+					Check:   rep.(*RemoteShard).Check,
+				})
+			}
+		}
 	}
-	return NewCoordinator(shards, parts, ccfg)
+	c, err := NewCoordinator(shards, parts, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(probes) > 0 {
+		c.prober = breaker.NewProber(ccfg.ProbeInterval, probes)
+		c.prober.Start()
+	}
+	return c, nil
 }

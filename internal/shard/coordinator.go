@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/faultinject"
 	"repro/internal/model"
 	"repro/internal/scan"
@@ -20,11 +21,29 @@ type Config struct {
 	// ShardTimeout, when positive, bounds each shard's share of one
 	// scan: a shard that exceeds it fails with DeadlineExceeded and the
 	// scan degrades to partial results instead of waiting. It nests
-	// inside the caller's context (the earlier deadline wins).
+	// inside the caller's context (the earlier deadline wins). With
+	// replica groups it bounds the whole group — attempts, failovers
+	// and all; AttemptTimeout bounds each individual replica attempt.
 	ShardTimeout time.Duration
+	// AttemptTimeout, when positive, bounds each replica attempt inside
+	// a replica group, so a slow replica fails over instead of eating
+	// the whole ShardTimeout. Ignored by plain (ungrouped) shards.
+	AttemptTimeout time.Duration
+	// Breaker tunes the per-replica circuit breakers of replica groups
+	// (zero value = breaker defaults; Threshold -1 disables breaking).
+	// Ignored by plain shards.
+	Breaker breaker.Settings
+	// ProbeInterval, when positive, starts a background health prober
+	// (internal/breaker) over every remote replica: quarantined
+	// backends are re-probed via /healthz and re-admitted within one
+	// interval of recovering. 0 leaves re-admission to the breakers'
+	// own half-open scan probes. The prober goroutine lives until
+	// Close.
+	ProbeInterval time.Duration
 	// Telemetry optionally records the scatter–gather counters
-	// (shard_scans, shard_scan_failures, shard_degraded_scans, the
-	// shard_scan latency histogram). nil disables instrumentation.
+	// (shard_scans, shard_scan_failures, shard_degraded_scans,
+	// shard_failovers, the breaker transition counters, the shard_scan
+	// latency histogram). nil disables instrumentation.
 	Telemetry *telemetry.Collector
 }
 
@@ -37,6 +56,7 @@ type Coordinator struct {
 	total  int
 	cfg    Config
 	stats  []coordStats
+	prober *breaker.Prober // nil unless ProbeInterval wired a prober
 }
 
 // coordStats is the per-shard counter block behind Stats.
@@ -240,4 +260,68 @@ func (c *Coordinator) TelemetryGauges() map[string]uint64 {
 		out[prefix+"latency_ms"] = uint64(st.TotalLatency.Milliseconds())
 	}
 	return out
+}
+
+// breakers walks the fleet and returns every replica breaker, keyed by
+// backend name. Empty for ungrouped (local) fleets.
+func (c *Coordinator) breakers() map[string]*breaker.Breaker {
+	out := make(map[string]*breaker.Breaker)
+	for _, s := range c.shards {
+		g, ok := s.(*ReplicaGroup)
+		if !ok {
+			continue
+		}
+		for _, b := range g.Breakers() {
+			out[b.Name()] = b
+		}
+	}
+	return out
+}
+
+// BreakerStates reports each replica backend's current breaker state,
+// keyed by backend name (the replica address for remote fleets). Empty
+// when the fleet has no replica groups.
+func (c *Coordinator) BreakerStates() map[string]breaker.State {
+	brks := c.breakers()
+	out := make(map[string]breaker.State, len(brks))
+	for name, b := range brks {
+		out[name] = b.State()
+	}
+	return out
+}
+
+// BreakerGauges adapts the per-backend breaker state to a telemetry
+// gauge source; register it under the "breakers" name. Each backend
+// contributes <name>_state (0 closed, 1 open, 2 half-open) and
+// <name>_opens (cumulative trips).
+func (c *Coordinator) BreakerGauges() map[string]uint64 {
+	brks := c.breakers()
+	out := make(map[string]uint64, 2*len(brks))
+	for name, b := range brks {
+		out[name+"_state"] = uint64(b.State())
+		out[name+"_opens"] = b.Opens()
+	}
+	return out
+}
+
+// Close releases the coordinator's background resources: it stops the
+// health prober started by Config.ProbeInterval and drops the remote
+// shards' pooled keep-alive connections (sockets and their transport
+// goroutines would otherwise linger until the transport's idle
+// timeout). Idempotent, nil-safe and safe on a coordinator that never
+// started a prober; scans already in flight are unaffected (breakers
+// keep working, they just lose background re-admission).
+func (c *Coordinator) Close() {
+	if c == nil {
+		return
+	}
+	c.prober.Stop()
+	for _, s := range c.shards {
+		switch sh := s.(type) {
+		case *RemoteShard:
+			sh.CloseIdleConnections()
+		case *ReplicaGroup:
+			sh.CloseIdleConnections()
+		}
+	}
 }

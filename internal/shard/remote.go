@@ -62,6 +62,12 @@ type RemoteConfig struct {
 	Retry retry.Policy
 	// Telemetry counts remote retries and cutoff broadcasts.
 	Telemetry *telemetry.Collector
+	// Version is the coordinator-side repository version; when both it
+	// and the server's advertised version are non-zero (and the server
+	// offers no content fingerprint), Check treats a mismatch as
+	// unhealthy. NewRemoteCoordinator threads it into every replica's
+	// ExpectContent alongside the partition's content fingerprint.
+	Version uint64
 	// Client optionally overrides the HTTP client (tests inject
 	// httptest transports); Timeout is applied per-request via context
 	// either way.
@@ -82,6 +88,11 @@ type RemoteShard struct {
 	sim      similarity.Options
 	cfg      RemoteConfig
 	client   *http.Client
+
+	// Content expectation for Check, set via ExpectContent. Zero values
+	// skip the respective comparison (old servers, unknown content).
+	expectVersion uint64
+	expectSlice   string
 }
 
 // NewRemoteShard builds a client for the shard at addr ("host:port" or
@@ -112,9 +123,33 @@ func (s *RemoteShard) Name() string { return s.addr }
 // verifies the server agrees.
 func (s *RemoteShard) Len() int { return s.expected }
 
+// ExpectContent records what this client believes the server serves:
+// the coordinator-side repository version and the slice's content
+// fingerprint (vcache.SliceHash over the shard's models). Check then
+// treats a mismatching server as unhealthy, so a replica restarted
+// against a stale repository is quarantined by the health prober
+// instead of silently answering with yesterday's attack models. Zero
+// values skip the respective comparison. Call before the shard is used;
+// not safe concurrently with Check.
+func (s *RemoteShard) ExpectContent(version uint64, sliceHash string) {
+	s.expectVersion = version
+	s.expectSlice = sliceHash
+}
+
+// CloseIdleConnections drops this shard's pooled keep-alive
+// connections. The coordinator calls it on Close so a torn-down engine
+// releases its sockets (and their transport goroutines) instead of
+// waiting out the transport's idle timeout; with the default client
+// this flushes the process-wide shared pool, which is the intended
+// "we are done scanning" semantics.
+func (s *RemoteShard) CloseIdleConnections() { s.client.CloseIdleConnections() }
+
 // Check asks the server's /healthz whether it is alive and holds the
-// slice this client expects — the partition handshake for smoke tests
-// and CLI startup.
+// slice this client expects — the partition handshake for smoke tests,
+// CLI startup, and the health prober's re-admission probe. Beyond
+// liveness it verifies the entry count and, when ExpectContent was
+// called, the slice content fingerprint: a reachable-but-stale replica
+// is reported unhealthy, not failed over *to*.
 func (s *RemoteShard) Check(ctx context.Context) error {
 	var h healthResponse
 	if err := s.roundTrip(ctx, "/healthz", nil, &h); err != nil {
@@ -122,6 +157,22 @@ func (s *RemoteShard) Check(ctx context.Context) error {
 	}
 	if h.Entries != s.expected {
 		return fmt.Errorf("shard: %s holds %d entries, router expects %d — repository or partition mismatch", s.addr, h.Entries, s.expected)
+	}
+	if s.expectSlice != "" && h.Slice != "" {
+		// The content fingerprint is the authoritative comparison: it
+		// proves the replica serves byte-equivalent models regardless of
+		// how many reloads either side has seen.
+		if h.Slice != s.expectSlice {
+			return fmt.Errorf("shard: %s serves slice fingerprint %.12s…, coordinator expects %.12s… — stale replica (reload it)", s.addr, h.Slice, s.expectSlice)
+		}
+		return nil
+	}
+	if s.expectVersion != 0 && h.Version != 0 && h.Version != s.expectVersion {
+		// Version-only fallback for servers predating the slice
+		// fingerprint. Weaker: a front-end /reload bumps the version
+		// without changing content, so only use it when no fingerprint is
+		// available from the server.
+		return fmt.Errorf("shard: %s serves repository version %d, coordinator expects %d — stale replica (reload it)", s.addr, h.Version, s.expectVersion)
 	}
 	return nil
 }

@@ -37,6 +37,10 @@ type ServerConfig struct {
 	// Telemetry optionally instruments the server's engines and result
 	// cache.
 	Telemetry *telemetry.Collector
+	// Version is the serving repository's version, advertised on
+	// /healthz so coordinators can spot a replica loaded from a stale
+	// repository (0 = unknown, comparison skipped client-side).
+	Version uint64
 }
 
 // engineKey is one distinct scan semantics a client asked for. Engines
@@ -61,7 +65,9 @@ type Server struct {
 	cache  *scan.DistCache
 
 	// results memoizes whole /scan outcomes (nil when ResultCache is
-	// off); sliceHash keys every entry to this exact served slice.
+	// off). sliceHash — always computed — keys cache entries to this
+	// exact served slice and is advertised on /healthz as the content
+	// fingerprint behind the staleness handshake.
 	results   *vcache.Cache
 	sliceHash string
 
@@ -81,9 +87,9 @@ func NewServer(models []*model.CSTBBS, cfg ServerConfig) *Server {
 		cache:   scan.NewDistCache(),
 		engines: make(map[engineKey]*scan.Engine),
 	}
+	s.sliceHash = vcache.SliceHash(s.models)
 	if cfg.ResultCache > 0 {
 		s.results = vcache.New(cfg.ResultCache, cfg.Telemetry)
-		s.sliceHash = vcache.SliceHash(s.models)
 		cfg.Telemetry.RegisterGauges("shard_vcache", s.results.TelemetryGauges)
 	}
 	return s
@@ -231,13 +237,26 @@ func (s *Server) handleCutoff(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(healthResponse{Entries: len(s.models)})
+	_ = json.NewEncoder(w).Encode(healthResponse{
+		Entries: len(s.models),
+		Version: s.cfg.Version,
+		Slice:   s.sliceHash,
+	})
 }
 
 // Serve binds addr (e.g. ":7070"; an explicit port 0 picks a free one)
 // and serves the shard protocol until shutdown is called. It returns
 // the bound address so callers — and the shard-smoke test harness —
 // can hand it to NewRemoteShard.
+//
+// The shutdown function drains gracefully until ctx expires, then
+// force-closes whatever remains, so it always terminates the server
+// within the caller's deadline. (Graceful-only shutdown can stall for
+// seconds on a connection a client dialed but never used — net/http
+// leaves such conns open for a grace window of its own — which would
+// otherwise turn every fleet teardown into a multi-second wait.) A
+// ctx error from the graceful phase is still returned so callers can
+// tell a drain from a forced close.
 func (s *Server) Serve(addr string) (bound string, shutdown func(context.Context) error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -248,6 +267,11 @@ func (s *Server) Serve(addr string) (bound string, shutdown func(context.Context
 	go func() { done <- srv.Serve(ln) }()
 	return ln.Addr().String(), func(ctx context.Context) error {
 		err := srv.Shutdown(ctx)
+		if err != nil {
+			if cerr := srv.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+		}
 		if serr := <-done; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
 			err = serr
 		}

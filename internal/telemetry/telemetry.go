@@ -118,6 +118,24 @@ const (
 	// increments this exactly once no matter how many of its shards
 	// died; ShardScanFailures counts the individual shard failures.
 	ShardDegradedScans
+	// ShardFailovers counts replica-group scans served by a non-first
+	// choice: each increment is one replica passed over — because its
+	// attempt failed or timed out, or because its circuit breaker was
+	// open — with a later replica tried instead. A healthy fleet holds
+	// this flat; a dead primary grows it once per scan until the backend
+	// recovers and its breaker closes.
+	ShardFailovers
+	// BreakerOpens counts closed→open circuit-breaker transitions: a
+	// backend hit its consecutive-failure threshold (or failed its
+	// half-open probe) and is now quarantined from scans.
+	BreakerOpens
+	// BreakerHalfOpens counts open→half-open transitions: a quarantined
+	// backend's open interval elapsed and one probe attempt (a scan or
+	// the background health prober) was admitted.
+	BreakerHalfOpens
+	// BreakerCloses counts half-open→closed transitions: a probe
+	// succeeded and the backend was re-admitted to scans.
+	BreakerCloses
 	// VCacheHits counts repository scans served from the verdict result
 	// cache (internal/vcache) without running any comparison — the
 	// memoized whole-scan outcome was reused.
@@ -182,6 +200,10 @@ var counterNames = [numCounters]string{
 	ShardRemoteRetries:           "shard_remote_retries",
 	ShardCutoffBroadcasts:        "shard_cutoff_broadcasts",
 	ShardDegradedScans:           "shard_degraded_scans",
+	ShardFailovers:               "shard_failovers",
+	BreakerOpens:                 "breaker_opens",
+	BreakerHalfOpens:             "breaker_half_opens",
+	BreakerCloses:                "breaker_closes",
 	VCacheHits:                   "vcache_hits",
 	VCacheMisses:                 "vcache_misses",
 	VCacheEvictions:              "vcache_evictions",

@@ -24,9 +24,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 
 	"repro/internal/attacks"
 	"repro/internal/benign"
+	"repro/internal/breaker"
 	"repro/internal/dataset"
 	"repro/internal/detect"
 	"repro/internal/isa"
@@ -275,6 +277,10 @@ type (
 	ShardPartialError = shard.PartialError
 	ShardServerConfig = shard.ServerConfig
 	RetryPolicy       = retry.Policy
+	// BreakerSettings tunes the per-replica circuit breakers of a
+	// replicated shard fleet (Detector.ShardBreaker); see
+	// internal/breaker and docs/ROBUSTNESS.md.
+	BreakerSettings = breaker.Settings
 )
 
 // Shard partition policies (Detector.ShardPolicy).
@@ -300,6 +306,11 @@ func ServeShard(repo *Repository, shards, index int, policy ShardPolicy, addr st
 		models[i] = e.BBS
 	}
 	slice := shard.ShardModels(models, shard.Router{Shards: shards, Policy: policy}, index)
+	if cfg.Version == 0 {
+		// Advertise the repository version on /healthz so coordinators
+		// built over a different repository state can spot the skew.
+		cfg.Version = repo.Version()
+	}
 	return shard.NewServer(slice, cfg).Serve(addr)
 }
 
@@ -324,13 +335,62 @@ func NewDetectionServer(cfg ServeConfig) *DetectionServer { return serve.New(cfg
 
 // CheckShard verifies a shard server at addr is alive and holds the
 // slice the router says it should — the partition handshake used by
-// `make shard-smoke` and CLI startup.
+// `make shard-smoke` and CLI startup. When addrs[index] names several
+// "|"-separated replicas, every replica is checked and the first
+// failure is returned; use CheckShardFleet for group-aware semantics.
 func CheckShard(ctx context.Context, repo *Repository, addrs []string, index int, policy ShardPolicy) error {
 	models := make([]*CSTBBS, len(repo.Entries))
 	for i, e := range repo.Entries {
 		models[i] = e.BBS
 	}
 	parts := shard.PartitionModels(models, shard.Router{Shards: len(addrs), Policy: policy})
-	rs := shard.NewRemoteShard(addrs[index], len(parts[index]), false, false, similarity.DefaultOptions(), shard.RemoteConfig{})
-	return rs.Check(ctx)
+	reps, err := shard.SplitReplicas(addrs[index])
+	if err != nil {
+		return err
+	}
+	for _, a := range reps {
+		rs := shard.NewRemoteShard(a, len(parts[index]), false, false, similarity.DefaultOptions(), shard.RemoteConfig{})
+		if err := rs.Check(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckShardFleet handshakes every replica of every shard address. It
+// returns the names of unhealthy replicas (empty when the whole fleet
+// is healthy) and a non-nil error only when some partition has no
+// healthy replica at all — the condition under which classifications
+// would degrade to partial results. A fleet with dead-but-redundant
+// replicas starts fine: failover covers it, and the returned names let
+// the caller warn the operator.
+func CheckShardFleet(ctx context.Context, repo *Repository, addrs []string, policy ShardPolicy) (unhealthy []string, err error) {
+	models := make([]*CSTBBS, len(repo.Entries))
+	for i, e := range repo.Entries {
+		models[i] = e.BBS
+	}
+	parts := shard.PartitionModels(models, shard.Router{Shards: len(addrs), Policy: policy})
+	var dark []string
+	for i := range addrs {
+		reps, err := shard.SplitReplicas(addrs[i])
+		if err != nil {
+			return unhealthy, err
+		}
+		healthy := 0
+		for _, a := range reps {
+			rs := shard.NewRemoteShard(a, len(parts[i]), false, false, similarity.DefaultOptions(), shard.RemoteConfig{})
+			if cerr := rs.Check(ctx); cerr != nil {
+				unhealthy = append(unhealthy, a)
+			} else {
+				healthy++
+			}
+		}
+		if healthy == 0 {
+			dark = append(dark, addrs[i])
+		}
+	}
+	if len(dark) > 0 {
+		return unhealthy, fmt.Errorf("scaguard: no healthy replica for shard group(s) %s", strings.Join(dark, ", "))
+	}
+	return unhealthy, nil
 }

@@ -1,0 +1,106 @@
+#!/bin/sh
+# End-to-end smoke test of the replicated fleet's failure modes: build
+# the CLI, start a 2-partition x 2-replica shard fleet on loopback,
+# then walk the failure ladder —
+#
+#   1. healthy fleet: replicated classify is bit-identical to a
+#      single-engine run of the same target;
+#   2. one replica killed (the preferred replica of partition 0):
+#      classify warns about the corpse but fails over and stays
+#      bit-identical;
+#   3. whole partition killed: classify refuses loudly (no healthy
+#      replica for the group) instead of emitting a silently
+#      incomplete verdict.
+#
+# Then the in-process chaos soak (internal/chaos) runs a short
+# deterministic scenario schedule under the race detector: kills,
+# blackouts, slow replicas and flappers under concurrent load, with
+# breaker re-admission and goroutine-leak checks. docs/ROBUSTNESS.md
+# documents the full matrix.
+set -eu
+
+GO=${GO:-go}
+TARGET=${TARGET:-ER-IAIK}
+PORT_A1=${PORT_A1:-19421}
+PORT_A2=${PORT_A2:-19422}
+PORT_B1=${PORT_B1:-19423}
+PORT_B2=${PORT_B2:-19424}
+CHAOS_ROUNDS=${CHAOS_ROUNDS:-4}
+
+tmp=$(mktemp -d)
+trap 'kill $pid_a1 $pid_a2 $pid_b1 $pid_b2 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
+
+$GO build -o "$tmp/scaguard" ./cmd/scaguard
+
+"$tmp/scaguard" shard-serve -shards 2 -index 0 -addr 127.0.0.1:$PORT_A1 &
+pid_a1=$!
+"$tmp/scaguard" shard-serve -shards 2 -index 0 -addr 127.0.0.1:$PORT_A2 &
+pid_a2=$!
+"$tmp/scaguard" shard-serve -shards 2 -index 1 -addr 127.0.0.1:$PORT_B1 &
+pid_b1=$!
+"$tmp/scaguard" shard-serve -shards 2 -index 1 -addr 127.0.0.1:$PORT_B2 &
+pid_b2=$!
+
+fleet="127.0.0.1:$PORT_A1|127.0.0.1:$PORT_A2,127.0.0.1:$PORT_B1|127.0.0.1:$PORT_B2"
+
+# Wait for the whole fleet to answer the health handshake: until every
+# replica is up, classify reports the stragglers as unhealthy warnings.
+for i in $(seq 1 50); do
+    if "$tmp/scaguard" classify -target "$TARGET" -shard-addrs "$fleet" \
+        >"$tmp/replicated.out" 2>"$tmp/replicated.err" \
+        && ! grep -q unhealthy "$tmp/replicated.err"; then
+        break
+    fi
+    if [ "$i" = 50 ]; then
+        echo "chaos-smoke: fleet never became healthy" >&2
+        cat "$tmp/replicated.err" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+"$tmp/scaguard" classify -target "$TARGET" >"$tmp/single.out"
+
+if ! cmp -s "$tmp/single.out" "$tmp/replicated.out"; then
+    echo "chaos-smoke: healthy replicated classify diverged from single-engine" >&2
+    diff "$tmp/single.out" "$tmp/replicated.out" >&2 || true
+    exit 1
+fi
+
+# Kill partition 0's preferred replica: the verdict must not change,
+# and the handshake must name the corpse.
+kill $pid_a1
+wait $pid_a1 2>/dev/null || true
+"$tmp/scaguard" classify -target "$TARGET" -shard-addrs "$fleet" \
+    >"$tmp/failover.out" 2>"$tmp/failover.err"
+if ! cmp -s "$tmp/single.out" "$tmp/failover.out"; then
+    echo "chaos-smoke: failover classify diverged from single-engine" >&2
+    diff "$tmp/single.out" "$tmp/failover.out" >&2 || true
+    exit 1
+fi
+if ! grep -q "127.0.0.1:$PORT_A1 unhealthy" "$tmp/failover.err"; then
+    echo "chaos-smoke: dead replica was not reported unhealthy" >&2
+    cat "$tmp/failover.err" >&2
+    exit 1
+fi
+
+# Kill the whole partition: classify must refuse, not degrade silently.
+kill $pid_a2
+wait $pid_a2 2>/dev/null || true
+if "$tmp/scaguard" classify -target "$TARGET" -shard-addrs "$fleet" \
+    >"$tmp/blackout.out" 2>"$tmp/blackout.err"; then
+    echo "chaos-smoke: classify succeeded with a whole partition dark" >&2
+    exit 1
+fi
+if ! grep -q "no healthy replica" "$tmp/blackout.err"; then
+    echo "chaos-smoke: blackout error did not name the dead group" >&2
+    cat "$tmp/blackout.err" >&2
+    exit 1
+fi
+
+# Short in-process soak under the race detector: deterministic kills,
+# blackouts, slow replicas and flappers with bit-identity, breaker
+# convergence and leak assertions (CHAOS_SEED/CHAOS_ROUNDS tune it).
+CHAOS_ROUNDS=$CHAOS_ROUNDS $GO test -race -count=1 -run 'TestChaosSoak$' ./internal/chaos
+
+echo "chaos-smoke: OK ($(grep verdict "$tmp/failover.out"))"
