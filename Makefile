@@ -7,7 +7,7 @@ GO ?= go
 # cancellation and backpressure, where a bug means "stuck forever").
 TEST_TIMEOUT ?= 5m
 
-.PHONY: all build test race vet bench bench-shard bench-vcache bench-cascade bench-check alloc-check vcache-smoke shard-smoke serve-smoke chaos chaos-smoke docs-check fuzz-short faults cover ci
+.PHONY: all build test race vet bench bench-shard bench-vcache bench-cascade bench-index bench-check alloc-check vcache-smoke shard-smoke serve-smoke index-smoke chaos chaos-smoke docs-check fuzz-short faults cover ci
 
 all: build
 
@@ -22,7 +22,7 @@ test:
 # scatter–gather layer, the circuit breakers, the chaos harness, the
 # verdict result cache and the detection service front end).
 race:
-	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/detect ./internal/scan ./internal/stream ./internal/shard ./internal/breaker ./internal/chaos ./internal/vcache ./internal/serve
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/detect ./internal/scan ./internal/stream ./internal/shard ./internal/breaker ./internal/chaos ./internal/vcache ./internal/serve ./internal/index
 
 vet:
 	$(GO) vet ./...
@@ -52,10 +52,18 @@ bench-vcache:
 bench-cascade:
 	BENCHTIME=1.5s COUNT=3 ./scripts/bench-check.sh
 
-# CI regression guard over the same benchmark: fails if the cascade
-# scan regresses more than 1.25x RELATIVE to the plain pruned scan in
-# the same run (intra-run ratio — absolute ns/op thresholds don't
-# survive CI machine variance).
+# Repository-index figures: the 500-variant stress-corpus sweep, Flat
+# vs Cascade vs Indexed, best-of-3 at a longer benchtime than the CI
+# guard, for quoting in docs/PERFORMANCE.md and docs/INDEXING.md.
+bench-index:
+	$(GO) test -run xxx -bench BenchmarkIndexedScan -benchtime 1.5s -count 3 -benchmem ./internal/scan
+
+# CI regression guards over both benchmarks: fails if the cascade scan
+# regresses more than 1.25x RELATIVE to the plain pruned scan in the
+# same run, or if the indexed sweep scan drops under 3x over the flat
+# pruned scan (intra-run ratios — absolute ns/op thresholds don't
+# survive CI machine variance). Writes BENCH_cascade.json and
+# BENCH_index.json.
 bench-check:
 	./scripts/bench-check.sh
 
@@ -83,6 +91,13 @@ shard-smoke:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
+# End-to-end repository-index smoke: generate a mutation stress corpus
+# with scaguard-corpus, classify flat vs indexed against it (verdicts
+# must agree), then the same through two warm-indexed shard-serve
+# processes (docs/INDEXING.md).
+index-smoke:
+	./scripts/index-smoke.sh
+
 # Full chaos soak under the race detector: a replicated loopback fleet
 # under concurrent load while replicas are killed, revived, slowed and
 # flapped. Asserts bit-identical verdicts while >=1 replica per
@@ -102,13 +117,16 @@ chaos-smoke:
 docs-check:
 	./scripts/docs-check.sh
 
-# Short fuzzing pass: ten seconds each over the assembler parser and
-# the lower-bound cascade soundness property (every tier <= the exact
-# DTW distance), plus the checked-in seed corpora. Crashers land in the
-# package's testdata/fuzz/ as regression inputs.
+# Short fuzzing pass: ten seconds each over the assembler parser, the
+# lower-bound cascade soundness property (every tier <= the exact DTW
+# distance) and the index-descent exactness property (an indexed scan's
+# best match bit-equals the flat engine's on random repositories), plus
+# the checked-in seed corpora. Crashers land in the package's
+# testdata/fuzz/ as regression inputs.
 fuzz-short:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s -timeout $(TEST_TIMEOUT) ./internal/isa
 	$(GO) test -fuzz=FuzzLowerBoundCascade -fuzztime=10s -timeout $(TEST_TIMEOUT) ./internal/similarity
+	$(GO) test -fuzz=FuzzIndexDescend -fuzztime=10s -timeout $(TEST_TIMEOUT) ./internal/scan
 
 # Fault-injection suite under the race detector: panic isolation,
 # cancellation promptness and leak freedom across the scan engine, the
@@ -117,11 +135,11 @@ fuzz-short:
 faults:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) \
 		-run 'Panic|Cancel|Fault|Inject|Stream|Timeout|Limit|Shard|Retry|Partial|LookupFault|Failpoint|Reload|Drain|Overload|Hedge|Breaker|Prober|Replica|Chaos|Leak|Flap' \
-		./internal/faultinject ./internal/panicsafe ./internal/scan ./internal/detect ./internal/stream ./internal/isa ./internal/shard ./internal/retry ./internal/breaker ./internal/chaos ./internal/vcache ./internal/serve
+		./internal/faultinject ./internal/panicsafe ./internal/scan ./internal/detect ./internal/stream ./internal/isa ./internal/shard ./internal/retry ./internal/breaker ./internal/chaos ./internal/vcache ./internal/serve ./internal/index
 
 # Coverage over every package, with the per-function summary printed.
 cover:
 	$(GO) test -coverprofile=coverage.out -timeout $(TEST_TIMEOUT) ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: build vet test race faults alloc-check bench-check vcache-smoke shard-smoke serve-smoke chaos-smoke docs-check fuzz-short cover
+ci: build vet test race faults alloc-check bench-check vcache-smoke shard-smoke serve-smoke index-smoke chaos-smoke docs-check fuzz-short cover

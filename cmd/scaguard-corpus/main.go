@@ -5,6 +5,16 @@
 // Usage:
 //
 //	scaguard-corpus -per-class 40 -seed 1
+//	scaguard-corpus -out repo.json -per-family 125 -seed 1
+//
+// With -out the command switches to generation mode: it builds the
+// seeded mutation stress corpus (internal/detect.BuildVariantRepository
+// — PerFamily mutated variants per attack family, every variant's
+// parameters and mutation seed derived from the base seed, so two runs
+// anywhere produce byte-identical files) and writes it in the
+// repository persistence format that `scaguard classify -repo` and
+// `scaguard shard-serve -repo` load. docs/INDEXING.md uses it to feed
+// the index benchmarks and the indexed-versus-flat smoke test.
 package main
 
 import (
@@ -16,12 +26,24 @@ import (
 	"repro/internal/attacks"
 	"repro/internal/cfg"
 	"repro/internal/dataset"
+	"repro/internal/detect"
 )
 
 func main() {
 	perClass := flag.Int("per-class", 40, "samples per class (paper: 400)")
 	seed := flag.Int64("seed", 1, "corpus generation seed")
+	out := flag.String("out", "", "generation mode: write the seeded mutation stress corpus as a repository JSON file to this path instead of printing the composition report")
+	perFamily := flag.Int("per-family", 0, "with -out: mutated variants per attack family (0 = 125, i.e. a 500-variant corpus)")
+	obfuscate := flag.Bool("obfuscate", false, "with -out: use the polymorphic obfuscation profile instead of light mutation")
 	flag.Parse()
+
+	if *out != "" {
+		if err := writeCorpus(*out, *perFamily, *seed, *obfuscate); err != nil {
+			fmt.Fprintln(os.Stderr, "scaguard-corpus:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ds, err := dataset.Standard(dataset.Config{PerClass: *perClass, Seed: *seed})
 	if err != nil {
@@ -100,4 +122,26 @@ func index(s string, c byte) int {
 		}
 	}
 	return len(s)
+}
+
+// writeCorpus is generation mode: build the derived-seed variant
+// repository and save it in the classify/shard-serve -repo format.
+func writeCorpus(path string, perFamily int, seed int64, obfuscate bool) error {
+	repo, err := detect.BuildVariantRepository(detect.CorpusConfig{PerFamily: perFamily, Seed: seed, Obfuscate: obfuscate})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := repo.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stress corpus: %d variants (seed %d) written to %s\n", repo.Len(), seed, path)
+	return nil
 }

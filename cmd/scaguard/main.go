@@ -16,13 +16,14 @@
 //	scaguard classify -target FR-Mastik -timeout 2s
 //	scaguard classify -target ER-IAIK -result-cache 64
 //	scaguard classify -target ER-IAIK -shards 4
-//	scaguard shard-serve -shards 2 -index 0 -addr :9101 -result-cache 256
+//	scaguard classify -target ER-IAIK -fast -index
+//	scaguard shard-serve -shards 2 -shard-index 0 -addr :9101 -result-cache 256
 //	scaguard classify -target ER-IAIK -shard-addrs 127.0.0.1:9101,127.0.0.1:9102
 //	scaguard classify -target ER-IAIK -shard-addrs '127.0.0.1:9101|127.0.0.1:9111,127.0.0.1:9102|127.0.0.1:9112'
 //	printf 'attack:FR-IAIK\nbenign:crypto/aes-ttable/7\n' | scaguard classify -stream
 //
 // The |-separated form names replicas: two shard-serve processes with
-// the same -shards/-index serve the same partition, and scans fail
+// the same -shards/-shard-index serve the same partition, and scans fail
 // over between them (docs/ROBUSTNESS.md).
 package main
 
@@ -327,6 +328,9 @@ func cmdClassify(args []string) error {
 	workers := fs.Int("workers", 0, "scan worker-pool size (0 = GOMAXPROCS)")
 	fast := fs.Bool("fast", false, "early-abandoning scan: the verdict and best match stay exact, other scores may be upper bounds (marked ~)")
 	cascade := fs.Bool("cascade", false, "with -fast: order candidates by a cheap O(1) lower bound and escalate through the tier-2/tier-3 bounds lazily (same exact verdict, fewer full comparisons); no effect without -fast")
+	indexed := fs.Bool("index", false, "with -fast: scan through a medoid-prototype repository index — clusters whose certified lower bounds cannot beat the running best are skipped wholesale (same exact verdict and best match; see docs/INDEXING.md); no effect without -fast")
+	indexClusters := fs.Int("index-clusters", 0, "with -index: number of index clusters (0 = ~sqrt(N) default)")
+	indexMax := fs.Int("index-max-clusters", 0, "with -index: approximate mode — fully score at most this many clusters per scan and estimate the rest (the verdict may miss matches hiding in unscored clusters; 0 = exact)")
 	stats := fs.Bool("stats", false, "print a telemetry report after the run (pruning rate, DistCache hit rate, stage latencies)")
 	metricsAddr := fs.String("metrics-addr", "", "serve the live telemetry snapshot over HTTP on this address (e.g. :8080); JSON by default, Prometheus text via Accept or ?format=prometheus; blocks after the run until interrupted")
 	timeout := fs.Duration("timeout", 0, "per-classification deadline covering modeling and scanning (e.g. 500ms); 0 = none")
@@ -346,7 +350,7 @@ func cmdClassify(args []string) error {
 	if err != nil {
 		return err
 	}
-	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast, Cascade: *cascade}
+	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast, Cascade: *cascade, Index: *indexed, IndexClusters: *indexClusters, IndexMaxClusters: *indexMax}
 	det.Timeout = *timeout
 	det.ResultCache = *resultCache
 	policy, err := scaguard.ParseShardPolicy(*shardPolicy)
@@ -455,11 +459,13 @@ func cmdShardServe(args []string) error {
 	fs := flag.NewFlagSet("shard-serve", flag.ContinueOnError)
 	repoPath := fs.String("repo", "", "serve a shard of a saved repository instead of the default")
 	shards := fs.Int("shards", 1, "total number of shards in the deployment")
-	index := fs.Int("index", 0, "which shard this process serves (0-based)")
+	shardIndex := fs.Int("shard-index", 0, "which shard this process serves (0-based)")
 	policyName := fs.String("policy", "hash", "shard partition policy: hash (rendezvous) or rr (round-robin)")
 	addr := fs.String("addr", ":9101", "listen address (host:port; port 0 picks a free port)")
 	workers := fs.Int("workers", 0, "scan worker-pool size inside this shard (0 = GOMAXPROCS)")
 	resultCache := fs.Int("result-cache", 0, "memoize whole /scan replies for repeated targets in a bounded LRU of this many entries (0 = off)")
+	warmIndex := fs.Bool("index", false, "pre-build the medoid-prototype repository index over this shard's slice at startup, so the first indexed /scan skips the O(n²) construction (clients opt into indexed scans per request; see docs/INDEXING.md)")
+	indexClusters := fs.Int("index-clusters", 0, "with -index: cluster count of the pre-built index (0 = ~sqrt(N) default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -471,11 +477,12 @@ func cmdShardServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	bound, shutdown, err := scaguard.ServeShard(det.Repo, *shards, *index, policy, *addr, scaguard.ShardServerConfig{Workers: *workers, ResultCache: *resultCache})
+	bound, shutdown, err := scaguard.ServeShard(det.Repo, *shards, *shardIndex, policy, *addr,
+		scaguard.ShardServerConfig{Workers: *workers, ResultCache: *resultCache, WarmIndex: *warmIndex, IndexClusters: *indexClusters})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "shard %d/%d (%s policy) serving on %s — interrupt to exit\n", *index, *shards, policy, bound)
+	fmt.Fprintf(os.Stderr, "shard %d/%d (%s policy) serving on %s — interrupt to exit\n", *shardIndex, *shards, policy, bound)
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
@@ -495,7 +502,10 @@ func cmdServe(args []string) error {
 	repoPath := fs.String("repo", "", "serve a saved repository instead of the default; also the default source for POST /reload")
 	workers := fs.Int("workers", 0, "scan worker-pool size (0 = GOMAXPROCS)")
 	fast := fs.Bool("fast", false, "early-abandoning scans: verdicts and best matches stay exact, other scores may be upper bounds")
-	cascade := fs.Bool("cascade", false, "with -fast: order candidates by a cheap O(1) lower bound and escalate through the tier-2/tier-3 bounds lazily (same exact verdict, fewer full comparisons); no effect without -fast")
+	cascade := fs.Bool("cascade", false, "with -fast: early-abandoning scans stay exact while skipping hopeless candidates; no effect without -fast")
+	indexed := fs.Bool("index", false, "with -fast: scan through a medoid-prototype repository index — clusters whose certified lower bounds cannot beat the running best are skipped wholesale (same exact verdict and best match; see docs/INDEXING.md); no effect without -fast")
+	indexClusters := fs.Int("index-clusters", 0, "with -index: number of index clusters (0 = ~sqrt(N) default)")
+	indexMax := fs.Int("index-max-clusters", 0, "with -index: approximate mode — fully score at most this many clusters per scan and estimate the rest (the verdict may miss matches hiding in unscored clusters; 0 = exact)")
 	resultCache := fs.Int("result-cache", 0, "memoize whole scan outcomes in a bounded LRU of this many entries (0 = off); invalidated by /reload and repository growth")
 	shards := fs.Int("shards", 0, "partition the repository across this many in-process scan shards (0/1 = single engine)")
 	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard-serve addresses; the repository is scanned across them. Each address may name |-separated replicas serving the same partition (\"a:9101|b:9101\"): scans fail over between them")
@@ -521,7 +531,7 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast, Cascade: *cascade}
+	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast, Cascade: *cascade, Index: *indexed, IndexClusters: *indexClusters, IndexMaxClusters: *indexMax}
 	det.Timeout = *timeout
 	det.ResultCache = *resultCache
 	policy, err := scaguard.ParseShardPolicy(*shardPolicy)

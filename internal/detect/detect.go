@@ -315,6 +315,11 @@ type Detector struct {
 	// engCoord is the shard coordinator behind eng (nil unless
 	// sharded); rebuilds and Close stop its background prober.
 	engCoord *shard.Coordinator
+	// engRaw is the unwrapped scan engine behind eng (nil when
+	// sharded). Kept so a rebuild caused by Repository.Add/Replace can
+	// hand the previous repository index back via scan.Config.IndexFrom
+	// and extend it incrementally instead of paying the O(n²) rebuild.
+	engRaw *scan.Engine
 	// vc is the verdict result cache behind ResultCache. It outlives
 	// engine rebuilds on purpose: version-keyed entries from before an
 	// Add are unreachable anyway, while a pure configuration flip (e.g.
@@ -338,6 +343,9 @@ type engineKey struct {
 	workers        int
 	prune          bool
 	cascade        bool
+	index          bool
+	indexClusters  int
+	indexMax       int
 	sim            similarity.Options
 	tel            *telemetry.Collector
 	shards         int
@@ -354,6 +362,7 @@ type engineKey struct {
 func (d *Detector) key() engineKey {
 	return engineKey{
 		workers: d.Scan.Workers, prune: d.Scan.Prune, cascade: d.Scan.Cascade,
+		index: d.Scan.Index, indexClusters: d.Scan.IndexClusters, indexMax: d.Scan.IndexMaxClusters,
 		sim: d.SimOpts, tel: d.Telemetry,
 		shards: d.Shards, policy: d.ShardPolicy, addrs: strings.Join(d.ShardAddrs, ","),
 		shardTimeout: d.ShardTimeout, shardRetry: d.ShardRetry,
@@ -394,19 +403,49 @@ func (d *Detector) engine() (repoScanner, []Entry, error) {
 	d.Telemetry.RegisterGauges("repository", func() map[string]uint64 {
 		return map[string]uint64{"entries": uint64(repo.Len())}
 	})
+	// Incremental repository-index reuse across the version-bump seam:
+	// when only the repository grew (Add/Replace appending entries —
+	// the previous snapshot is a pointer-identical prefix of the new
+	// one) under unchanged index-shaping configuration, seed the new
+	// engine with the old index so appended entries join their nearest
+	// medoid instead of triggering a full O(n²) rebuild. Sharded
+	// engines always rebuild: each shard owns its own slice index.
+	if cfg.Index && cfg.Prune && !d.sharded() && d.engRaw != nil &&
+		k.index == d.engKey.index && k.indexClusters == d.engKey.indexClusters && k.sim == d.engKey.sim {
+		if prev := d.engRaw.Index(); prev != nil && extendsPrefix(entries, d.engEntries) {
+			cfg.IndexFrom = prev
+		}
+	}
 	sc, co, err := d.buildScanner(models, cfg, ver)
 	if err != nil {
 		return nil, nil, fmt.Errorf("detect: building sharded scanner: %w", err)
 	}
+	raw, _ := sc.(*scan.Engine)
 	if d.ResultCache > 0 {
 		sc = d.wrapCached(sc, ver, cfg)
 	}
 	// The outgoing coordinator's background prober must not outlive the
 	// engine it served.
 	d.engCoord.Close()
-	d.eng, d.engCoord = sc, co
+	d.eng, d.engCoord, d.engRaw = sc, co, raw
 	d.engEntries, d.engVer, d.engKey = entries, ver, k
 	return d.eng, d.engEntries, nil
+}
+
+// extendsPrefix reports whether the new snapshot is an append-only
+// extension of the old one: same leading entries (pointer-identical
+// models — Replace swaps the slice header but reuses untouched entry
+// values) with zero or more appended.
+func extendsPrefix(entries, old []Entry) bool {
+	if len(entries) < len(old) {
+		return false
+	}
+	for i := range old {
+		if entries[i].BBS != old[i].BBS {
+			return false
+		}
+	}
+	return true
 }
 
 // Close releases the detector's background resources — today the
@@ -446,12 +485,15 @@ func (d *Detector) wrapCached(sc repoScanner, ver uint64, cfg scan.Config) repoS
 	}
 	d.Telemetry.RegisterGauges("vcache", d.vc.TelemetryGauges)
 	return &cachedScanner{
-		inner:   sc,
-		cache:   d.vc,
-		ver:     ver,
-		prune:   cfg.Prune,
-		cascade: cfg.Cascade,
-		sim:     cfg.Sim.WithDefaults(),
+		inner:         sc,
+		cache:         d.vc,
+		ver:           ver,
+		prune:         cfg.Prune,
+		cascade:       cfg.Cascade,
+		index:         cfg.Index,
+		indexClusters: cfg.IndexClusters,
+		indexMax:      cfg.IndexMaxClusters,
+		sim:           cfg.Sim.WithDefaults(),
 	}
 }
 
@@ -459,23 +501,29 @@ func (d *Detector) wrapCached(sc repoScanner, ver uint64, cfg scan.Config) repoS
 // seam, so every classification entry point — single, batch, streaming
 // — shares one result cache without knowing it exists.
 type cachedScanner struct {
-	inner   repoScanner
-	cache   *vcache.Cache
-	ver     uint64
-	prune   bool
-	cascade bool
-	sim     similarity.Options
+	inner         repoScanner
+	cache         *vcache.Cache
+	ver           uint64
+	prune         bool
+	cascade       bool
+	index         bool
+	indexClusters int
+	indexMax      int
+	sim           similarity.Options
 }
 
 func (s *cachedScanner) key(bbs *model.CSTBBS) vcache.Key {
 	return vcache.Key{
-		Target:  vcache.TargetHash(bbs),
-		Version: s.ver,
-		Prune:   s.prune,
-		Cascade: s.cascade,
-		Window:  s.sim.Window,
-		ISW:     s.sim.ISWeight,
-		CSP:     s.sim.CSPWeight,
+		Target:        vcache.TargetHash(bbs),
+		Version:       s.ver,
+		Prune:         s.prune,
+		Cascade:       s.cascade,
+		Index:         s.index,
+		IndexClusters: s.indexClusters,
+		IndexMax:      s.indexMax,
+		Window:        s.sim.Window,
+		ISW:           s.sim.ISWeight,
+		CSP:           s.sim.CSPWeight,
 	}
 }
 

@@ -45,6 +45,11 @@ const (
 	// scan engine's worker loop with an empty detail. A sleep action
 	// here models a slow scan worker; a panic action a crashing one.
 	ScanWorker Point = "scan.worker"
+	// IndexBuild fires at the start of a repository-index construction
+	// (internal/index.Build) with the entry count. An error action here
+	// models a failed index build; the scan engine must degrade to the
+	// flat scan path, never fail classification.
+	IndexBuild Point = "index.build"
 	// StreamModel fires in the stream pipeline's modeling stage with
 	// the target ID, before the model is built.
 	StreamModel Point = "stream.model"

@@ -1,0 +1,43 @@
+package mutate
+
+import "hash/fnv"
+
+// DeriveSeed maps a base seed plus a list of name parts to a mutation
+// seed, deterministically and order-independently of any surrounding
+// generation loop. Callers that mint one variant per (family, index)
+// pair should seed each Mutate from
+// DeriveSeed(base, family, strconv.Itoa(i)) rather than drawing
+// sequentially from one shared rand.Rand: sequential draws make every
+// variant's identity depend on how many variants were generated before
+// it, so inserting one family reshuffles every later family's corpus.
+// With derived seeds the corpus is a pure function of (base, family,
+// index) — stable under reordering, subsetting and parallel
+// generation. The stress-corpus builder (internal/detect, `scaguard
+// corpus -out`) relies on this for its byte-for-byte reproducibility
+// guarantee.
+//
+// The derivation is FNV-1a over the length-prefixed parts folded with
+// the base, finished with the splitmix64 mixer so that near-identical
+// inputs ("v001" vs "v002") land on well-separated seeds. The mapping
+// is part of the corpus format: changing it regenerates every derived
+// corpus, so it is pinned by a golden test.
+func DeriveSeed(base int64, parts ...string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range parts {
+		// Length-prefix each part so ("ab","c") and ("a","bc") differ.
+		n := uint64(len(p))
+		for i := range buf {
+			buf[i] = byte(n >> (8 * i))
+		}
+		h.Write(buf[:])
+		h.Write([]byte(p))
+	}
+	x := h.Sum64() ^ uint64(base)
+	// splitmix64 finalizer.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/dtw"
 	"repro/internal/faultinject"
+	"repro/internal/index"
 	"repro/internal/model"
 	"repro/internal/panicsafe"
 	"repro/internal/similarity"
@@ -69,6 +70,39 @@ type Config struct {
 	// unchanged: best match, prediction and explanation stay exact.
 	// Ignored when Prune is false.
 	Cascade bool
+	// Index enables the medoid-prototype repository index
+	// (internal/index): entries are clustered at engine build time via
+	// the pairwise-distance MST, each scan scores the cluster
+	// prototypes first and visits clusters in ascending prototype-
+	// distance order, and entries of clusters that provably (per-entry
+	// cascade certificates) cannot beat the running cutoff are skipped
+	// without per-row DTW work — sub-linear scans on large
+	// repositories. The best match, prediction and explanation stay
+	// exact, exactly as under Prune; which entries report Pruned=true
+	// remains schedule-dependent. Indexed scans always use the full
+	// lower-bound certificate ladder, so Cascade is implied and its
+	// flag has no additional effect. Ignored when Prune is false; an
+	// injected index-build fault degrades to the flat scan path. See
+	// docs/INDEXING.md.
+	Index bool
+	// IndexClusters overrides the index's cluster count; <= 0 selects
+	// the ~sqrt(N)/2 default (index.DefaultClusters).
+	IndexClusters int
+	// IndexMaxClusters, when > 0, enables the approximate recall-
+	// trading mode: per target at most this many clusters (in
+	// ascending prototype-distance order) are examined normally, and
+	// the members of every later cluster are skipped on the triangle-
+	// inequality estimate alone — which the normalized DTW distance
+	// does not guarantee, so the true best match may be missed. Exact
+	// mode (the default, 0) never trusts that estimate for a skip.
+	IndexMaxClusters int
+	// IndexFrom optionally seeds index construction from a previous
+	// engine's index when the new model slice is an append-only
+	// extension of the one that index covers (the caller must verify
+	// the prefix matches): appended entries join their nearest medoid
+	// (index.Extend) instead of paying the full O(n²) rebuild. Ignored
+	// when extension is impossible.
+	IndexFrom *index.Index
 	// Sim is the similarity configuration shared by every comparison.
 	Sim similarity.Options
 	// Cache optionally shares a Levenshtein memo across engines (e.g.
@@ -115,6 +149,30 @@ type Engine struct {
 	flats  []*model.FlatBBS // flattened symbol form; nil entries fall back to strings
 	tab    *model.SymTab
 	cache  *DistCache
+	idx    *index.Index // nil unless Config.Index built one
+
+	// scratches recycles worker scratches across scans. The win is not
+	// the buffer reuse (those are small) but the worker-local pair memo
+	// riding inside each scratch: it stays warm across scans of a long-
+	// lived engine, so steady-state DTW cells never touch the shared
+	// cache's lock.
+	scratches sync.Pool
+}
+
+// getScratch hands out a pooled worker scratch (allocating one for a
+// cold pool); putScratch returns it after clearing the per-batch
+// bindings so pooled scratches never pin a finished batch's targets.
+func (e *Engine) getScratch() *scratch {
+	if s, ok := e.scratches.Get().(*scratch); ok {
+		return s
+	}
+	return e.newScratch()
+}
+
+func (e *Engine) putScratch(s *scratch) {
+	s.t, s.eb, s.eids, s.eprof, s.eflat = nil, nil, nil, nil, nil
+	s.runK, s.runFn = 0, nil
+	e.scratches.Put(s)
 }
 
 // New builds an engine over a snapshot of models. Construction interns
@@ -141,8 +199,20 @@ func New(models []*model.CSTBBS, cfg Config) *Engine {
 		e.ids[i] = e.internBlocks(m)
 		e.flats[i], _ = model.FlattenBBS(m, e.tab)
 	}
+	if cfg.Index && cfg.Prune {
+		e.idx = e.buildIndex()
+		if e.idx != nil {
+			cfg.Telemetry.RegisterGauges("index", e.idx.Gauges)
+		}
+	}
 	return e
 }
+
+// Index returns the engine's repository index (nil when indexing is
+// off, or when an injected build fault degraded the engine to flat
+// scanning). Detectors hand it back via Config.IndexFrom to extend
+// incrementally across repository version bumps.
+func (e *Engine) Index() *index.Index { return e.idx }
 
 // Len returns the number of repository models scanned per target.
 func (e *Engine) Len() int { return len(e.models) }
@@ -258,6 +328,7 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 	defer tel.ObserveSince(telemetry.StageScan, scanStart)
 	tel.Add(telemetry.ScanTargets, uint64(len(targets)))
 	nE := len(e.models)
+	indexed := e.indexed()
 	results := make([][]Match, len(targets))
 	ts := make([]*target, len(targets))
 	orders := make([][]int, len(targets))
@@ -275,7 +346,7 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 		if cuts[ti] == nil {
 			cuts[ti] = NewCutoff()
 		}
-		if e.cfg.Prune {
+		if e.cfg.Prune && !indexed {
 			// Cheap lower bounds, and a most-promising-first order so
 			// the shared best tightens as early as possible. Without the
 			// cascade the ordering bound is the exact per-row bound
@@ -309,7 +380,14 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 			bounds[ti], orders[ti] = lbs, order
 		}
 	}
+	// In indexed mode one work item is a whole target: the cluster
+	// descent is inherently sequential (the prototype pass must finish
+	// before the gates mean anything), so parallelism is across
+	// targets, not within one. See docs/INDEXING.md.
 	total := len(targets) * nE
+	if indexed {
+		total = len(targets)
+	}
 	if total == 0 {
 		return results, ctx.Err()
 	}
@@ -323,15 +401,20 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 		if err := faultinject.Fire(faultinject.ScanWorker, ""); err != nil {
 			return err
 		}
+		if indexed {
+			e.scanIndexed(ts[k], results[k], cuts[k], s)
+			return nil
+		}
 		ti, ei := k/nE, entryAt(k/nE, k%nE)
 		results[ti][ei] = e.scoreOne(ts[ti], ei, bounds[ti], kims[ti], cuts[ti], s)
 		return nil
 	}
 	// Each worker owns one scratch (DTW rows, Levenshtein rows, Keogh
-	// deques, the bound dist closure and the panicsafe trampoline), so
-	// the per-item loop below allocates nothing once warm.
+	// deques, the bound dist closure, the pair memo and the panicsafe
+	// trampoline), drawn from the engine pool so the per-item loop below
+	// allocates nothing once warm and the memo survives across batches.
 	newWorkerScratch := func() *scratch {
-		s := e.newScratch()
+		s := e.getScratch()
 		s.runFn = func() error { return run(s.runK, s) }
 		return s
 	}
@@ -363,6 +446,7 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 	}
 	if workers <= 1 {
 		s := newWorkerScratch()
+		defer e.putScratch(s)
 		for k := 0; k < total; k++ {
 			if stop.Load() {
 				break
@@ -381,6 +465,7 @@ func (e *Engine) scanBatchCtx(ctx context.Context, targets []*model.CSTBBS, cuts
 		go func() {
 			defer wg.Done()
 			s := newWorkerScratch()
+			defer e.putScratch(s)
 			for {
 				if stop.Load() || ctx.Err() != nil {
 					return

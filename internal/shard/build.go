@@ -113,7 +113,7 @@ func NewRemoteCoordinator(models []*model.CSTBBS, addrs []string, r Router, scfg
 		slice := vcache.SliceHash(sliceModels(models, part))
 		replicas := make([]Shard, len(reps))
 		for j, a := range reps {
-			rs := NewRemoteShard(a, len(part), scfg.Prune, scfg.Cascade, scfg.Sim, rcfg)
+			rs := NewRemoteShard(a, len(part), scfg, rcfg)
 			rs.ExpectContent(rcfg.Version, slice)
 			replicas[j] = rs
 		}

@@ -254,7 +254,7 @@ func TestCheckDetectsStaleReplica(t *testing.T) {
 	srv := httptest.NewServer(NewServer(stale, ServerConfig{Version: 7}).Handler())
 	defer srv.Close()
 
-	rs := NewRemoteShard(srv.URL, 6, false, false, similarity.DefaultOptions(), RemoteConfig{})
+	rs := NewRemoteShard(srv.URL, 6, scan.Config{Sim: similarity.DefaultOptions()}, RemoteConfig{})
 	if err := rs.Check(context.Background()); err != nil {
 		t.Fatalf("entry-count-only check failed: %v", err)
 	}
@@ -282,7 +282,7 @@ func TestCheckVersionFallbackForOldServers(t *testing.T) {
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
-	rs := NewRemoteShard(srv.URL, 4, false, false, similarity.DefaultOptions(), RemoteConfig{})
+	rs := NewRemoteShard(srv.URL, 4, scan.Config{Sim: similarity.DefaultOptions()}, RemoteConfig{})
 	rs.ExpectContent(2, "deadbeef")
 	if err := rs.Check(context.Background()); err != nil {
 		t.Fatalf("matching version rejected: %v", err)

@@ -19,7 +19,6 @@ import (
 	"repro/internal/model"
 	"repro/internal/retry"
 	"repro/internal/scan"
-	"repro/internal/similarity"
 	"repro/internal/telemetry"
 )
 
@@ -80,12 +79,10 @@ type RemoteConfig struct {
 // degrades that scan (partial results + error through the coordinator)
 // rather than failing the build or hanging.
 type RemoteShard struct {
-	addr     string // as given, the shard's Name
-	base     string // normalized URL prefix
-	expected int    // partition-derived entry count
-	prune    bool
-	cascade  bool
-	sim      similarity.Options
+	addr     string      // as given, the shard's Name
+	base     string      // normalized URL prefix
+	expected int         // partition-derived entry count
+	scfg     scan.Config // scan semantics every request carries (Sim defaulted)
 	cfg      RemoteConfig
 	client   *http.Client
 
@@ -97,9 +94,10 @@ type RemoteShard struct {
 
 // NewRemoteShard builds a client for the shard at addr ("host:port" or
 // a full http:// URL) which both sides' Routers agree holds expected
-// entries. prune, cascade and sim are the scan semantics this client's
-// detector wants; they travel with every request.
-func NewRemoteShard(addr string, expected int, prune, cascade bool, sim similarity.Options, cfg RemoteConfig) *RemoteShard {
+// entries. scfg carries the scan semantics this client's detector wants
+// (Prune, Cascade, the Index trio, Sim); they travel with every
+// request. Workers and Cache are server-side concerns and ignored.
+func NewRemoteShard(addr string, expected int, scfg scan.Config, cfg RemoteConfig) *RemoteShard {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -112,7 +110,8 @@ func NewRemoteShard(addr string, expected int, prune, cascade bool, sim similari
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &RemoteShard{addr: addr, base: base, expected: expected, prune: prune, cascade: cascade, sim: sim.WithDefaults(), cfg: cfg, client: client}
+	scfg.Sim = scfg.Sim.WithDefaults()
+	return &RemoteShard{addr: addr, base: base, expected: expected, scfg: scfg, cfg: cfg, client: client}
 }
 
 // Name implements Shard (the address identifies the shard in errors and
@@ -190,12 +189,15 @@ func (s *RemoteShard) Check(ctx context.Context) error {
 // still be scanning on the server.
 func (s *RemoteShard) Scan(ctx context.Context, bbs *model.CSTBBS, cut *scan.Cutoff) ([]scan.Match, error) {
 	base := scanRequest{
-		Target:    toWireBBS(bbs),
-		Prune:     s.prune,
-		Cascade:   s.cascade,
-		Window:    s.sim.Window,
-		ISWeight:  s.sim.ISWeight,
-		CSPWeight: s.sim.CSPWeight,
+		Target:        toWireBBS(bbs),
+		Prune:         s.scfg.Prune,
+		Cascade:       s.scfg.Cascade,
+		Window:        s.scfg.Sim.Window,
+		ISWeight:      s.scfg.Sim.ISWeight,
+		CSPWeight:     s.scfg.Sim.CSPWeight,
+		Index:         s.scfg.Index,
+		IndexClusters: s.scfg.IndexClusters,
+		IndexMax:      s.scfg.IndexMaxClusters,
 	}
 
 	// A failed attempt is transient — and worth a fresh attempt — unless
@@ -209,7 +211,7 @@ func (s *RemoteShard) Scan(ctx context.Context, bbs *model.CSTBBS, cut *scan.Cut
 		s.cfg.Telemetry.Inc(telemetry.ShardRemoteRetries)
 	}, func() error {
 		req := base
-		if s.prune && cut != nil {
+		if s.scfg.Prune && cut != nil {
 			req.ID = newScanID()
 			if best := cut.Best(); !math.IsInf(best, 1) {
 				req.Cutoff = &best
@@ -227,7 +229,7 @@ func (s *RemoteShard) Scan(ctx context.Context, bbs *model.CSTBBS, cut *scan.Cut
 	if err != nil {
 		return nil, err
 	}
-	if s.prune && cut != nil && resp.Best != nil {
+	if s.scfg.Prune && cut != nil && resp.Best != nil {
 		cut.Update(*resp.Best)
 	}
 	return ms, nil

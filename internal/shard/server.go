@@ -41,6 +41,18 @@ type ServerConfig struct {
 	// /healthz so coordinators can spot a replica loaded from a stale
 	// repository (0 = unknown, comparison skipped client-side).
 	Version uint64
+	// WarmIndex, when true, pre-builds the indexed scan engine for the
+	// default indexed semantics (prune on, cascade off, default
+	// similarity options, IndexClusters clusters) at server start, so
+	// the first indexed /scan does not pay the O(n²) index
+	// construction. Requests with other semantics still build their
+	// own engines lazily, exactly as without warming.
+	WarmIndex bool
+	// IndexClusters is the cluster count the warmed indexed engine
+	// uses (<= 0 selects the ~sqrt(N) default). It only shapes the
+	// warmed engine; clients' requested cluster counts always win for
+	// their own requests.
+	IndexClusters int
 }
 
 // engineKey is one distinct scan semantics a client asked for. Engines
@@ -48,10 +60,13 @@ type ServerConfig struct {
 // Levenshtein memo is keyed on block content, which pruning and term
 // weights do not change.
 type engineKey struct {
-	prune    bool
-	cascade  bool
-	window   int
-	isw, csp float64
+	prune         bool
+	cascade       bool
+	index         bool
+	indexClusters int
+	indexMax      int
+	window        int
+	isw, csp      float64
 }
 
 // Server hosts one repository slice behind the shard HTTP protocol:
@@ -92,6 +107,11 @@ func NewServer(models []*model.CSTBBS, cfg ServerConfig) *Server {
 		s.results = vcache.New(cfg.ResultCache, cfg.Telemetry)
 		cfg.Telemetry.RegisterGauges("shard_vcache", s.results.TelemetryGauges)
 	}
+	if cfg.WarmIndex {
+		sim := similarity.DefaultOptions()
+		s.engine(engineKey{prune: true, index: true, indexClusters: cfg.IndexClusters,
+			window: sim.Window, isw: sim.ISWeight, csp: sim.CSPWeight})
+	}
 	return s
 }
 
@@ -111,12 +131,15 @@ func (s *Server) engine(k engineKey) *scan.Engine {
 		return e
 	}
 	e := scan.New(s.models, scan.Config{
-		Workers:   s.cfg.Workers,
-		Prune:     k.prune,
-		Cascade:   k.cascade,
-		Sim:       similarity.Options{Window: k.window, ISWeight: k.isw, CSPWeight: k.csp},
-		Cache:     s.cache,
-		Telemetry: s.cfg.Telemetry,
+		Workers:          s.cfg.Workers,
+		Prune:            k.prune,
+		Cascade:          k.cascade,
+		Index:            k.index,
+		IndexClusters:    k.indexClusters,
+		IndexMaxClusters: k.indexMax,
+		Sim:              similarity.Options{Window: k.window, ISWeight: k.isw, CSPWeight: k.csp},
+		Cache:            s.cache,
+		Telemetry:        s.cfg.Telemetry,
 	})
 	s.engines[k] = e
 	return e
@@ -149,13 +172,16 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	// design), and concurrent identical requests collapse onto one scan.
 	// A nil cache passes straight through to scanOnce.
 	key := vcache.Key{
-		Target:  vcache.TargetHash(bbs),
-		Slice:   s.sliceHash,
-		Prune:   req.Prune,
-		Cascade: req.Cascade,
-		Window:  req.Window,
-		ISW:     req.ISWeight,
-		CSP:     req.CSPWeight,
+		Target:        vcache.TargetHash(bbs),
+		Slice:         s.sliceHash,
+		Prune:         req.Prune,
+		Cascade:       req.Cascade,
+		Index:         req.Index,
+		IndexClusters: req.IndexClusters,
+		IndexMax:      req.IndexMax,
+		Window:        req.Window,
+		ISW:           req.ISWeight,
+		CSP:           req.CSPWeight,
 	}
 	res, _, err := s.results.Do(r.Context(), key, func() (vcache.Result, bool, error) {
 		return s.scanOnce(r.Context(), req, bbs)
@@ -185,7 +211,11 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 // memoized engine for the requested semantics, seed the pruning cutoff,
 // register the scan id for mid-flight /cutoff broadcasts, scan.
 func (s *Server) scanOnce(ctx context.Context, req scanRequest, bbs *model.CSTBBS) (vcache.Result, bool, error) {
-	eng := s.engine(engineKey{prune: req.Prune, cascade: req.Cascade, window: req.Window, isw: req.ISWeight, csp: req.CSPWeight})
+	eng := s.engine(engineKey{
+		prune: req.Prune, cascade: req.Cascade,
+		index: req.Index, indexClusters: req.IndexClusters, indexMax: req.IndexMax,
+		window: req.Window, isw: req.ISWeight, csp: req.CSPWeight,
+	})
 
 	cut := scan.NewCutoff()
 	if req.Cutoff != nil {

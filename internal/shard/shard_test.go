@@ -410,15 +410,15 @@ func TestRemoteCheckHandshake(t *testing.T) {
 	r := Router{Shards: 2}
 	addrs := startServers(t, models, r, ServerConfig{})
 	parts := PartitionModels(models, r)
-	good := NewRemoteShard(addrs[0], len(parts[0]), false, false, similarity.DefaultOptions(), RemoteConfig{})
+	good := NewRemoteShard(addrs[0], len(parts[0]), scan.Config{Sim: similarity.DefaultOptions()}, RemoteConfig{})
 	if err := good.Check(context.Background()); err != nil {
 		t.Fatalf("Check on agreeing server: %v", err)
 	}
-	bad := NewRemoteShard(addrs[0], len(parts[0])+1, false, false, similarity.DefaultOptions(), RemoteConfig{})
+	bad := NewRemoteShard(addrs[0], len(parts[0])+1, scan.Config{Sim: similarity.DefaultOptions()}, RemoteConfig{})
 	if err := bad.Check(context.Background()); err == nil {
 		t.Fatal("Check accepted a slice-size mismatch")
 	}
-	dead := NewRemoteShard("127.0.0.1:1", 1, false, false, similarity.DefaultOptions(), RemoteConfig{Timeout: 2 * time.Second})
+	dead := NewRemoteShard("127.0.0.1:1", 1, scan.Config{Sim: similarity.DefaultOptions()}, RemoteConfig{Timeout: 2 * time.Second})
 	if err := dead.Check(context.Background()); err == nil {
 		t.Fatal("Check accepted a dead address")
 	}
@@ -458,7 +458,7 @@ func TestCutoffBroadcastReachesServer(t *testing.T) {
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
-	s := NewRemoteShard(srv.URL, 1, true, false, similarity.DefaultOptions(), RemoteConfig{Telemetry: tel})
+	s := NewRemoteShard(srv.URL, 1, scan.Config{Prune: true, Sim: similarity.DefaultOptions()}, RemoteConfig{Telemetry: tel})
 	cut := scan.NewCutoff()
 	var wg sync.WaitGroup
 	wg.Add(1)

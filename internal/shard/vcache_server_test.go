@@ -167,7 +167,7 @@ func TestClientRetryAfterTimeoutSucceeds(t *testing.T) {
 	// retry's scan runs clean.
 	faultinject.Enable(faultinject.ScanWorker, faultinject.OnCall(1, faultinject.Sleep(2*time.Second)))
 
-	s := NewRemoteShard(ts.URL, len(models), true, false, similarity.DefaultOptions(),
+	s := NewRemoteShard(ts.URL, len(models), scan.Config{Prune: true, Sim: similarity.DefaultOptions()},
 		RemoteConfig{Timeout: 150 * time.Millisecond, Retry: retry.Policy{Attempts: 2}, Telemetry: tel})
 	cut := scan.NewCutoff()
 	ms, err := s.Scan(context.Background(), target, cut)

@@ -53,6 +53,15 @@ type scanRequest struct {
 	Window    int      `json:"window"`
 	ISWeight  float64  `json:"is_weight"`
 	CSPWeight float64  `json:"csp_weight"`
+	// The repository-index mode (scan.Config.Index and friends)
+	// travels with the request like every other scan semantic: the
+	// server builds and memoizes an indexed engine over its slice per
+	// distinct configuration. Old servers ignore the fields (flat
+	// scan, still exact); omitempty keeps old clients' requests
+	// byte-identical.
+	Index         bool `json:"index,omitempty"`
+	IndexClusters int  `json:"index_clusters,omitempty"`
+	IndexMax      int  `json:"index_max,omitempty"`
 }
 
 // wireMatch mirrors scan.Match with a shard-local index.

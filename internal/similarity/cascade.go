@@ -35,6 +35,13 @@ import "math"
 // harness (FuzzLowerBoundCascade) hunts for violations.
 const lbSafety = 1 - 1e-9
 
+// LBSafety exports the bound safety margin for other layers that derive
+// prune decisions from float comparisons against these bounds (the
+// metric index's cluster gate in internal/scan applies the same margin
+// to its triangle-inequality estimate, so every layer errs on the same
+// conservative side).
+const LBSafety = lbSafety
+
 // LowerBoundKim is the O(1) cascade tier, from the Profile aggregates
 // alone. Two observations, the larger wins:
 //

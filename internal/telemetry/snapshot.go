@@ -41,6 +41,10 @@ type Derived struct {
 	// is registered).
 	CacheBlockHitRate float64 `json:"cache_block_hit_rate"`
 	CachePairHitRate  float64 `json:"cache_pair_hit_rate"`
+	// IndexSkipRate is the fraction of cluster decisions in indexed
+	// scans that skipped the cluster wholesale (skipped over
+	// skipped+descended); 0 when no indexed scan ran.
+	IndexSkipRate float64 `json:"index_skip_rate"`
 }
 
 // Snapshot is a point-in-time view of a collector, ready for JSON
@@ -135,6 +139,9 @@ func derive(s Snapshot) Derived {
 		d.CacheBlockHitRate = ratio(g["block_hits"], g["block_hits"]+g["block_misses"])
 		d.CachePairHitRate = ratio(g["pair_hits"], g["pair_hits"]+g["pair_misses"])
 	}
+	idxSkip := s.Counters[IndexClustersSkipped.String()]
+	idxDesc := s.Counters[IndexClustersDescended.String()]
+	d.IndexSkipRate = ratio(idxSkip, idxSkip+idxDesc)
 	return d
 }
 
@@ -166,6 +173,15 @@ func (s Snapshot) WriteReport(w io.Writer) {
 		fmt.Fprintf(w, "  distcache: %d blocks %d pairs, block hit rate %.1f%%, pair hit rate %.1f%%\n",
 			g["blocks"], g["pairs"],
 			s.Derived.CacheBlockHitRate*100, s.Derived.CachePairHitRate*100)
+	}
+	if skip, desc := s.Counters[IndexClustersSkipped.String()], s.Counters[IndexClustersDescended.String()]; skip+desc > 0 {
+		fmt.Fprintf(w, "  index:    %.1f%% of %d cluster decisions skipped wholesale (%d rebuilds)\n",
+			s.Derived.IndexSkipRate*100, skip+desc, s.Counters[IndexRebuilds.String()])
+	}
+	if g, ok := s.Gauges["index"]; ok {
+		fmt.Fprintf(w, "  index:    %d clusters over %d entries, max radius %.3f, built in %s (%d extended)\n",
+			g["clusters"], g["entries"], float64(g["max_radius_um"])/1e6,
+			time.Duration(g["build_us"])*time.Microsecond, g["extended"])
 	}
 	stageNames := make([]string, 0, len(s.Stages))
 	for n := range s.Stages {

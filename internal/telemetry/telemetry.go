@@ -173,6 +173,20 @@ const (
 	ServeHedgeWins
 	// ServeReloads counts successful POST /reload repository hot-swaps.
 	ServeReloads
+	// IndexClustersSkipped counts repository-index clusters whose whole
+	// membership was bypassed on cheap per-entry certificates (or, in
+	// approximate mode, force-skipped past the MaxClusters budget)
+	// because the cluster's triangle-inequality gate said it cannot
+	// beat the running cutoff. See docs/INDEXING.md.
+	IndexClustersSkipped
+	// IndexClustersDescended counts repository-index clusters whose
+	// members were scored through the full pruning cascade because the
+	// cluster could still contain the best match.
+	IndexClustersDescended
+	// IndexRebuilds counts repository-index constructions: full
+	// pairwise-MST builds and incremental extensions alike (one per
+	// indexed engine build).
+	IndexRebuilds
 
 	numCounters
 )
@@ -214,6 +228,9 @@ var counterNames = [numCounters]string{
 	ServeHedges:                  "serve_hedges",
 	ServeHedgeWins:               "serve_hedge_wins",
 	ServeReloads:                 "serve_reloads",
+	IndexClustersSkipped:         "index_clusters_skipped",
+	IndexClustersDescended:       "index_clusters_descended",
+	IndexRebuilds:                "index_rebuilds",
 }
 
 // String returns the counter's snapshot/export name.

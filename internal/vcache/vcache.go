@@ -67,6 +67,14 @@ type Key struct {
 	Cascade  bool
 	Window   int
 	ISW, CSP float64
+	// Index, IndexClusters and IndexMax extend the scan semantics with
+	// the repository-index mode (scan.Config.Index and friends): the
+	// indexed descent changes which entries a pruned scan skips — and
+	// the approximate MaxClusters mode changes which scores are even
+	// exact — so indexed and flat results must never alias.
+	Index         bool
+	IndexClusters int
+	IndexMax      int
 }
 
 // Result is one memoized scan outcome.

@@ -349,7 +349,7 @@ func CheckShard(ctx context.Context, repo *Repository, addrs []string, index int
 		return err
 	}
 	for _, a := range reps {
-		rs := shard.NewRemoteShard(a, len(parts[index]), false, false, similarity.DefaultOptions(), shard.RemoteConfig{})
+		rs := shard.NewRemoteShard(a, len(parts[index]), scan.Config{Sim: similarity.DefaultOptions()}, shard.RemoteConfig{})
 		if err := rs.Check(ctx); err != nil {
 			return err
 		}
@@ -378,7 +378,7 @@ func CheckShardFleet(ctx context.Context, repo *Repository, addrs []string, poli
 		}
 		healthy := 0
 		for _, a := range reps {
-			rs := shard.NewRemoteShard(a, len(parts[i]), false, false, similarity.DefaultOptions(), shard.RemoteConfig{})
+			rs := shard.NewRemoteShard(a, len(parts[i]), scan.Config{Sim: similarity.DefaultOptions()}, shard.RemoteConfig{})
 			if cerr := rs.Check(ctx); cerr != nil {
 				unhealthy = append(unhealthy, a)
 			} else {

@@ -1,10 +1,13 @@
 #!/bin/sh
-# Cascade benchmark regression guard. Runs the repository-scan
-# benchmark (Serial / Engine / Pruned / Cascade over the full attack
-# corpus), writes the measured ns/op figures to BENCH_cascade.json, and
-# fails if the cascade regresses RELATIVE to the plain pruned scan on
-# the same run. Absolute thresholds are useless across machines — CI
-# boxes here vary 2x run to run — so the guard is the intra-run ratio:
+# Benchmark regression guards. Two sections, both ratio-based because
+# absolute thresholds are useless across machines — CI boxes here vary
+# 2x run to run; the best-of-COUNT minimum is compared, which filters
+# most scheduler noise out of both sides of every ratio.
+#
+# Section 1 — cascade. Runs the repository-scan benchmark (Serial /
+# Engine / Pruned / Cascade over the full attack corpus), writes the
+# measured ns/op figures to BENCH_cascade.json, and fails if the
+# cascade regresses RELATIVE to the plain pruned scan on the same run:
 #
 #   cascade <= pruned * TOLERANCE      (default 1.25)
 #   pruned  <= serial                  (pruning must never lose outright)
@@ -13,15 +16,23 @@
 # docs/PERFORMANCE.md "The pruning cascade"): ordering by the cheap
 # tier-1/2 bounds and gating the tier-3 bound must beat — or at worst,
 # within scheduler noise, match — computing the tier-3 bound for every
-# entry. The best-of-COUNT minimum is compared, which filters most
-# scheduler noise out of both sides of the ratio.
+# entry.
+#
+# Section 2 — repository index. Runs the indexed-scan benchmark (Flat /
+# Cascade / Indexed over the 500-variant mutation stress corpus, the
+# variant re-scoring sweep of docs/INDEXING.md), writes BENCH_index.json
+# and enforces the index's headline promise:
+#
+#   flat_pruned >= indexed * INDEX_SPEEDUP   (default 3)
 set -eu
 
 GO=${GO:-go}
 COUNT=${COUNT:-3}
 BENCHTIME=${BENCHTIME:-0.5s}
 TOLERANCE=${TOLERANCE:-1.25}
+INDEX_SPEEDUP=${INDEX_SPEEDUP:-3}
 OUT=${OUT:-BENCH_cascade.json}
+OUT_INDEX=${OUT_INDEX:-BENCH_index.json}
 
 cd "$(dirname "$0")/.."
 
@@ -73,3 +84,43 @@ END {
 }' "$raw"
 
 echo "bench-check: OK — figures written to $OUT"
+
+$GO test -run xxx -bench BenchmarkIndexedScan \
+    -benchtime "$BENCHTIME" -count "$COUNT" ./internal/scan/ | tee "$raw"
+
+awk -v speedup="$INDEX_SPEEDUP" -v out="$OUT_INDEX" '
+/^BenchmarkIndexedScan\// {
+    name = $1
+    sub(/^BenchmarkIndexedScan\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns = $3 + 0
+    if (!(name in best) || ns < best[name]) best[name] = ns
+}
+END {
+    split("Flat Cascade Indexed", want, " ")
+    for (i in want) {
+        if (!(want[i] in best)) {
+            printf "bench-check: missing benchmark %s\n", want[i] > "/dev/stderr"
+            exit 1
+        }
+    }
+    ratio = best["Flat"] / best["Indexed"]
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkIndexedScan\",\n" > out
+    printf "  \"unit\": \"ns/op\",\n" > out
+    printf "  \"corpus\": \"detect.BuildVariantRepository PerFamily=125 Seed=1 (500 variants)\",\n" > out
+    printf "  \"flat_pruned\": %.0f,\n", best["Flat"] > out
+    printf "  \"cascade\": %.0f,\n", best["Cascade"] > out
+    printf "  \"indexed\": %.0f,\n", best["Indexed"] > out
+    printf "  \"flat_vs_indexed\": %.3f,\n", ratio > out
+    printf "  \"required_speedup\": %.3f\n", speedup > out
+    printf "}\n" > out
+    printf "bench-check: flat=%.0f cascade=%.0f indexed=%.0f (flat/indexed = %.3f, required >= %.2f)\n",
+        best["Flat"], best["Cascade"], best["Indexed"], ratio, speedup
+    if (ratio < speedup) {
+        printf "bench-check: FAILED — indexed scan only %.3fx over flat pruned (need %.2fx)\n", ratio, speedup > "/dev/stderr"
+        exit 1
+    }
+}' "$raw"
+
+echo "bench-check: OK — figures written to $OUT_INDEX"

@@ -32,13 +32,13 @@ trap 'kill $pid_a1 $pid_a2 $pid_b1 $pid_b2 2>/dev/null || true; rm -rf "$tmp"' E
 
 $GO build -o "$tmp/scaguard" ./cmd/scaguard
 
-"$tmp/scaguard" shard-serve -shards 2 -index 0 -addr 127.0.0.1:$PORT_A1 &
+"$tmp/scaguard" shard-serve -shards 2 -shard-index 0 -addr 127.0.0.1:$PORT_A1 &
 pid_a1=$!
-"$tmp/scaguard" shard-serve -shards 2 -index 0 -addr 127.0.0.1:$PORT_A2 &
+"$tmp/scaguard" shard-serve -shards 2 -shard-index 0 -addr 127.0.0.1:$PORT_A2 &
 pid_a2=$!
-"$tmp/scaguard" shard-serve -shards 2 -index 1 -addr 127.0.0.1:$PORT_B1 &
+"$tmp/scaguard" shard-serve -shards 2 -shard-index 1 -addr 127.0.0.1:$PORT_B1 &
 pid_b1=$!
-"$tmp/scaguard" shard-serve -shards 2 -index 1 -addr 127.0.0.1:$PORT_B2 &
+"$tmp/scaguard" shard-serve -shards 2 -shard-index 1 -addr 127.0.0.1:$PORT_B2 &
 pid_b2=$!
 
 fleet="127.0.0.1:$PORT_A1|127.0.0.1:$PORT_A2,127.0.0.1:$PORT_B1|127.0.0.1:$PORT_B2"

@@ -1,0 +1,74 @@
+#!/bin/sh
+# End-to-end smoke test of the repository-index path: generate a seeded
+# mutation stress corpus with scaguard-corpus, classify a target against
+# it flat and indexed (the verdict output must be identical — indexed
+# exact mode is bit-identical on the best match), then serve the same
+# corpus from two warm-indexed shard-serve processes and require the
+# sharded indexed classify to agree with the local runs. Exercises the
+# whole seam chain: corpus generation, index construction, the indexed
+# scan, the warm-index server flag and the Index trio on the wire.
+set -eu
+
+GO=${GO:-go}
+TARGET=${TARGET:-FR-IAIK}
+PER_FAMILY=${PER_FAMILY:-12}
+PORT_A=${PORT_A:-19421}
+PORT_B=${PORT_B:-19422}
+
+tmp=$(mktemp -d)
+pid_a=""
+pid_b=""
+trap 'kill $pid_a $pid_b 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
+
+$GO build -o "$tmp/scaguard" ./cmd/scaguard
+$GO build -o "$tmp/scaguard-corpus" ./cmd/scaguard-corpus
+
+# A small corpus keeps the smoke fast; determinism means any size
+# exercises the same code paths as the 500-variant benchmark corpus.
+"$tmp/scaguard-corpus" -out "$tmp/corpus.json" -per-family "$PER_FAMILY" -seed 7
+
+# Only the target, verdict and best-match lines are compared: those are
+# the indexed exact mode's bit-identity contract. The ranked tail
+# legitimately differs — pruned entries report certified upper bounds,
+# and which entries get pruned depends on the scan order.
+"$tmp/scaguard" classify -repo "$tmp/corpus.json" -target "$TARGET" \
+    | head -3 >"$tmp/flat.out"
+"$tmp/scaguard" classify -repo "$tmp/corpus.json" -target "$TARGET" \
+    -fast -index | head -3 >"$tmp/indexed.out"
+
+if ! cmp -s "$tmp/flat.out" "$tmp/indexed.out"; then
+    echo "index-smoke: indexed classify diverged from flat" >&2
+    diff "$tmp/flat.out" "$tmp/indexed.out" >&2 || true
+    exit 1
+fi
+
+"$tmp/scaguard" shard-serve -repo "$tmp/corpus.json" -shards 2 -shard-index 0 \
+    -index -addr 127.0.0.1:$PORT_A &
+pid_a=$!
+"$tmp/scaguard" shard-serve -repo "$tmp/corpus.json" -shards 2 -shard-index 1 \
+    -index -addr 127.0.0.1:$PORT_B &
+pid_b=$!
+
+for i in $(seq 1 50); do
+    if "$tmp/scaguard" classify -repo "$tmp/corpus.json" -target "$TARGET" \
+        -fast -index \
+        -shard-addrs 127.0.0.1:$PORT_A,127.0.0.1:$PORT_B \
+        >"$tmp/sharded.raw" 2>"$tmp/sharded.err"; then
+        break
+    fi
+    if [ "$i" = 50 ]; then
+        echo "index-smoke: shards never became healthy" >&2
+        cat "$tmp/sharded.err" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+head -3 "$tmp/sharded.raw" >"$tmp/sharded.out"
+
+if ! cmp -s "$tmp/flat.out" "$tmp/sharded.out"; then
+    echo "index-smoke: sharded indexed classify diverged from local flat" >&2
+    diff "$tmp/flat.out" "$tmp/sharded.out" >&2 || true
+    exit 1
+fi
+
+echo "index-smoke: OK ($(grep verdict "$tmp/flat.out"))"

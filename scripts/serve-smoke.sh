@@ -25,9 +25,9 @@ trap 'kill $pid_a $pid_b $pid_s 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TER
 $GO build -o "$tmp/scaguard" ./cmd/scaguard
 $GO build -o "$tmp/loadgen" ./cmd/scaguard-loadgen
 
-"$tmp/scaguard" shard-serve -shards 2 -index 0 -addr 127.0.0.1:$PORT_A &
+"$tmp/scaguard" shard-serve -shards 2 -shard-index 0 -addr 127.0.0.1:$PORT_A &
 pid_a=$!
-"$tmp/scaguard" shard-serve -shards 2 -index 1 -addr 127.0.0.1:$PORT_B &
+"$tmp/scaguard" shard-serve -shards 2 -shard-index 1 -addr 127.0.0.1:$PORT_B &
 pid_b=$!
 
 # serve handshakes with every shard at startup, so both must be up

@@ -17,9 +17,9 @@ trap 'kill $pid_a $pid_b 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
 
 $GO build -o "$tmp/scaguard" ./cmd/scaguard
 
-"$tmp/scaguard" shard-serve -shards 2 -index 0 -addr 127.0.0.1:$PORT_A &
+"$tmp/scaguard" shard-serve -shards 2 -shard-index 0 -addr 127.0.0.1:$PORT_A &
 pid_a=$!
-"$tmp/scaguard" shard-serve -shards 2 -index 1 -addr 127.0.0.1:$PORT_B &
+"$tmp/scaguard" shard-serve -shards 2 -shard-index 1 -addr 127.0.0.1:$PORT_B &
 pid_b=$!
 
 # Wait for both shards to answer the health handshake (the classify
