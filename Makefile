@@ -7,7 +7,7 @@ GO ?= go
 # cancellation and backpressure, where a bug means "stuck forever").
 TEST_TIMEOUT ?= 5m
 
-.PHONY: all build test race vet bench bench-shard bench-vcache bench-cascade bench-index bench-check alloc-check vcache-smoke shard-smoke serve-smoke index-smoke chaos chaos-smoke docs-check fuzz-short faults cover ci
+.PHONY: all build test race vet bench bench-shard bench-vcache bench-cascade bench-index bench-check alloc-check vcache-smoke shard-smoke serve-smoke index-smoke window-smoke chaos chaos-smoke docs-check fuzz-short faults cover ci
 
 all: build
 
@@ -20,9 +20,10 @@ test:
 # Race pass over the concurrent packages (the scan engine, the
 # detector/repository wiring, the streaming pipeline, the shard
 # scatter–gather layer, the circuit breakers, the chaos harness, the
-# verdict result cache and the detection service front end).
+# verdict result cache, the detection service front end and the online
+# sliding-window detector).
 race:
-	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/detect ./internal/scan ./internal/stream ./internal/shard ./internal/breaker ./internal/chaos ./internal/vcache ./internal/serve ./internal/index
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/detect ./internal/scan ./internal/stream ./internal/shard ./internal/breaker ./internal/chaos ./internal/vcache ./internal/serve ./internal/index ./internal/window
 
 vet:
 	$(GO) vet ./...
@@ -98,6 +99,14 @@ serve-smoke:
 index-smoke:
 	./scripts/index-smoke.sh
 
+# End-to-end online-detection smoke: `scaguard watch` must flag an
+# in-flight Flush+Reload mid-trace with a latency-to-detection figure,
+# keep a benign workload clean, agree between exact and indexed
+# per-window scans, reject nonsense knobs, and the windowed-detection
+# benchmark must report cycles-to-detect (docs/WINDOWING.md).
+window-smoke:
+	./scripts/window-smoke.sh
+
 # Full chaos soak under the race detector: a replicated loopback fleet
 # under concurrent load while replicas are killed, revived, slowed and
 # flapped. Asserts bit-identical verdicts while >=1 replica per
@@ -135,11 +144,11 @@ fuzz-short:
 faults:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) \
 		-run 'Panic|Cancel|Fault|Inject|Stream|Timeout|Limit|Shard|Retry|Partial|LookupFault|Failpoint|Reload|Drain|Overload|Hedge|Breaker|Prober|Replica|Chaos|Leak|Flap' \
-		./internal/faultinject ./internal/panicsafe ./internal/scan ./internal/detect ./internal/stream ./internal/isa ./internal/shard ./internal/retry ./internal/breaker ./internal/chaos ./internal/vcache ./internal/serve ./internal/index
+		./internal/faultinject ./internal/panicsafe ./internal/scan ./internal/detect ./internal/stream ./internal/isa ./internal/shard ./internal/retry ./internal/breaker ./internal/chaos ./internal/vcache ./internal/serve ./internal/index ./internal/window
 
 # Coverage over every package, with the per-function summary printed.
 cover:
 	$(GO) test -coverprofile=coverage.out -timeout $(TEST_TIMEOUT) ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: build vet test race faults alloc-check bench-check vcache-smoke shard-smoke serve-smoke index-smoke chaos-smoke docs-check fuzz-short cover
+ci: build vet test race faults alloc-check bench-check vcache-smoke shard-smoke serve-smoke index-smoke window-smoke chaos-smoke docs-check fuzz-short cover

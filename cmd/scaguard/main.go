@@ -21,6 +21,8 @@
 //	scaguard classify -target ER-IAIK -shard-addrs 127.0.0.1:9101,127.0.0.1:9102
 //	scaguard classify -target ER-IAIK -shard-addrs '127.0.0.1:9101|127.0.0.1:9111,127.0.0.1:9102|127.0.0.1:9112'
 //	printf 'attack:FR-IAIK\nbenign:crypto/aes-ttable/7\n' | scaguard classify -stream
+//	scaguard watch -target FR-IAIK
+//	scaguard watch -target S-PP-Trippel -window 8192 -stride 4096 -fast -index
 //
 // The |-separated form names replicas: two shard-serve processes with
 // the same -shards/-shard-index serve the same partition, and scans fail
@@ -63,6 +65,8 @@ func main() {
 		err = cmdShardServe(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -87,7 +91,11 @@ commands:
   serve        long-lived detection service: classify requests from
                many concurrent clients over HTTP/JSON, with admission
                control, hot reload and graceful drain
-               (see docs/SERVING.md)`)
+               (see docs/SERVING.md)
+  watch        online sliding-window detection: run the target and
+               stream per-window verdicts as it executes — an
+               in-flight attack is flagged mid-trace
+               (see docs/WINDOWING.md)`)
 }
 
 func cmdList() error {
@@ -106,6 +114,53 @@ func cmdList() error {
 		fmt.Printf("  %s: %s\n", kind, strings.Join(scaguard.BenignTemplates(kind), ", "))
 	}
 	return nil
+}
+
+// flagErrors accumulates numeric-knob validation failures after a flag
+// set parses, so one bad invocation reports every problem at once. The
+// flag package only rejects syntactically unparsable values; a
+// semantically nonsensical one (-workers -4, -index-clusters -1) would
+// otherwise flow into the engine and fail far from the flag that
+// caused it. Knobs where a negative value is meaningful — the
+// -mutate/-obfuscate seed sentinels, -breaker-threshold's "negative
+// disables breaking" — are deliberately not checked.
+type flagErrors struct{ problems []string }
+
+func (fe *flagErrors) add(format string, args ...any) {
+	fe.problems = append(fe.problems, fmt.Sprintf(format, args...))
+}
+
+func (fe *flagErrors) nonNegative(name string, v int) {
+	if v < 0 {
+		fe.add("-%s must be >= 0, got %d", name, v)
+	}
+}
+
+func (fe *flagErrors) atLeast(name string, v, min int) {
+	if v < min {
+		fe.add("-%s must be >= %d, got %d", name, min, v)
+	}
+}
+
+func (fe *flagErrors) nonNegativeDuration(name string, v time.Duration) {
+	if v < 0 {
+		fe.add("-%s must be >= 0, got %s", name, v)
+	}
+}
+
+func (fe *flagErrors) nonNegativeFloat(name string, v float64) {
+	if v < 0 {
+		fe.add("-%s must be >= 0, got %g", name, v)
+	}
+}
+
+// err collapses the accumulated problems into one error, nil when the
+// flags were clean.
+func (fe *flagErrors) err() error {
+	if len(fe.problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("invalid flag value(s): %s", strings.Join(fe.problems, "; "))
 }
 
 // targetFlags holds the -target/-benign/-file/-mutate/-obfuscate flag
@@ -346,6 +401,18 @@ func cmdClassify(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var fe flagErrors
+	fe.nonNegative("workers", *workers)
+	fe.nonNegative("index-clusters", *indexClusters)
+	fe.nonNegative("index-max-clusters", *indexMax)
+	fe.nonNegative("result-cache", *resultCache)
+	fe.nonNegative("shards", *shards)
+	fe.nonNegativeDuration("timeout", *timeout)
+	fe.nonNegativeDuration("shard-attempt-timeout", *shardAttemptTimeout)
+	fe.nonNegativeDuration("shard-probe", *shardProbe)
+	if err := fe.err(); err != nil {
+		return err
+	}
 	det, err := loadDetector(*repoPath)
 	if err != nil {
 		return err
@@ -469,6 +536,18 @@ func cmdShardServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var fe flagErrors
+	fe.atLeast("shards", *shards, 1)
+	fe.nonNegative("shard-index", *shardIndex)
+	if *shards >= 1 && *shardIndex >= *shards {
+		fe.add("-shard-index %d out of range for %d shards", *shardIndex, *shards)
+	}
+	fe.nonNegative("workers", *workers)
+	fe.nonNegative("result-cache", *resultCache)
+	fe.nonNegative("index-clusters", *indexClusters)
+	if err := fe.err(); err != nil {
+		return err
+	}
 	policy, err := scaguard.ParseShardPolicy(*policyName)
 	if err != nil {
 		return err
@@ -525,6 +604,28 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", 0, "bounded queue size per streaming connection/batch (0 = stream-workers)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests before giving up")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var fe flagErrors
+	fe.nonNegative("workers", *workers)
+	fe.nonNegative("index-clusters", *indexClusters)
+	fe.nonNegative("index-max-clusters", *indexMax)
+	fe.nonNegative("result-cache", *resultCache)
+	fe.nonNegative("shards", *shards)
+	fe.nonNegative("max-inflight", *maxInflight)
+	fe.nonNegative("burst", *burst)
+	fe.nonNegative("retries", *retries)
+	fe.nonNegative("stream-workers", *streamWorkers)
+	fe.nonNegative("queue", *queue)
+	fe.nonNegativeFloat("rate", *rate)
+	fe.nonNegativeDuration("timeout", *timeout)
+	fe.nonNegativeDuration("shard-timeout", *shardTimeout)
+	fe.nonNegativeDuration("shard-attempt-timeout", *shardAttemptTimeout)
+	fe.nonNegativeDuration("shard-probe", *shardProbe)
+	fe.nonNegativeDuration("hedge", *hedge)
+	fe.nonNegativeDuration("retry-backoff", *retryBackoff)
+	fe.nonNegativeDuration("drain-timeout", *drainTimeout)
+	if err := fe.err(); err != nil {
 		return err
 	}
 	det, err := loadDetector(*repoPath)
@@ -607,6 +708,108 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("drain: %w", err)
 	}
 	fmt.Fprintln(os.Stderr, "scaguard serve: drained")
+	return nil
+}
+
+// cmdWatch runs the online sliding-window detector over a live run of
+// the target: the program executes on a fresh machine with event
+// recording on, and one verdict line prints per time window as the
+// replay crosses window boundaries — so an in-flight attack is flagged
+// mid-trace, before the run ends. The final summary reports the
+// aggregate verdict and the latency-to-detection metric. See
+// docs/WINDOWING.md.
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "classify against a saved repository instead of the default")
+	windowSize := fs.Int("window", 0, "window width in cycles (0 = 8192 default)")
+	stride := fs.Int("stride", 0, "cycle distance between window starts (0 = window/2 under the default width, else = window); must not exceed -window")
+	quietGap := fs.Int("quiet-gap", 0, "collapse runs of empty windows spanning at least this many cycles into one verdict (0 = one verdict per empty window)")
+	workers := fs.Int("workers", 0, "scan worker-pool size for per-window scans (0 = GOMAXPROCS)")
+	fast := fs.Bool("fast", false, "early-abandoning per-window scans: verdicts and best matches stay exact, other scores may be upper bounds")
+	cascade := fs.Bool("cascade", false, "with -fast: lower-bound cascade ordering per window scan; no effect without -fast")
+	indexed := fs.Bool("index", false, "with -fast: per-window scans go through the medoid-prototype repository index; no effect without -fast")
+	indexClusters := fs.Int("index-clusters", 0, "with -index: number of index clusters (0 = ~sqrt(N) default)")
+	indexMax := fs.Int("index-max-clusters", 0, "with -index: approximate mode — fully score at most this many clusters per window scan (0 = exact)")
+	timeout := fs.Duration("timeout", 0, "per-window deadline covering modeling and scanning (0 = none)")
+	stats := fs.Bool("stats", false, "print a telemetry report after the run (window counters, modeling-stage latencies)")
+	hitsOnly := fs.Bool("hits-only", false, "print only malicious window verdicts (quiet and benign windows still count in the summary)")
+	tf := registerTargetFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var fe flagErrors
+	fe.nonNegative("window", *windowSize)
+	fe.nonNegative("stride", *stride)
+	fe.nonNegative("quiet-gap", *quietGap)
+	fe.nonNegative("workers", *workers)
+	fe.nonNegative("index-clusters", *indexClusters)
+	fe.nonNegative("index-max-clusters", *indexMax)
+	fe.nonNegativeDuration("timeout", *timeout)
+	if err := fe.err(); err != nil {
+		return err
+	}
+	prog, victim, err := tf.resolve()
+	if err != nil {
+		return err
+	}
+	det, err := loadDetector(*repoPath)
+	if err != nil {
+		return err
+	}
+	det.Scan = scaguard.ScanConfig{Workers: *workers, Prune: *fast, Cascade: *cascade, Index: *indexed, IndexClusters: *indexClusters, IndexMaxClusters: *indexMax}
+	det.Timeout = *timeout
+	var tel *scaguard.Telemetry
+	if *stats {
+		tel = scaguard.NewTelemetry()
+		det.Telemetry = tel
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	flagged := false
+	emit := func(v scaguard.WindowVerdict) {
+		switch {
+		case v.Err != nil:
+			fmt.Printf("window %3d [%8d,%8d) ERROR %v\n", v.Index, v.Start, v.End, v.Err)
+		case v.Reason != "":
+			if !*hitsOnly {
+				fmt.Printf("window %3d [%8d,%8d) events=%-5d benign (%s)\n", v.Index, v.Start, v.End, v.Events, v.Reason)
+			}
+		default:
+			mark := " "
+			if v.Malicious() {
+				mark = "*"
+			}
+			if !*hitsOnly || v.Malicious() {
+				fmt.Printf("window %3d [%8d,%8d) events=%-5d %s %-7s best=%s %.2f%%\n",
+					v.Index, v.Start, v.End, v.Events, mark, v.Result.Predicted, v.Result.Best.Name, v.Result.Best.Score*100)
+			}
+			if v.Malicious() && !flagged {
+				flagged = true
+				fmt.Printf(">>> ATTACK FLAGGED MID-TRACE: cycle %d, window %d, family %s\n", v.End, v.Index, v.Result.Predicted)
+			}
+		}
+	}
+	cfg := scaguard.WindowConfig{Size: uint64(*windowSize), Stride: uint64(*stride), QuietGap: uint64(*quietGap)}
+	out, err := scaguard.Watch(ctx, det, prog, victim, cfg, emit)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntarget:    %s\n", prog.Name)
+	fmt.Printf("windows:   %d (%d hits, %d quiet, %d errors)\n", out.Windows, out.Hits, out.Quiet, out.Errors)
+	fmt.Printf("verdict:   %s", out.Final.Predicted)
+	if out.Final.Best.Name != "" {
+		fmt.Printf("  best=%s %.2f%%", out.Final.Best.Name, out.Final.Best.Score*100)
+	}
+	fmt.Println()
+	if lat, ok := out.LatencyToDetection(); ok {
+		fmt.Printf("detected:  cycle %d (latency-to-detection %d cycles)\n", out.DetectionCycle, lat)
+	} else {
+		fmt.Println("detected:  no")
+	}
+	if *stats {
+		tel.Flush().WriteReport(os.Stdout)
+	}
 	return nil
 }
 

@@ -1,0 +1,103 @@
+package main
+
+// Numeric-knob validation pins: every subcommand must reject
+// semantically nonsensical flag values right after parsing, naming
+// each offending flag — never let a negative worker count or cluster
+// budget flow into the engine and fail somewhere far from the flag
+// that caused it. All failures of one invocation are reported at once.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNumericKnobValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func([]string) error
+		args []string
+		want []string // substrings the error must name
+	}{
+		{
+			name: "classify accumulates",
+			run:  cmdClassify,
+			args: []string{"-workers", "-4", "-index-clusters", "-1", "-target", "FR-IAIK"},
+			want: []string{"-workers", "-index-clusters"},
+		},
+		{
+			name: "classify negative timeout",
+			run:  cmdClassify,
+			args: []string{"-timeout", "-5s", "-target", "FR-IAIK"},
+			want: []string{"-timeout"},
+		},
+		{
+			name: "classify negative result cache",
+			run:  cmdClassify,
+			args: []string{"-result-cache", "-8", "-target", "FR-IAIK"},
+			want: []string{"-result-cache"},
+		},
+		{
+			name: "serve mixed types",
+			run:  cmdServe,
+			args: []string{"-queue", "-2", "-rate", "-0.5", "-hedge", "-1ms"},
+			want: []string{"-queue", "-rate", "-hedge"},
+		},
+		{
+			name: "serve negative index budget",
+			run:  cmdServe,
+			args: []string{"-index-max-clusters", "-3"},
+			want: []string{"-index-max-clusters"},
+		},
+		{
+			name: "shard-serve zero shards",
+			run:  cmdShardServe,
+			args: []string{"-shards", "0"},
+			want: []string{"-shards"},
+		},
+		{
+			name: "shard-serve index out of range",
+			run:  cmdShardServe,
+			args: []string{"-shards", "2", "-shard-index", "2"},
+			want: []string{"-shard-index"},
+		},
+		{
+			name: "watch window knobs",
+			run:  cmdWatch,
+			args: []string{"-window", "-1", "-quiet-gap", "-3", "-target", "FR-IAIK"},
+			want: []string{"-window", "-quiet-gap"},
+		},
+		{
+			name: "watch negative stride",
+			run:  cmdWatch,
+			args: []string{"-stride", "-4096", "-target", "FR-IAIK"},
+			want: []string{"-stride"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run(tc.args)
+			if err == nil {
+				t.Fatal("bad flag values accepted")
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q does not name %s", err, w)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerThresholdNegativeAllowed: -breaker-threshold's negative
+// range is meaningful ("disable breaking"), so validation must not
+// reject it. The invocation still fails — the target spec is missing —
+// but not on the flag value.
+func TestBreakerThresholdNegativeAllowed(t *testing.T) {
+	err := cmdClassify([]string{"-breaker-threshold", "-1"})
+	if err == nil {
+		t.Fatal("expected a missing-target error")
+	}
+	if strings.Contains(err.Error(), "breaker-threshold") {
+		t.Fatalf("negative -breaker-threshold rejected: %v", err)
+	}
+}

@@ -625,13 +625,41 @@ func benignResult() Result {
 	}
 }
 
+// BenignResult returns the explicit benign outcome used for targets
+// that never reach the similarity comparison, for callers (the
+// sliding-window detector) that synthesize benign verdicts — e.g. for
+// quiet windows — and want them shaped exactly like gated ones.
+func BenignResult() Result { return benignResult() }
+
+// Gate reasons returned by GateReason.
+const (
+	// GateModelTooShort: the CST-BBS has fewer than MinModelLen
+	// transitions — too little cache behavior to be an attack.
+	GateModelTooShort = "model-too-short"
+	// GateNoTimerReads: RequireTimer is set and the target never read a
+	// timer — no measurement channel, hence no CSCA.
+	GateNoTimerReads = "no-timer-reads"
+)
+
+// GateReason names the prerequisite that bars bbs from the similarity
+// comparison, or "" when none does. Callers that surface
+// benign-with-reason verdicts (the sliding-window detector, serve's
+// window mode) use it to report why a target was benign by construction
+// without duplicating the gate logic.
+func (d *Detector) GateReason(bbs *model.CSTBBS) string {
+	if bbs.Len() < MinModelLen {
+		return GateModelTooShort
+	}
+	if d.RequireTimer && bbs.TimerReads == 0 {
+		return GateNoTimerReads
+	}
+	return ""
+}
+
 // gated reports whether the target is benign by construction, before
 // any repository comparison.
 func (d *Detector) gated(bbs *model.CSTBBS) bool {
-	if bbs.Len() < MinModelLen {
-		return true
-	}
-	return d.RequireTimer && bbs.TimerReads == 0
+	return d.GateReason(bbs) != ""
 }
 
 // assemble turns the positional scan matches into a Result: named,

@@ -32,6 +32,13 @@ type Config struct {
 	WindowWidth uint64
 	// MaxSetTrace caps the cache-set trace length (0 = DefaultMaxSetTrace).
 	MaxSetTrace int
+	// RecordEvents enables the chronological event log (Trace.Events),
+	// the replayable record the sliding-window detector consumes. Off by
+	// default: the log costs memory proportional to trace activity.
+	RecordEvents bool
+	// MaxEvents caps the event log length (0 = DefaultMaxEvents). On
+	// overflow recording stops and Trace.EventsTruncated is set.
+	MaxEvents int
 	// PredictorSize is the direction-predictor table size.
 	PredictorSize int
 	// Protected lists address ranges an architectural data access may
@@ -57,6 +64,7 @@ const (
 	DefaultQuantum     = 32
 	DefaultSpecWindow  = 48
 	DefaultMaxSetTrace = 1 << 20
+	DefaultMaxEvents   = 1 << 22
 )
 
 // DefaultConfig returns the configuration used throughout the
@@ -82,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSetTrace == 0 {
 		c.MaxSetTrace = DefaultMaxSetTrace
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = DefaultMaxEvents
 	}
 	return c
 }
@@ -148,7 +159,7 @@ func NewMachineMulti(cfg Config, monitored *isa.Program, others ...*isa.Program)
 		mem:   NewMemory(),
 		hier:  hier,
 		pred:  NewBranchPredictor(cfg.PredictorSize),
-		trace: newTrace(cfg.WindowWidth, cfg.MaxSetTrace),
+		trace: newTrace(cfg.WindowWidth, cfg.MaxSetTrace, cfg.RecordEvents, cfg.MaxEvents),
 	}
 	progs := []*isa.Program{monitored}
 	for _, o := range others {
@@ -245,35 +256,36 @@ func (m *Machine) fireAccessEvents(res cache.AccessResult, pc uint64, monitored 
 		return
 	}
 	t := m.trace
+	cyc := m.cycles
 	switch res.Kind {
 	case cache.Load:
 		if res.L1Hit {
-			t.fire(hpc.L1DLoadHit, pc)
+			t.fire(hpc.L1DLoadHit, pc, cyc)
 			return
 		}
-		t.fire(hpc.L1DLoadMiss, pc)
+		t.fire(hpc.L1DLoadMiss, pc, cyc)
 		if res.LLCHit {
-			t.fire(hpc.LLCLoadHit, pc)
+			t.fire(hpc.LLCLoadHit, pc, cyc)
 		} else {
-			t.fire(hpc.LLCLoadMiss, pc)
-			t.fire(hpc.CacheMiss, pc)
+			t.fire(hpc.LLCLoadMiss, pc, cyc)
+			t.fire(hpc.CacheMiss, pc, cyc)
 		}
 	case cache.Store:
 		if res.L1Hit {
-			t.fire(hpc.L1DStoreHit, pc)
+			t.fire(hpc.L1DStoreHit, pc, cyc)
 			return
 		}
 		if res.LLCHit {
-			t.fire(hpc.LLCStoreHit, pc)
+			t.fire(hpc.LLCStoreHit, pc, cyc)
 		} else {
-			t.fire(hpc.LLCStoreMiss, pc)
-			t.fire(hpc.CacheMiss, pc)
+			t.fire(hpc.LLCStoreMiss, pc, cyc)
+			t.fire(hpc.CacheMiss, pc, cyc)
 		}
 	case cache.Fetch:
 		if !res.L1Hit {
-			t.fire(hpc.L1ILoadMiss, pc)
+			t.fire(hpc.L1ILoadMiss, pc, cyc)
 			if !res.LLCHit {
-				t.fire(hpc.CacheMiss, pc)
+				t.fire(hpc.CacheMiss, pc, cyc)
 			}
 		}
 	}
@@ -477,14 +489,14 @@ func (m *Machine) step(p *proc, monitored bool) {
 				// The forced eviction reaches memory (writeback path);
 				// HPCs observe it as a cache miss, which is what makes
 				// flush-phase blocks visible to the modeling pipeline.
-				m.trace.fire(hpc.CacheMiss, pc)
+				m.trace.fire(hpc.CacheMiss, pc, m.cycles)
 			}
 		}
 
 	case isa.RDTSCP:
 		p.regs[in.Dst.Base] = m.cycles
 		if monitored {
-			m.trace.fire(hpc.Timestamp, pc)
+			m.trace.fire(hpc.Timestamp, pc, m.cycles)
 		}
 
 	case isa.JMP:
@@ -498,11 +510,11 @@ func (m *Machine) step(p *proc, monitored bool) {
 			predicted, had := m.pred.UpdateIndirect(pc, actual)
 			if !had {
 				if monitored {
-					m.trace.fire(hpc.BranchLoadMiss, pc)
+					m.trace.fire(hpc.BranchLoadMiss, pc, m.cycles)
 				}
 			} else if predicted != actual {
 				if monitored {
-					m.trace.fire(hpc.BranchMiss, pc)
+					m.trace.fire(hpc.BranchMiss, pc, m.cycles)
 				}
 				m.cycles += 15
 				if m.cfg.SpecWindow > 0 {
@@ -532,12 +544,13 @@ func (m *Machine) step(p *proc, monitored bool) {
 		mispredicted, btbMiss := m.pred.Update(pc, taken, target)
 		if monitored {
 			if mispredicted {
-				m.trace.fire(hpc.BranchMiss, pc)
+				m.trace.fire(hpc.BranchMiss, pc, m.cycles)
 			}
 			if btbMiss {
-				m.trace.fire(hpc.BranchLoadMiss, pc)
+				m.trace.fire(hpc.BranchLoadMiss, pc, m.cycles)
 			}
 		}
+
 		if mispredicted {
 			m.cycles += 15 // misprediction penalty
 			if m.cfg.SpecWindow > 0 {

@@ -48,6 +48,43 @@ type WindowSample struct {
 	Counts     hpc.Counts
 }
 
+// EventKind tags entries of the chronological event log.
+type EventKind uint8
+
+// Event log entry kinds. They mirror the four trace hooks the modeling
+// pipeline consumes — instruction retirement, memory-line touches,
+// flush-line touches and HPC event firings. The cache-set trace is not
+// part of the log: it exists for the SCADET baseline only and has its
+// own chronological record (SetTrace).
+const (
+	EvRetire EventKind = iota
+	EvMem
+	EvFlush
+	EvHPC
+)
+
+// Event is one entry of the chronological event log recorded when
+// Config.RecordEvents is set. Replaying a prefix (or any cycle slice) of
+// the log through a TraceBuilder reconstructs the Trace state the
+// modeling pipeline would have seen at that point — the mechanism the
+// sliding-window detector (internal/window) uses to model mid-trace.
+//
+// Ordering contract: Cycle is NONDECREASING in log order — the machine's
+// virtual clock never runs backwards — but duplicates are possible.
+// Overlapped latencies are integer-divided (fetch latency /4, transient
+// load latency /2) and can contribute zero cycles, so several
+// consecutive events may share one Cycle value. Consumers slicing the
+// log by time must therefore use half-open cycle intervals
+// [start, end) and must never assume strict monotonicity.
+// TestEventLogOrdering pins this contract.
+type Event struct {
+	Kind  EventKind
+	Cycle uint64
+	PC    uint64
+	Line  uint64    // line-aligned address (EvMem, EvFlush)
+	HPC   hpc.Event // fired counter (EvHPC)
+}
+
 // Trace is the complete runtime record of the monitored process.
 type Trace struct {
 	Bank     *hpc.Bank
@@ -55,27 +92,52 @@ type Trace struct {
 	SetTrace []SetAccess
 	Windows  []WindowSample
 
+	// Events is the chronological event log, populated only when the
+	// machine ran with Config.RecordEvents. See Event for the ordering
+	// contract.
+	Events []Event
+	// EventsTruncated reports that the log hit Config.MaxEvents and
+	// stopped recording; a truncated log must not be replayed as if it
+	// were complete.
+	EventsTruncated bool
+
 	Retired     uint64 // architecturally retired instructions
 	Transient   uint64 // speculatively executed (squashed) instructions
 	Cycles      uint64 // total virtual cycles at the end of the run
 	Halted      bool   // monitored process reached HLT
 	WindowWidth uint64
 
-	maxSetTrace int
-	curWindow   WindowSample
+	maxSetTrace  int
+	curWindow    WindowSample
+	recordEvents bool
+	maxEvents    int
 }
 
 // newTrace builds an empty trace with the given sampling parameters.
-func newTrace(windowWidth uint64, maxSetTrace int) *Trace {
+func newTrace(windowWidth uint64, maxSetTrace int, recordEvents bool, maxEvents int) *Trace {
 	if windowWidth == 0 {
 		windowWidth = 2048
 	}
 	return &Trace{
-		Bank:        hpc.NewBank(),
-		ByAddr:      make(map[uint64]*AddrRecord),
-		WindowWidth: windowWidth,
-		maxSetTrace: maxSetTrace,
+		Bank:         hpc.NewBank(),
+		ByAddr:       make(map[uint64]*AddrRecord),
+		WindowWidth:  windowWidth,
+		maxSetTrace:  maxSetTrace,
+		recordEvents: recordEvents,
+		maxEvents:    maxEvents,
 	}
+}
+
+// event appends one entry to the chronological log, honouring the cap.
+func (t *Trace) event(kind EventKind, cycle, pc, line uint64, e hpc.Event) {
+	if !t.recordEvents || t.EventsTruncated {
+		return
+	}
+	if t.maxEvents > 0 && len(t.Events) >= t.maxEvents {
+		t.EventsTruncated = true
+		return
+	}
+	t.Events = append(t.Events, Event{Kind: kind, Cycle: cycle, PC: pc, Line: line, HPC: e})
 }
 
 func (t *Trace) record(pc uint64, cycle uint64) *AddrRecord {
@@ -95,14 +157,17 @@ func (t *Trace) retire(pc uint64, cycle uint64) {
 	r := t.record(pc, cycle)
 	r.ExecCount++
 	t.Retired++
+	t.event(EvRetire, cycle, pc, 0, 0)
 }
 
 func (t *Trace) memLine(pc, lineAddr uint64, cycle uint64) {
 	t.record(pc, cycle).MemLines[lineAddr] = struct{}{}
+	t.event(EvMem, cycle, pc, lineAddr, 0)
 }
 
 func (t *Trace) flushLine(pc, lineAddr uint64, cycle uint64) {
 	t.record(pc, cycle).FlushLines[lineAddr] = struct{}{}
+	t.event(EvFlush, cycle, pc, lineAddr, 0)
 }
 
 func (t *Trace) setAccess(cycle uint64, set int, line uint64, kind SetAccessKind, pc uint64) {
@@ -113,9 +178,10 @@ func (t *Trace) setAccess(cycle uint64, set int, line uint64, kind SetAccessKind
 }
 
 // fire records an HPC event both in the bank and the current window.
-func (t *Trace) fire(e hpc.Event, pc uint64) {
+func (t *Trace) fire(e hpc.Event, pc uint64, cycle uint64) {
 	t.Bank.Fire(e, pc)
 	t.curWindow.Counts[e]++
+	t.event(EvHPC, cycle, pc, 0, e)
 }
 
 // tickWindows advances window sampling to the given cycle.
@@ -142,6 +208,49 @@ func (t *Trace) Addrs() []uint64 {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// TraceBuilder reconstructs a Trace by replaying entries of an event
+// log through the same hooks the machine drives, so the rebuilt
+// Bank/ByAddr state is bit-identical to what a live run restricted to
+// those events would have produced. The sliding-window detector feeds
+// it the events of one window to obtain a modellable per-window trace.
+//
+// The rebuilt trace covers exactly what the modeling pipeline
+// (model.BuildFromTrace) consumes: the HPC bank, the per-address
+// records and the cycle count. SetTrace, Windows and the
+// Retired/Transient totals of the original run are NOT reconstructed —
+// they feed the baselines, not CST-BBS modeling.
+type TraceBuilder struct {
+	t *Trace
+}
+
+// NewTraceBuilder returns an empty builder.
+func NewTraceBuilder() *TraceBuilder {
+	return &TraceBuilder{t: newTrace(0, 0, false, 0)}
+}
+
+// Apply replays one event. Events must be applied in log order (cycles
+// nondecreasing); Apply does not re-sort.
+func (b *TraceBuilder) Apply(ev Event) {
+	switch ev.Kind {
+	case EvRetire:
+		b.t.retire(ev.PC, ev.Cycle)
+	case EvMem:
+		b.t.memLine(ev.PC, ev.Line, ev.Cycle)
+	case EvFlush:
+		b.t.flushLine(ev.PC, ev.Line, ev.Cycle)
+	case EvHPC:
+		b.t.fire(ev.HPC, ev.PC, ev.Cycle)
+	}
+}
+
+// Trace finalizes and returns the reconstructed trace. cycles becomes
+// Trace.Cycles (use the end of the replayed interval). The builder must
+// not be reused afterwards.
+func (b *TraceBuilder) Trace(cycles uint64) *Trace {
+	b.t.Cycles = cycles
+	return b.t
 }
 
 // MemLinesOf returns the sorted accessed (and flushed) line addresses of

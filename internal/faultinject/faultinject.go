@@ -97,6 +97,12 @@ const (
 	// action models a failing repository source: the reload must fail
 	// cleanly with the old repository still serving.
 	ServeReload Point = "serve.reload"
+	// WindowEmit fires in the sliding-window detector just before a
+	// window verdict is emitted, with "name#index" identifying the
+	// window. An error action models a failing downstream consumer: the
+	// verdict must surface the error and later windows must keep
+	// flowing — one poisoned window may not stall the stream.
+	WindowEmit Point = "window.emit"
 )
 
 // Action is what an armed failpoint does when fired: return nil to do

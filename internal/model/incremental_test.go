@@ -1,0 +1,78 @@
+package model
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/exec"
+)
+
+// collect runs a PoC with the default machine and returns the trace plus
+// the LLC configuration it ran under.
+func collect(t *testing.T, poc attacks.PoC) (*exec.Trace, *exec.Machine) {
+	t.Helper()
+	m, err := exec.NewMachine(exec.DefaultConfig(), poc.Program, poc.Victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run(), m
+}
+
+// TestWindowBuilderMatchesBuildFromTrace pins the WindowBuilder
+// contract: for identical inputs its result is indistinguishable from a
+// fresh BuildFromTrace — the cached CFG and memoized normalization are
+// pure optimizations.
+func TestWindowBuilderMatchesBuildFromTrace(t *testing.T) {
+	p := attacks.DefaultParams()
+	for _, poc := range []attacks.PoC{
+		attacks.FlushReloadIAIK(p),
+		attacks.PrimeProbeIAIK(p),
+	} {
+		t.Run(poc.Name, func(t *testing.T) {
+			trace, machine := collect(t, poc)
+			llc := machine.Hierarchy().LLC().Config()
+			want, err := BuildFromTrace(poc.Program, trace, llc, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb, err := NewWindowBuilder(poc.Program, llc, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Build twice: the first run populates the normalization memo,
+			// the second exercises the memo-hit path. Both must match the
+			// one-shot build exactly.
+			for i := 0; i < 2; i++ {
+				got, err := wb.Build(context.Background(), trace)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.BBS, want.BBS) {
+					t.Fatalf("build %d: BBS diverges from BuildFromTrace", i)
+				}
+				if !reflect.DeepEqual(got.RelevantBBs, want.RelevantBBs) {
+					t.Fatalf("build %d: relevant BBs diverge", i)
+				}
+			}
+		})
+	}
+}
+
+// TestWindowBuilderRejectsNil covers the error paths.
+func TestWindowBuilderRejectsNil(t *testing.T) {
+	if _, err := NewWindowBuilder(nil, DefaultMeasureCache(), DefaultConfig()); err == nil {
+		t.Fatal("nil program accepted")
+	}
+	p := attacks.DefaultParams()
+	poc := attacks.FlushReloadIAIK(p)
+	_, machine := collect(t, poc)
+	wb, err := NewWindowBuilder(poc.Program, machine.Hierarchy().LLC().Config(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wb.Build(context.Background(), nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}

@@ -243,6 +243,20 @@ func BuildFromTrace(prog *isa.Program, trace *exec.Trace, llc cache.Config, conf
 // out for targeted testing. The context is observed once, before CST
 // measurement (the only interior boundary left after the trace exists).
 func buildFromTraceCtx(ctx context.Context, prog *isa.Program, c *cfg.CFG, trace *exec.Trace, llc cache.Config, config Config) (*Model, error) {
+	return buildFromTraceWith(ctx, prog, c, trace, llc, config, normalizeBlock)
+}
+
+// normalizeBlock is the default (unmemoized) block normalizer.
+func normalizeBlock(bb *cfg.BasicBlock) []string {
+	return isa.NormalizeSeq(bb.Insns)
+}
+
+// buildFromTraceWith additionally takes the block normalizer, letting
+// repeated-build callers (WindowBuilder) memoize normalization — it
+// depends only on the static block, never on the trace. The returned
+// slice is only read and appended onto a fresh slice, so sharing one
+// across builds is safe.
+func buildFromTraceWith(ctx context.Context, prog *isa.Program, c *cfg.CFG, trace *exec.Trace, llc cache.Config, config Config, normOf func(*cfg.BasicBlock) []string) (*Model, error) {
 	tel := config.Telemetry
 	extractStart := tel.Now()
 	m := &Model{
@@ -370,7 +384,7 @@ func buildFromTraceCtx(ctx context.Context, prog *isa.Program, c *cfg.CFG, trace
 			bb := c.Blocks[leader]
 			loads = append(loads, loadsByBB[leader]...)
 			flushes = append(flushes, blockFlushLines(bb, trace)...)
-			norm = append(norm, isa.NormalizeSeq(bb.Insns)...)
+			norm = append(norm, normOf(bb)...)
 			hpcSum += m.HPCByBB[leader]
 			if f, ok := firstCycle[leader]; ok && f != uint64(1<<63-1) {
 				if f < fc {

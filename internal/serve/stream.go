@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -25,9 +26,28 @@ import (
 // stream (the byte stream is no longer trustworthy). On server drain
 // the connection stops reading further targets, flushes verdicts for
 // everything accepted, and closes.
+//
+// ?mode=window switches the connection to the online sliding-window
+// variant (handleWindowStream): per-window verdict lines plus a
+// summary line per target, tuned by the window/stride/quiet-gap query
+// parameters.
 func (s *Server) handleClassifyStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "classify":
+	case "window":
+		wcfg, err := windowParams(r.URL.Query())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.handleWindowStream(w, r, wcfg)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (want classify or window)", mode))
 		return
 	}
 	if !s.enter() {

@@ -1,0 +1,152 @@
+package serve
+
+// mode=window stream tests: the NDJSON wire variant of the online
+// sliding-window detector. Per-window lines carry the Window
+// annotation, each target ends with a summary line, bad geometry is
+// the client's 400, and one bad target never ends the connection.
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func postWindowStream(t *testing.T, url, body string) []Verdict {
+	t.Helper()
+	resp, err := http.Post(url, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	return readNDJSON(t, resp.Body)
+}
+
+// TestWindowStream: an in-flight Flush+Reload flagged mid-trace over
+// the wire, a benign target staying clean, and both summaries
+// consistent with their per-window lines.
+func TestWindowStream(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	body := `{"spec":"attack:FR-IAIK"}` + "\n" + `{"spec":"benign:crypto/aes-ttable/7"}` + "\n"
+	verdicts := postWindowStream(t, ts.URL+"/v1/classify/stream?mode=window", body)
+
+	byID := map[string][]Verdict{}
+	for _, v := range verdicts {
+		if v.Error != "" {
+			t.Fatalf("verdict %s errored: %s", v.ID, v.Error)
+		}
+		byID[v.ID] = append(byID[v.ID], v)
+	}
+	if len(byID) != 2 {
+		t.Fatalf("targets on the wire: %v", len(byID))
+	}
+
+	check := func(id string, wantDetected bool) *WireWindowSummary {
+		t.Helper()
+		lines := byID[id]
+		if len(lines) < 2 {
+			t.Fatalf("%s: only %d lines", id, len(lines))
+		}
+		sum := lines[len(lines)-1].Summary
+		if sum == nil {
+			t.Fatalf("%s: last line is not the summary", id)
+		}
+		windows := 0
+		var firstHitEnd uint64
+		for _, v := range lines[:len(lines)-1] {
+			if v.Window == nil {
+				t.Fatalf("%s: mid-stream line without window annotation: %+v", id, v)
+			}
+			if v.Summary != nil {
+				t.Fatalf("%s: summary before the last line", id)
+			}
+			windows++
+			malicious := v.Predicted != "" && v.Predicted != "Benign"
+			if malicious && firstHitEnd == 0 {
+				firstHitEnd = v.Window.End
+			}
+		}
+		if windows != sum.Windows {
+			t.Fatalf("%s: %d window lines, summary says %d", id, windows, sum.Windows)
+		}
+		if sum.Detected != wantDetected {
+			t.Fatalf("%s: detected = %v, want %v", id, sum.Detected, wantDetected)
+		}
+		if wantDetected {
+			if sum.Hits == 0 || firstHitEnd == 0 {
+				t.Fatalf("%s: detected without malicious window lines", id)
+			}
+			if sum.DetectionCycle != firstHitEnd {
+				t.Fatalf("%s: detection cycle %d, first malicious window ends at %d", id, sum.DetectionCycle, firstHitEnd)
+			}
+			if sum.LatencyToDetection == 0 {
+				t.Fatalf("%s: no latency-to-detection on a detected run", id)
+			}
+		} else if sum.Hits != 0 {
+			t.Fatalf("%s: benign run scored %d hits", id, sum.Hits)
+		}
+		return sum
+	}
+	sum := check("attack:FR-IAIK", true)
+	if fam := byID["attack:FR-IAIK"][len(byID["attack:FR-IAIK"])-1].Predicted; fam != "FR-F" {
+		t.Fatalf("aggregate verdict %s, want FR-F (summary %+v)", fam, sum)
+	}
+	check("benign:crypto/aes-ttable/7", false)
+
+	// Sequential processing: every FR line precedes every benign line.
+	lastFR, firstBenign := -1, len(verdicts)
+	for i, v := range verdicts {
+		if v.ID == "attack:FR-IAIK" && i > lastFR {
+			lastFR = i
+		}
+		if v.ID == "benign:crypto/aes-ttable/7" && i < firstBenign {
+			firstBenign = i
+		}
+	}
+	if lastFR > firstBenign {
+		t.Fatal("targets interleaved on a sequential window stream")
+	}
+}
+
+// TestWindowStreamBadParams: unusable geometry and unknown modes are
+// the request's error, rejected before any target runs.
+func TestWindowStreamBadParams(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for _, q := range []string{
+		"?mode=window&window=abc",
+		"?mode=window&stride=-1",
+		"?mode=window&window=100&stride=200",
+		"?mode=window&quiet-gap=1e9",
+		"?mode=bogus",
+	} {
+		resp, err := http.Post(ts.URL+"/v1/classify/stream"+q, "application/x-ndjson", strings.NewReader(`{"spec":"attack:FR-IAIK"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestWindowStreamFaultIsolation: an unresolvable target gets an error
+// line and the stream keeps going — the next target still runs its
+// full windowed detection.
+func TestWindowStreamFaultIsolation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	body := `{"spec":"attack:NOPE"}` + "\n" + `{"spec":"attack:FR-IAIK"}` + "\n"
+	verdicts := postWindowStream(t, ts.URL+"/v1/classify/stream?mode=window", body)
+	if len(verdicts) < 3 {
+		t.Fatalf("only %d lines", len(verdicts))
+	}
+	if verdicts[0].ID != "attack:NOPE" || verdicts[0].Error == "" {
+		t.Fatalf("first line is not the bad target's error: %+v", verdicts[0])
+	}
+	last := verdicts[len(verdicts)-1]
+	if last.ID != "attack:FR-IAIK" || last.Summary == nil || !last.Summary.Detected {
+		t.Fatalf("target after the bad one did not complete: %+v", last)
+	}
+}

@@ -124,15 +124,49 @@ type WireMatch struct {
 // Verdict is one target's classification outcome. Error is the
 // target's failure (resolution, modeling, scanning — one target's
 // failure never fails the request); Partial marks a verdict degraded
-// to the surviving shards of a sharded repository.
+// to the surviving shards of a sharded repository. On a mode=window
+// stream, Window annotates a per-window verdict line and Summary marks
+// the target's final summary line (see docs/WINDOWING.md).
 type Verdict struct {
-	ID        string      `json:"id"`
-	Predicted string      `json:"predicted,omitempty"`
-	Best      *WireMatch  `json:"best,omitempty"`
-	Matches   []WireMatch `json:"matches,omitempty"`
-	ModelLen  int         `json:"model_len,omitempty"`
-	Partial   bool        `json:"partial,omitempty"`
-	Error     string      `json:"error,omitempty"`
+	ID        string             `json:"id"`
+	Predicted string             `json:"predicted,omitempty"`
+	Best      *WireMatch         `json:"best,omitempty"`
+	Matches   []WireMatch        `json:"matches,omitempty"`
+	ModelLen  int                `json:"model_len,omitempty"`
+	Partial   bool               `json:"partial,omitempty"`
+	Error     string             `json:"error,omitempty"`
+	Window    *WireWindow        `json:"window,omitempty"`
+	Summary   *WireWindowSummary `json:"window_summary,omitempty"`
+}
+
+// WireWindow annotates one per-window verdict line of a mode=window
+// stream: the half-open cycle interval the verdict covers, how many
+// log events fell in it, and — for windows that never reached the
+// similarity comparison — the benign-by-construction reason
+// (quiet-window, quiet-gap, model-too-short, no-timer-reads).
+type WireWindow struct {
+	Index    int    `json:"index"`
+	Start    uint64 `json:"start"`
+	End      uint64 `json:"end"`
+	Events   int    `json:"events"`
+	ModelLen int    `json:"model_len,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// WireWindowSummary is the final line of one target's windowed run:
+// the window counts, whether anything malicious was flagged, and the
+// latency-to-detection metric when it was. The carrying Verdict's
+// Predicted/Best are the aggregate verdict (the highest-scoring
+// window's result).
+type WireWindowSummary struct {
+	Windows            int    `json:"windows"`
+	Hits               int    `json:"hits"`
+	Quiet              int    `json:"quiet"`
+	Errors             int    `json:"errors,omitempty"`
+	Detected           bool   `json:"detected"`
+	DetectionCycle     uint64 `json:"detection_cycle,omitempty"`
+	LatencyToDetection uint64 `json:"latency_to_detection,omitempty"`
+	FinalWindow        int    `json:"final_window"`
 }
 
 // classifyResponse is the /v1/classify reply: Verdict for the unary

@@ -187,6 +187,14 @@ const (
 	// pairwise-MST builds and incremental extensions alike (one per
 	// indexed engine build).
 	IndexRebuilds
+	// WindowEmitted counts windows the sliding-window detector emitted a
+	// verdict for — modelled and quiet/short windows alike.
+	WindowEmitted
+	// WindowHits counts emitted windows whose verdict was malicious.
+	WindowHits
+	// WindowQuiet counts emitted windows skipped without modeling
+	// because they contained no events (quiet-gap windows included).
+	WindowQuiet
 
 	numCounters
 )
@@ -231,6 +239,9 @@ var counterNames = [numCounters]string{
 	IndexClustersSkipped:         "index_clusters_skipped",
 	IndexClustersDescended:       "index_clusters_descended",
 	IndexRebuilds:                "index_rebuilds",
+	WindowEmitted:                "window_emitted",
+	WindowHits:                   "window_hits",
+	WindowQuiet:                  "window_quiet",
 }
 
 // String returns the counter's snapshot/export name.
@@ -267,6 +278,10 @@ const (
 	// modeling and scan included (streaming connections observe the
 	// whole connection).
 	StageServeRequest
+	// StageWindowModel is one window's modeling cost in the sliding-
+	// window detector: event replay plus the incremental CST-BBS build,
+	// scan excluded (that lands in StageScan via the detector seam).
+	StageWindowModel
 
 	numStages
 )
@@ -280,6 +295,7 @@ var stageNames = [numStages]string{
 	StageStreamTarget: "stream_target",
 	StageShardScan:    "shard_scan",
 	StageServeRequest: "serve_request",
+	StageWindowModel:  "window_model",
 }
 
 // String returns the stage's snapshot/export name.

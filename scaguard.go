@@ -40,8 +40,10 @@ import (
 	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/similarity"
+	"repro/internal/exec"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/window"
 )
 
 // Core re-exported types. Program is the binary representation every
@@ -332,6 +334,35 @@ type (
 // (cfg.Detector is required). Expose it with Serve or mount Handler
 // yourself; stop it with Shutdown, which drains in-flight requests.
 func NewDetectionServer(cfg ServeConfig) *DetectionServer { return serve.New(cfg) }
+
+// Online sliding-window detection (internal/window): instead of
+// modeling a finished trace once, consume its event log incrementally,
+// model each time window with the incremental CST-BBS builder, and
+// classify every window through the unchanged detector seam — verdicts
+// stream out mid-trace, so an in-flight attack is flagged before the
+// run ends. This is what `scaguard watch` and the detection service's
+// mode=window stream run. See docs/WINDOWING.md.
+type (
+	WindowConfig  = window.Config
+	WindowVerdict = window.Verdict
+	WindowOutcome = window.Outcome
+)
+
+// Default sliding-window geometry (WindowConfig zero values).
+const (
+	DefaultWindowSize   = window.DefaultSize
+	DefaultWindowStride = window.DefaultStride
+)
+
+// Watch runs prog (with an optional victim) on a fresh default machine
+// with event recording enabled and replays the log through an online
+// sliding-window detector. emit receives one verdict per window, in
+// stream order, exactly as a live deployment would have seen them; the
+// returned outcome carries the aggregate verdict and the
+// latency-to-detection metric.
+func Watch(ctx context.Context, det *Detector, prog, victim *Program, cfg WindowConfig, emit func(WindowVerdict)) (WindowOutcome, error) {
+	return window.Watch(ctx, det, prog, victim, exec.DefaultConfig(), cfg, emit)
+}
 
 // CheckShard verifies a shard server at addr is alive and holds the
 // slice the router says it should — the partition handshake used by

@@ -1,0 +1,90 @@
+#!/bin/sh
+# End-to-end smoke test of online sliding-window detection
+# (docs/WINDOWING.md): build the CLI, then prove the operator-facing
+# contract:
+#
+#   1. `scaguard watch` flags an in-flight Flush+Reload MID-TRACE —
+#      before the run ends — and reports the latency-to-detection
+#      metric;
+#   2. a benign workload watched the same way stays clean: zero hits,
+#      no detection;
+#   3. the pruned+indexed per-window scan path reaches the same
+#      aggregate verdict as the exact one;
+#   4. nonsense numeric knobs are rejected up front with an error
+#      naming the flag;
+#   5. BenchmarkWindowedDetection runs and reports cycles-to-detect
+#      (the latency metric survives the benchmark harness).
+set -eu
+
+GO=${GO:-go}
+TARGET=${TARGET:-FR-IAIK}
+BENIGN=${BENIGN:-crypto/aes-ttable/7}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+$GO build -o "$tmp/scaguard" ./cmd/scaguard
+
+# 1. The attack is flagged mid-trace with a latency figure.
+"$tmp/scaguard" watch -target "$TARGET" >"$tmp/attack.out"
+grep -q 'ATTACK FLAGGED MID-TRACE' "$tmp/attack.out" || {
+    echo "window-smoke: $TARGET not flagged mid-trace" >&2
+    cat "$tmp/attack.out" >&2
+    exit 1
+}
+grep -q 'latency-to-detection' "$tmp/attack.out" || {
+    echo "window-smoke: no latency-to-detection in the summary" >&2
+    cat "$tmp/attack.out" >&2
+    exit 1
+}
+verdict_exact=$(sed -n 's/^verdict: *\([A-Za-z-]*\).*/\1/p' "$tmp/attack.out")
+case $verdict_exact in
+    Benign|'')
+        echo "window-smoke: watch verdict for $TARGET is '$verdict_exact'" >&2
+        exit 1 ;;
+esac
+
+# 2. A benign workload stays clean.
+"$tmp/scaguard" watch -benign "$BENIGN" >"$tmp/benign.out"
+grep -q 'detected:  no' "$tmp/benign.out" || {
+    echo "window-smoke: benign $BENIGN reported a detection" >&2
+    cat "$tmp/benign.out" >&2
+    exit 1
+}
+if grep -q 'ATTACK FLAGGED' "$tmp/benign.out"; then
+    echo "window-smoke: benign $BENIGN flagged as an attack" >&2
+    cat "$tmp/benign.out" >&2
+    exit 1
+fi
+
+# 3. The pruned+indexed per-window scan agrees with the exact one.
+"$tmp/scaguard" watch -target "$TARGET" -fast -index >"$tmp/indexed.out"
+verdict_indexed=$(sed -n 's/^verdict: *\([A-Za-z-]*\).*/\1/p' "$tmp/indexed.out")
+if [ "$verdict_exact" != "$verdict_indexed" ]; then
+    echo "window-smoke: exact ($verdict_exact) and indexed ($verdict_indexed) watch verdicts disagree" >&2
+    exit 1
+fi
+
+# 4. Nonsense knobs fail fast, naming the flag.
+if "$tmp/scaguard" watch -target "$TARGET" -window -5 2>"$tmp/badflag.err"; then
+    echo "window-smoke: negative -window accepted" >&2
+    exit 1
+fi
+grep -q -- '-window' "$tmp/badflag.err" || {
+    echo "window-smoke: bad-flag error does not name -window: $(cat "$tmp/badflag.err")" >&2
+    exit 1
+}
+
+# 5. The windowed-detection benchmark runs and reports the latency
+# metric (short benchtime: this is a smoke, bench-index has the
+# figures).
+$GO test -run xxx -bench BenchmarkWindowedDetection/Golden -benchtime 0.2s \
+    ./internal/window >"$tmp/bench.out"
+grep -q 'cycles-to-detect' "$tmp/bench.out" || {
+    echo "window-smoke: benchmark reports no cycles-to-detect metric" >&2
+    cat "$tmp/bench.out" >&2
+    exit 1
+}
+lat=$(sed -n 's/.* \([0-9.]*\) cycles-to-detect.*/\1/p' "$tmp/bench.out" | head -n 1)
+
+echo "window-smoke: OK ($TARGET flagged mid-trace, $BENIGN clean, exact==indexed=$verdict_exact, bad knobs rejected, bench latency ${lat} cycles)"
